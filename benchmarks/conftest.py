@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Each benchmark runs one simulation (``rounds=1``): the interesting output
+is the *simulated* metric, which is attached to ``benchmark.extra_info``
+so ``pytest benchmarks/ --benchmark-only`` prints both the wall-clock
+cost of the simulation and the reproduced paper numbers.
+"""
+
+import pytest
+
+
+def simulate_once(benchmark, fn, **extra):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    box = {}
+
+    def wrapper():
+        box["result"] = fn()
+
+    benchmark.pedantic(wrapper, rounds=1, iterations=1)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    return box["result"]

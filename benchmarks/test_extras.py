@@ -1,0 +1,26 @@
+"""Benchmarks for the in-text extras: stub co-optimization (§5.3.1) and
+the sensitivity analyses of §7.5."""
+
+import pytest
+
+from repro.experiments.extras import (capability_load_overhead, stub_coopt)
+
+from conftest import simulate_once
+
+
+def test_stub_cooptimization(benchmark):
+    result = simulate_once(benchmark, stub_coopt)
+    benchmark.extra_info["setjmp"] = f"{result.setjmp_ns:.1f}ns"
+    benchmark.extra_info["try"] = f"{result.try_ns:.1f}ns"
+    benchmark.extra_info["speedup"] = f"{result.speedup:.2f}x (paper ~2.5x)"
+    assert result.speedup == pytest.approx(2.5, rel=0.05)
+
+
+def test_capability_worst_case(benchmark):
+    result = simulate_once(benchmark, capability_load_overhead)
+    benchmark.extra_info["overhead"] = \
+        f"{result.modeled_overhead_fraction:.1%} (paper 12%)"
+    benchmark.extra_info["residual"] = \
+        f"{result.residual_speedup:.2f}x (paper 1.59x)"
+    assert result.modeled_overhead_fraction == pytest.approx(0.12, abs=0.05)
+    assert result.residual_speedup > 1.3

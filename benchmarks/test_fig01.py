@@ -1,0 +1,24 @@
+"""Figure 1: the motivating breakdown — Linux vs Ideal OLTP stack."""
+
+from repro.experiments import fig01_breakdown
+
+from conftest import simulate_once
+
+
+def test_fig1_motivating_breakdown(benchmark):
+    result = simulate_once(
+        benchmark,
+        lambda: fig01_breakdown.run(concurrency=64, scale=0.4))
+    for row in (result.linux, result.ideal):
+        benchmark.extra_info[row.config] = (
+            f"{row.mean_latency_ms:.2f}ms "
+            f"u/k/i={row.user_pct:.0f}/{row.kernel_pct:.0f}/"
+            f"{row.idle_pct:.0f}%")
+    benchmark.extra_info["ipc_overhead"] = \
+        f"{result.ipc_overhead_factor:.2f}x (paper 1.92x)"
+    # the motivating observation: dropping isolation buys a large factor
+    assert result.ipc_overhead_factor > 1.3
+    # Linux burns far more kernel time than Ideal
+    assert result.linux.kernel_pct > 2 * result.ideal.kernel_pct
+    # Ideal runs almost entirely in user code
+    assert result.ideal.user_pct > 75.0

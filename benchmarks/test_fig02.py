@@ -1,0 +1,25 @@
+"""Figure 2: block-level breakdown of Sem / L4 / Local RPC."""
+
+import pytest
+
+from repro.experiments import fig02_ipc_breakdown
+from repro.sim.stats import Block
+
+from conftest import simulate_once
+
+
+def test_fig2_breakdowns(benchmark):
+    rows = simulate_once(benchmark,
+                         lambda: fig02_ipc_breakdown.run(iters=30))
+    for row in rows:
+        benchmark.extra_info[row.label] = f"{row.total_ns:.0f}ns"
+    by_label = {row.label: row for row in rows}
+    # ordering of the bars (slowest to fastest), as in the figure
+    assert by_label["rpc_cross_cpu"].total_ns > \
+        by_label["rpc_same_cpu"].total_ns > \
+        by_label["sem_same_cpu"].total_ns > \
+        by_label["l4_same_cpu"].total_ns
+    # §2.2: ~80% of the Sem round trip is software, not the raw switch
+    sem = by_label["sem_same_cpu"]
+    raw_hw = sem.blocks[Block.SYSCALL] + sem.blocks[Block.PTSW]
+    assert raw_hw < 0.25 * sem.total_ns

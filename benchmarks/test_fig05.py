@@ -1,0 +1,24 @@
+"""Figure 5: synchronous-call latency of every primitive + dIPC."""
+
+import pytest
+
+from repro.experiments import fig05_sync_calls
+from repro.hw.costs import FIG5_TARGETS_NS
+
+from conftest import simulate_once
+
+
+def test_fig5_bars(benchmark):
+    rows = simulate_once(benchmark, lambda: fig05_sync_calls.run(iters=30))
+    for row in rows:
+        benchmark.extra_info[row.label] = (
+            f"{row.measured_ns:.1f}ns (paper {row.paper_target_ns:.0f}ns, "
+            f"{row.error_pct:+.1f}%)")
+    # every bar within 15% of the paper's value
+    assert all(abs(row.error_pct) < 15.0 for row in rows)
+    ratios = fig05_sync_calls.headline_ratios(rows)
+    benchmark.extra_info["dipc_vs_rpc"] = f"{ratios['dipc_vs_rpc']:.2f}x"
+    benchmark.extra_info["dipc_vs_l4"] = f"{ratios['dipc_vs_l4']:.2f}x"
+    assert ratios["dipc_vs_rpc"] == pytest.approx(64.12, rel=0.10)
+    assert ratios["dipc_vs_l4"] == pytest.approx(8.87, rel=0.10)
+    assert ratios["policy_spread"] == pytest.approx(8.47, rel=0.10)

@@ -1,0 +1,26 @@
+"""Figure 6: added time vs argument size — copies vs capabilities."""
+
+from repro.experiments import fig06_argsize
+
+from conftest import simulate_once
+
+SIZES = (1, 64, 4096, 65536, 1048576)
+
+
+def test_fig6_size_sweep(benchmark):
+    series = simulate_once(
+        benchmark, lambda: fig06_argsize.run(sizes=SIZES, iters=10))
+    by_label = {s.label: s for s in series}
+    big, small = SIZES[-1], SIZES[0]
+    for s in series:
+        benchmark.extra_info[s.label] = (
+            f"added {s.added_ns[small]:.0f}ns @1B, "
+            f"{s.added_ns[big]:.0f}ns @1MB")
+    # dIPC passes by reference: flat in size
+    assert by_label["dipc_proc_high"].added_ns[big] < \
+        by_label["dipc_proc_high"].added_ns[small] + 500
+    # copy-based primitives diverge with size ("distance grows with size")
+    assert by_label["rpc_cross_cpu"].added_ns[big] > \
+        by_label["pipe_cross_cpu"].added_ns[big] > \
+        by_label["sem_cross_cpu"].added_ns[big] > \
+        by_label["dipc_proc_high"].added_ns[big] * 50

@@ -1,0 +1,24 @@
+"""Figure 7: Infiniband driver isolation — latency/bandwidth overheads."""
+
+from repro.experiments import fig07_driver
+
+from conftest import simulate_once
+
+
+def test_fig7_driver_isolation(benchmark):
+    rows = simulate_once(benchmark, lambda: fig07_driver.run(iters=20))
+    by_config = {row.config: row for row in rows}
+    for row in rows:
+        benchmark.extra_info[row.config] = (
+            f"lat@1B {row.latency_overhead_pct[1]:.1f}%, "
+            f"bw@4KB {row.bandwidth_overhead_pct[4096]:.1f}%")
+    # §7.3's three regimes
+    assert by_config["dipc"].latency_overhead_pct[1] < 3.0
+    assert 5.0 < by_config["kernel"].latency_overhead_pct[1] < 20.0
+    assert by_config["semaphore"].latency_overhead_pct[1] > 100.0
+    assert by_config["pipe"].latency_overhead_pct[1] > 100.0
+    # bandwidth overhead still heavy at 4KB for the IPC mechanisms
+    assert by_config["pipe"].bandwidth_overhead_pct[4096] > 40.0
+    # pipes pay for semantics semaphores don't need
+    assert by_config["pipe"].latency_overhead_pct[1] > \
+        by_config["semaphore"].latency_overhead_pct[1]

@@ -1,0 +1,17 @@
+"""Table 1: round-trip domain switch + data communication per architecture."""
+
+from repro.arch import table1
+
+from conftest import simulate_once
+
+
+def test_table1_switch_costs(benchmark):
+    rows = simulate_once(benchmark, table1)
+    by_name = {row.name: row for row in rows}
+    benchmark.extra_info.update({
+        row.name: f"S={row.switch_ns:.1f}ns D={row.data_ns_per_kb:.1f}ns/KB"
+        for row in rows})
+    # CODOMs switches with a call+return; everyone else pays more
+    assert by_name["CODOMs"].switch_ns <= 2.0
+    assert all(by_name[name].switch_ns > by_name["CODOMs"].switch_ns
+               for name in ("Conventional CPU", "CHERI", "MMP"))

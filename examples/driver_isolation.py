@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""The §7.3 case study as an application: isolate a user-level NIC
+driver behind different mechanisms and watch what survives Infiniband's
+latency envelope.
+
+Run:  python examples/driver_isolation.py
+"""
+
+from repro.apps.infiniband import (ISOLATION_CONFIGS, CONFIG_INLINE,
+                                   CONFIG_KERNEL, KERNEL_OPS_PER_MSG,
+                                   IsolatedDriver, NICModel)
+from repro.apps.netpipe import run_netpipe
+from repro.experiments.fig07_driver import measure_per_call_costs
+
+
+def main():
+    nic = NICModel()
+    print("measuring per-driver-call cost of each isolation mechanism "
+          "(simulated)...")
+    costs = measure_per_call_costs(iters=20)
+    for config, cost in costs.items():
+        print(f"  {config:<10} {cost:10.1f} ns/call")
+
+    baseline = run_netpipe(nic, IsolatedDriver(CONFIG_INLINE,
+                                               costs[CONFIG_INLINE]))
+    print(f"\n{'config':<12}{'lat @1B':>10}{'lat ovh':>9}"
+          f"{'bw @4KB':>12}{'bw ovh':>8}")
+    base_lat = baseline.points[0].latency_ns
+    base_bw = baseline.points[-1].bandwidth_bpns
+    print(f"{'inline':<12}{base_lat:>8.0f}ns{'--':>9}"
+          f"{base_bw:>9.3f}B/ns{'--':>8}")
+    for config in ISOLATION_CONFIGS:
+        ops = KERNEL_OPS_PER_MSG if config == CONFIG_KERNEL else 4
+        series = run_netpipe(nic, IsolatedDriver(config, costs[config],
+                                                 ops_per_message=ops))
+        lat = series.points[0].latency_ns
+        bw = series.points[-1].bandwidth_bpns
+        lat_ovh = series.latency_overhead_pct(baseline)[1]
+        bw_ovh = series.bandwidth_overhead_pct(baseline)[4096]
+        print(f"{config:<12}{lat:>8.0f}ns{lat_ovh:>8.1f}%"
+              f"{bw:>9.3f}B/ns{bw_ovh:>7.1f}%")
+
+    print("\nonly dIPC keeps the driver isolated at ~1% latency cost — "
+          "low enough for the OS to regain control of I/O policy (§7.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""dIPC — Direct Inter-Process Communication (EuroSys'17) reproduction.
+
+A from-scratch functional + timing simulation of:
+
+* the CODOMs protection architecture (``repro.codoms``);
+* an OS kernel substrate with processes, threads, a per-CPU scheduler,
+  futexes and the classic IPC primitives (``repro.kernel``, ``repro.ipc``);
+* **dIPC itself** — Table 2's API, trusted proxies generated from
+  templates, user-defined isolation policies, the KCS, crash unwinding
+  and time-outs (``repro.core``);
+* the paper's workloads: micro-benchmarks, the Infiniband driver
+  isolation case study, and the Apache+PHP+MariaDB OLTP stack
+  (``repro.apps``, ``repro.experiments``).
+
+Quickstart::
+
+    from repro import Kernel, DipcManager, EntryDescriptor, Signature
+
+    kernel = Kernel(num_cpus=4)
+    dipc = DipcManager(kernel)
+    server = kernel.spawn_process("server", dipc=True)
+    client = kernel.spawn_process("client", dipc=True)
+    # ... see examples/quickstart.py for the full flow
+"""
+
+from repro.codoms import (AccessEngine, APLCache, Capability, CodomsContext,
+                          Permission)
+from repro.core import (AnnotatedModule, DipcManager, DipcRuntime,
+                        DomainHandle, EntryDescriptor, EntryHandle,
+                        GrantHandle, IsolationPolicy, Proxy, Signature,
+                        call_with_timeout, compile_module)
+from repro.errors import (AccessFault, CallTimeout, CapabilityFault,
+                          DipcError, PermissionDenied, ProtectionFault,
+                          RemoteFault, ReproError, SignatureMismatch)
+from repro.hw import CacheModel, CostModel, Machine
+from repro.kernel import Futex, Kernel, Process, Thread
+from repro.sim import Block, Breakdown, Engine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessEngine", "APLCache", "Capability", "CodomsContext", "Permission",
+    "AnnotatedModule", "DipcManager", "DipcRuntime", "DomainHandle",
+    "EntryDescriptor", "EntryHandle", "GrantHandle", "IsolationPolicy",
+    "Proxy", "Signature", "call_with_timeout", "compile_module",
+    "AccessFault", "CallTimeout", "CapabilityFault", "DipcError",
+    "PermissionDenied", "ProtectionFault", "RemoteFault", "ReproError",
+    "SignatureMismatch",
+    "CacheModel", "CostModel", "Machine",
+    "Futex", "Kernel", "Process", "Thread",
+    "Block", "Breakdown", "Engine",
+    "__version__",
+]

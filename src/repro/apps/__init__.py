@@ -1,0 +1,2 @@
+"""Workload applications: the OLTP web stack, the Infiniband NIC model
+and the netpipe benchmark."""

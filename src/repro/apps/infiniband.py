@@ -1,0 +1,98 @@
+"""Simulated Infiniband NIC with a user-level driver (§7.3).
+
+The Table 3 machine carries a Mellanox MT26428; applications drive it
+through the ``rsocket`` library and a *user-level driver* that talks to
+the NIC directly (doorbells + completion-queue polling), bypassing the
+kernel — the upper-bound scenario for I/O performance.
+
+§7.3 interposes the driver's operations behind different isolation
+mechanisms and measures the damage. Each message involves a fixed number
+of synchronous driver operations (post send, ring doorbell, poll CQ,
+replenish receive ring), so the per-operation cost of the isolation
+boundary multiplies in.
+
+No additional data copies are introduced by the interposition — requests
+carry descriptors, and the NIC DMAs straight from application buffers,
+"just as is done in the original driver". For Pipe/Sem the *descriptors*
+still cross the IPC channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro import units
+from repro.hw.costs import CostModel
+
+#: synchronous driver operations per message (post, doorbell, poll CQ,
+#: replenish recv ring)
+DRIVER_OPS_PER_MSG = 4
+
+#: kernel-driver work per operation beyond the bare syscall
+KERNEL_DRIVER_WORK_NS = 6.0
+
+#: a kernel driver's syscall interface batches doorbell+poll per
+#: direction, so it crosses only twice per message
+KERNEL_OPS_PER_MSG = 2
+
+#: isolation mechanisms of Figure 7, in its legend order
+CONFIG_INLINE = "inline"          # the unmodified user-level driver
+CONFIG_DIPC = "dipc"              # driver in a domain, same process
+CONFIG_DIPC_PROC = "dipc+proc"    # driver in its own dIPC process
+CONFIG_KERNEL = "kernel"          # classic kernel driver (syscalls)
+CONFIG_SEM = "semaphore"          # driver process, shm + semaphores
+CONFIG_PIPE = "pipe"              # driver process, pipes
+
+ISOLATION_CONFIGS = (CONFIG_PIPE, CONFIG_SEM, CONFIG_KERNEL,
+                     CONFIG_DIPC_PROC, CONFIG_DIPC)
+
+
+@dataclass
+class NICModel:
+    """Latency/bandwidth envelope of the simulated HCA."""
+
+    #: one-way wire+NIC latency floor for a tiny message
+    base_latency_ns: float = 800.0
+    #: sustained link bandwidth in bytes/ns (10 GigE-class ≈ 1.25 B/ns)
+    bandwidth_bpns: float = 1.25
+
+    def one_way_ns(self, size: int) -> float:
+        return self.base_latency_ns + size / self.bandwidth_bpns
+
+    def round_trip_ns(self, size: int) -> float:
+        # netpipe's ping-pong: the payload travels out, a matching
+        # payload comes back
+        return 2.0 * self.one_way_ns(size)
+
+
+class IsolatedDriver:
+    """The driver interposed behind one isolation mechanism.
+
+    ``per_call_ns`` — the measured round-trip cost of one synchronous
+    driver invocation through the mechanism — is taken from the same
+    simulations that produce Figure 5 (see
+    ``repro.experiments.fig07_driver.measure_per_call_costs``), so
+    Figure 7 and Figure 5 stay mutually consistent.
+    """
+
+    def __init__(self, config: str, per_call_ns: float,
+                 ops_per_message: int = DRIVER_OPS_PER_MSG):
+        self.config = config
+        self.per_call_ns = per_call_ns
+        self.ops_per_message = ops_per_message
+
+    def overhead_per_message_ns(self) -> float:
+        return self.ops_per_message * self.per_call_ns
+
+
+def inline_per_call_ns(costs: CostModel = None) -> float:
+    """The baseline: a driver invocation is a plain function call."""
+    costs = costs if costs is not None else CostModel.default()
+    return costs.FUNC_CALL
+
+
+def kernel_per_call_ns(costs: CostModel = None) -> float:
+    """Kernel driver: one syscall round trip + driver work."""
+    costs = costs if costs is not None else CostModel.default()
+    return costs.syscall_empty() + KERNEL_DRIVER_WORK_NS

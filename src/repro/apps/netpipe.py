@@ -1,0 +1,60 @@
+"""A netpipe-style benchmark (NPtcp) over the simulated Infiniband NIC.
+
+For each transfer size it reports ping-pong latency and streaming
+bandwidth; Figure 7 derives per-size latency/bandwidth *overheads* of
+each isolated-driver configuration relative to the inline driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.apps.infiniband import IsolatedDriver, NICModel
+
+
+@dataclass
+class NetpipePoint:
+    size: int
+    latency_ns: float
+    bandwidth_bpns: float
+
+
+@dataclass
+class NetpipeSeries:
+    config: str
+    points: List[NetpipePoint]
+
+    def latency_overhead_pct(self, baseline: "NetpipeSeries") -> Dict[int, float]:
+        out = {}
+        for mine, base in zip(self.points, baseline.points):
+            assert mine.size == base.size
+            out[mine.size] = (mine.latency_ns / base.latency_ns - 1.0) * 100
+        return out
+
+    def bandwidth_overhead_pct(self, baseline: "NetpipeSeries") -> Dict[int, float]:
+        out = {}
+        for mine, base in zip(self.points, baseline.points):
+            out[mine.size] = (1.0 - mine.bandwidth_bpns
+                              / base.bandwidth_bpns) * 100
+        return out
+
+
+DEFAULT_SIZES = tuple(2 ** i for i in range(0, 13))  # 1 B .. 4 KB
+
+
+def run_netpipe(nic: NICModel, driver: IsolatedDriver,
+                sizes: Iterable[int] = DEFAULT_SIZES) -> NetpipeSeries:
+    """One netpipe sweep: RTT/2 latency and synchronous bandwidth.
+
+    The driver overhead is CPU-side and does not overlap the wire time
+    in a synchronous ping-pong, so it adds directly to the round trip.
+    """
+    points = []
+    per_message = driver.overhead_per_message_ns()
+    for size in sizes:
+        round_trip = nic.round_trip_ns(size) + 2 * per_message
+        latency = round_trip / 2.0
+        bandwidth = size / latency
+        points.append(NetpipePoint(size, latency, bandwidth))
+    return NetpipeSeries(driver.config, points)

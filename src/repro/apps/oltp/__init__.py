@@ -1,0 +1,22 @@
+"""The §7.4 multi-tier OLTP web server (Apache + PHP + MariaDB) with a
+DVDStore-like workload, in Linux / dIPC / Ideal configurations."""
+
+from repro.apps.oltp.harness import (CONFIGS, DEFAULT_WARMUPS,
+                                     DEFAULT_WINDOWS, DIPC, IDEAL, LINUX,
+                                     OltpParams, OltpResult, params_for,
+                                     run_oltp, speedup_table)
+from repro.apps.oltp.storage import (IN_MEMORY, ON_DISK, Disk,
+                                     StorageEngine)
+from repro.apps.oltp.workload import (STANDARD_MIX, Query, Transaction,
+                                      WorkloadGenerator,
+                                      mean_cpu_per_op_ns,
+                                      mean_queries_per_op)
+
+__all__ = [
+    "CONFIGS", "DIPC", "IDEAL", "LINUX", "OltpParams", "OltpResult",
+    "params_for", "run_oltp", "speedup_table",
+    "DEFAULT_WINDOWS", "DEFAULT_WARMUPS",
+    "IN_MEMORY", "ON_DISK", "Disk", "StorageEngine",
+    "STANDARD_MIX", "Query", "Transaction", "WorkloadGenerator",
+    "mean_cpu_per_op_ns", "mean_queries_per_op",
+]

@@ -1,0 +1,351 @@
+"""The multi-tier OLTP web server of §7.4, in its three configurations:
+
+* **linux** — Apache, PHP (FastCGI) and MariaDB as separate processes
+  communicating over UNIX sockets (the tuned baseline);
+* **dipc** — the three components as dIPC-enabled processes with
+  asymmetric isolation policies ("only PHP trusts all other components");
+  a request runs *in place* on the Apache worker thread, crossing
+  processes through proxies — no service threads;
+* **ideal** — the unsafe upper bound: everything in one process, plain
+  function calls (PHP as an Apache plugin, libmariadbd embedded).
+
+The harness runs a closed-loop client population of ``concurrency``
+Apache workers for a warm-up plus a measurement window and reports
+throughput (ops/min, as in Figure 8), mean operation latency and the
+machine-wide user/kernel/idle breakdown (Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.apps.oltp.storage import IN_MEMORY, ON_DISK, StorageEngine
+from repro.apps.oltp.workload import (STANDARD_MIX, Transaction,
+                                      WorkloadGenerator)
+from repro.core.api import DipcManager
+from repro.core.objects import EntryDescriptor, Signature
+from repro.core.policies import IsolationPolicy
+from repro.ipc.unixsocket import SocketNamespace
+from repro.kernel import Kernel
+from repro.sim.stats import Block, Breakdown, RunningStats
+
+LINUX = "linux"
+DIPC = "dipc"
+IDEAL = "ideal"
+
+CONFIGS = (LINUX, DIPC, IDEAL)
+
+
+@dataclass
+class OltpParams:
+    """Tunables of the macro-benchmark."""
+
+    config: str = LINUX
+    storage: str = IN_MEMORY
+    concurrency: int = 16
+    num_cpus: int = 4
+    #: closed-loop client network/think time per operation
+    client_delay_ns: float = 250.0 * units.US
+    #: FastCGI/protocol user-level encode or decode, per message side
+    fcgi_user_ns: float = 350.0
+    warmup_ns: float = 60.0 * units.MS
+    window_ns: float = 250.0 * units.MS
+    seed: int = 42
+    mix: List[Transaction] = field(default_factory=lambda: STANDARD_MIX)
+
+
+@dataclass
+class OltpResult:
+    config: str
+    storage: str
+    concurrency: int
+    operations: int
+    throughput_ops_min: float
+    mean_latency_ns: float
+    breakdown: Breakdown
+    idle_fraction: float
+    kernel_fraction: float
+    user_fraction: float
+
+    def __repr__(self) -> str:
+        return (f"<oltp {self.config}/{self.storage} c={self.concurrency}: "
+                f"{self.throughput_ops_min:.0f} ops/min, "
+                f"{self.mean_latency_ns / units.MS:.2f}ms, "
+                f"idle={self.idle_fraction:.0%}>")
+
+
+class _Run:
+    """Mutable state shared by the worker threads of one run."""
+
+    def __init__(self, params: OltpParams):
+        self.params = params
+        self.kernel = Kernel(num_cpus=params.num_cpus)
+        self.workload = WorkloadGenerator(params.mix, seed=params.seed)
+        self.storage: Optional[StorageEngine] = None
+        self.measuring = False
+        self.operations = 0
+        self.latency = RunningStats()
+
+    def record(self, latency_ns: float) -> None:
+        if self.measuring:
+            self.operations += 1
+            self.latency.add(latency_ns)
+
+
+def _php_chunks(txn: Transaction) -> float:
+    """PHP CPU is spent in slices between its database calls."""
+    return txn.php_cpu_ns / (len(txn.queries) + 1)
+
+
+def _db_work(run: _Run, t, query):
+    """The database side of one query: CPU + storage."""
+    yield t.compute(query.db_cpu_ns)
+    yield from run.storage.access(t, miss=run.workload.disk_miss(query))
+
+
+# ---------------------------------------------------------------------------
+# Linux configuration
+# ---------------------------------------------------------------------------
+
+def _build_linux(run: _Run):
+    kernel = run.kernel
+    params = run.params
+    ns = SocketNamespace()
+    apache = kernel.spawn_process("apache")
+    php = kernel.spawn_process("php-fpm")
+    mariadb = kernel.spawn_process("mariadb")
+    run.storage = StorageEngine(kernel, params.storage)
+    big = 64 * units.MB
+    php_sock = ns.socket(kernel, bufsize=big)
+    php_sock.bind("/oltp/php")
+    db_sock = ns.socket(kernel, bufsize=big)
+    db_sock.bind("/oltp/db")
+    fcgi = params.fcgi_user_ns
+
+    def db_worker(t):
+        while True:
+            request, _ = yield from db_sock.recvfrom(t)
+            yield t.compute(fcgi)
+            yield from _db_work(run, t, request["query"])
+            yield t.compute(fcgi)
+            yield from db_sock.sendto(t, request["reply_to"],
+                                      request["query"].result_bytes,
+                                      payload={"rows": "..."})
+
+    def php_worker(t, index):
+        reply = ns.socket(kernel, bufsize=big)
+        reply.bind(f"/oltp/php/worker{index}")
+        while True:
+            request, _ = yield from php_sock.recvfrom(t)
+            txn = request["txn"]
+            yield t.compute(fcgi)
+            chunk = _php_chunks(txn)
+            yield t.compute(chunk)
+            for query in txn.queries:
+                yield t.compute(fcgi)
+                yield from reply.sendto(t, "/oltp/db", 256, payload={
+                    "query": query, "reply_to": reply.path})
+                yield from reply.recvfrom(t)
+                yield t.compute(chunk)
+            yield t.compute(fcgi)
+            yield from reply.sendto(t, request["reply_to"],
+                                    txn.response_bytes,
+                                    payload={"page": "..."})
+
+    def apache_worker(t, index):
+        reply = ns.socket(kernel, bufsize=big)
+        reply.bind(f"/oltp/apache/worker{index}")
+        while True:
+            yield from t.sleep(params.client_delay_ns)
+            start = t.now()
+            txn = run.workload.next_transaction()
+            yield t.compute(txn.apache_cpu_ns * 0.6)
+            yield t.compute(fcgi)
+            yield from reply.sendto(t, "/oltp/php", txn.request_bytes,
+                                    payload={"txn": txn,
+                                             "reply_to": reply.path})
+            yield from reply.recvfrom(t)
+            yield t.compute(fcgi)
+            yield t.compute(txn.apache_cpu_ns * 0.4)
+            run.record(t.now() - start)
+
+    for i in range(params.concurrency):
+        kernel.spawn(mariadb, db_worker, name=f"db{i}")
+        kernel.spawn(php, lambda t, i=i: php_worker(t, i), name=f"php{i}")
+        kernel.spawn(apache, lambda t, i=i: apache_worker(t, i),
+                     name=f"ap{i}")
+
+
+# ---------------------------------------------------------------------------
+# dIPC configuration
+# ---------------------------------------------------------------------------
+
+def _build_dipc(run: _Run):
+    kernel = run.kernel
+    params = run.params
+    manager = DipcManager(kernel)
+    apache = kernel.spawn_process("apache", dipc=True)
+    php = kernel.spawn_process("php", dipc=True)
+    mariadb = kernel.spawn_process("mariadb", dipc=True)
+    run.storage = StorageEngine(kernel, params.storage)
+
+    # --- database exports 'query'; it protects itself from PHP, while
+    # PHP (which "trusts all other components") requests nothing ---
+    def db_query(t, query):
+        result = yield from _db_work(run, t, query)
+        return result
+
+    db_entry = manager.entry_register(
+        mariadb, manager.dom_default(mariadb),
+        [EntryDescriptor(signature=Signature(in_regs=1, out_regs=1),
+                         policy=IsolationPolicy(stack_confidentiality=True,
+                                                dcs_integrity=True),
+                         func=db_query, name="query")])
+    db_request = [EntryDescriptor(signature=Signature(in_regs=1, out_regs=1),
+                                  policy=IsolationPolicy(), name="query")]
+    db_proxy_handle, _ = manager.entry_request(php, db_entry, db_request)
+    manager.grant_create(manager.dom_default(php), db_proxy_handle)
+    db_address = db_request[0].address
+
+    # --- PHP exports 'handle_request' to Apache; Apache protects itself
+    # (integrity on its registers/stack) since it does not trust PHP ---
+    def php_handle(t, txn):
+        chunk = _php_chunks(txn)
+        yield t.compute(chunk)
+        for query in txn.queries:
+            yield from manager.call(t, db_address, query)
+            yield t.compute(chunk)
+        return {"page": "..."}
+
+    php_entry = manager.entry_register(
+        php, manager.dom_default(php),
+        [EntryDescriptor(signature=Signature(in_regs=1, out_regs=1),
+                         policy=IsolationPolicy(), func=php_handle,
+                         name="handle_request")])
+    php_request = [EntryDescriptor(
+        signature=Signature(in_regs=1, out_regs=1),
+        policy=IsolationPolicy(reg_integrity=True, stack_integrity=True,
+                               dcs_integrity=True),
+        name="handle_request")]
+    php_proxy_handle, _ = manager.entry_request(apache, php_entry,
+                                                php_request)
+    manager.grant_create(manager.dom_default(apache), php_proxy_handle)
+    php_address = php_request[0].address
+
+    def apache_worker(t):
+        while True:
+            yield from t.sleep(params.client_delay_ns)
+            start = t.now()
+            txn = run.workload.next_transaction()
+            yield t.compute(txn.apache_cpu_ns * 0.6)
+            yield from manager.call(t, php_address, txn)
+            yield t.compute(txn.apache_cpu_ns * 0.4)
+            run.record(t.now() - start)
+
+    for i in range(params.concurrency):
+        kernel.spawn(apache, apache_worker, name=f"ap{i}")
+
+
+# ---------------------------------------------------------------------------
+# Ideal (unsafe) configuration
+# ---------------------------------------------------------------------------
+
+def _build_ideal(run: _Run):
+    kernel = run.kernel
+    params = run.params
+    server = kernel.spawn_process("monolith")
+    run.storage = StorageEngine(kernel, params.storage)
+    call = kernel.costs.FUNC_CALL
+
+    def worker(t):
+        while True:
+            yield from t.sleep(params.client_delay_ns)
+            start = t.now()
+            txn = run.workload.next_transaction()
+            yield t.compute(txn.apache_cpu_ns * 0.6)
+            yield t.compute(call)               # apache -> mod_php
+            chunk = _php_chunks(txn)
+            yield t.compute(chunk)
+            for query in txn.queries:
+                yield t.compute(call)           # php -> libmariadbd
+                yield from _db_work(run, t, query)
+                yield t.compute(chunk)
+            yield t.compute(txn.apache_cpu_ns * 0.4)
+            run.record(t.now() - start)
+
+    for i in range(params.concurrency):
+        kernel.spawn(server, worker, name=f"w{i}")
+
+
+_BUILDERS = {LINUX: _build_linux, DIPC: _build_dipc, IDEAL: _build_ideal}
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def run_oltp(params: OltpParams) -> OltpResult:
+    """Build and run one configuration; return its measurements."""
+    if params.config not in _BUILDERS:
+        raise ValueError(f"unknown config {params.config}")
+    run = _Run(params)
+    _BUILDERS[params.config](run)
+    engine = run.kernel.engine
+    machine = run.kernel.machine
+
+    def start_measuring():
+        machine.flush_idle()
+        machine.reset_accounts()
+        run.measuring = True
+
+    engine.post(params.warmup_ns, start_measuring)
+    run.kernel.run(until_ns=params.warmup_ns + params.window_ns)
+    run.kernel.check()
+    machine.flush_idle()
+    breakdown = machine.total_account()
+    modes = breakdown.by_mode()
+    total = sum(modes.values()) or 1.0
+    window_min = params.window_ns / units.MINUTE
+    return OltpResult(
+        config=params.config, storage=params.storage,
+        concurrency=params.concurrency, operations=run.operations,
+        throughput_ops_min=run.operations / window_min,
+        mean_latency_ns=run.latency.mean,
+        breakdown=breakdown,
+        idle_fraction=modes["idle"] / total,
+        kernel_fraction=modes["kernel"] / total,
+        user_fraction=modes["user"] / total)
+
+
+#: measurement windows long enough for several multiples of the highest
+#: closed-loop latency at each concurrency (§7.1 runs 3 simulated minutes;
+#: we scale down — throughput is a rate, longer only shrinks noise)
+DEFAULT_WINDOWS = {4: 150, 16: 150, 64: 250, 256: 600, 512: 1100}
+DEFAULT_WARMUPS = {4: 60, 16: 60, 64: 100, 256: 250, 512: 400}
+
+
+def params_for(config: str, storage: str, concurrency: int,
+               *, scale: float = 1.0) -> OltpParams:
+    """Standard Figure 8 parameters with concurrency-scaled windows.
+
+    ``scale`` shrinks the measurement window (for quick tests).
+    """
+    window = DEFAULT_WINDOWS.get(concurrency, 300) * units.MS * scale
+    warmup = DEFAULT_WARMUPS.get(concurrency, 100) * units.MS * scale
+    return OltpParams(config=config, storage=storage,
+                      concurrency=concurrency,
+                      window_ns=window, warmup_ns=max(warmup, 40 * units.MS))
+
+
+def speedup_table(storage: str, concurrencies=(4, 16, 64, 256, 512), *,
+                  scale: float = 1.0) -> Dict[str, Dict[int, float]]:
+    """Figure 8: throughput of every config at every concurrency."""
+    table: Dict[str, Dict[int, float]] = {c: {} for c in CONFIGS}
+    for concurrency in concurrencies:
+        for config in CONFIGS:
+            result = run_oltp(params_for(config, storage, concurrency,
+                                         scale=scale))
+            table[config][concurrency] = result.throughput_ops_min
+    return table

@@ -1,0 +1,106 @@
+"""DVDStore-like OLTP transaction mix (§7.4's macro-benchmark).
+
+Dell's DVD Store issues a mix of login / browse / purchase style
+operations against the three-tier stack. Each transaction here carries
+the tier CPU demands and the per-query storage behaviour; a seeded
+generator makes runs reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class Query:
+    """One database query of a transaction."""
+
+    db_cpu_ns: float
+    #: probability the query misses the buffer pool (on-disk config only)
+    disk_prob: float
+    result_bytes: int
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One DVDStore operation."""
+
+    name: str
+    weight: int
+    apache_cpu_ns: float
+    php_cpu_ns: float
+    queries: Tuple[Query, ...]
+    #: request/response bytes between client and the web tier
+    request_bytes: int
+    response_bytes: int
+
+
+def _queries(count: int, db_cpu_us: float, disk_prob: float,
+             result_bytes: int = 512) -> Tuple[Query, ...]:
+    return tuple(Query(db_cpu_us * units.US, disk_prob, result_bytes)
+                 for _ in range(count))
+
+
+#: The standard mix. CPU demands are calibrated so a full in-memory
+#: operation costs ~0.5 ms of CPU in the Ideal configuration, and query
+#: counts are at *row fetch* granularity: §7.5 reports ~211 cross-domain
+#: calls per operation, i.e. roughly 100 PHP<->DB round trips — the
+#: mysql client API fetches result rows one by one.
+STANDARD_MIX: List[Transaction] = [
+    Transaction("login", weight=2,
+                apache_cpu_ns=60 * units.US, php_cpu_ns=150 * units.US,
+                queries=_queries(30, db_cpu_us=3.3, disk_prob=0.005),
+                request_bytes=512, response_bytes=4096),
+    Transaction("browse", weight=5,
+                apache_cpu_ns=70 * units.US, php_cpu_ns=220 * units.US,
+                queries=_queries(75, db_cpu_us=3.2, disk_prob=0.006,
+                                 result_bytes=2048),
+                request_bytes=768, response_bytes=16384),
+    Transaction("purchase", weight=2,
+                apache_cpu_ns=80 * units.US, php_cpu_ns=300 * units.US,
+                queries=_queries(100, db_cpu_us=3.5, disk_prob=0.0055),
+                request_bytes=1024, response_bytes=8192),
+]
+
+
+class WorkloadGenerator:
+    """Reproducible stream of transactions following the mix's weights."""
+
+    def __init__(self, mix: List[Transaction] = None, seed: int = 42):
+        self.mix = mix if mix is not None else STANDARD_MIX
+        self._rng = random.Random(seed)
+        self._weights = [txn.weight for txn in self.mix]
+        self.generated = 0
+
+    def next_transaction(self) -> Transaction:
+        self.generated += 1
+        return self._rng.choices(self.mix, weights=self._weights, k=1)[0]
+
+    def disk_miss(self, query: Query) -> bool:
+        return self._rng.random() < query.disk_prob
+
+    def rng(self) -> random.Random:
+        return self._rng
+
+
+def mean_queries_per_op(mix: List[Transaction] = None) -> float:
+    mix = mix if mix is not None else STANDARD_MIX
+    total_weight = sum(t.weight for t in mix)
+    return sum(t.weight * len(t.queries) for t in mix) / total_weight
+
+
+def mean_cpu_per_op_ns(mix: List[Transaction] = None) -> float:
+    """Pure application CPU per operation (the Ideal configuration's
+    demand, excluding all communication)."""
+    mix = mix if mix is not None else STANDARD_MIX
+    total_weight = sum(t.weight for t in mix)
+    demand = 0.0
+    for txn in mix:
+        per_op = (txn.apache_cpu_ns + txn.php_cpu_ns
+                  + sum(q.db_cpu_ns for q in txn.queries))
+        demand += txn.weight * per_op
+    return demand / total_weight

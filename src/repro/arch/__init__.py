@@ -1,0 +1,7 @@
+"""Alternative protection architectures for the Table 1 comparison."""
+
+from repro.arch.models import (ALL_MODELS, ArchModel, ArchResult, CHERI,
+                               CODOMs, ConventionalCPU, MMP, table1)
+
+__all__ = ["ALL_MODELS", "ArchModel", "ArchResult", "CHERI", "CODOMs",
+           "ConventionalCPU", "MMP", "table1"]

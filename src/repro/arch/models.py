@@ -1,0 +1,124 @@
+"""Table 1: best-case round-trip domain switch + bulk data communication
+on different architectures.
+
+Each model composes its switch sequence from the shared cost model so the
+comparison is apples-to-apples:
+
+* **Conventional CPU** — 2×syscall + 4×swapgs + 2×sysret + page-table
+  switch for the switch; memcpy for data.
+* **CHERI** — 2×exception (domain-crossing trap into the capability
+  supervisor per direction); capability setup for data.
+* **MMP** — 2×pipeline flush best-case; data goes via a pre-shared buffer
+  copy or privileged protection-table writes.
+* **CODOMs** — call + return; capability setup for data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.hw.cache import CacheModel
+from repro.hw.costs import CostModel
+
+
+@dataclass
+class ArchResult:
+    name: str
+    switch_ns: float
+    switch_ops: str
+    data_ns_per_kb: float
+    data_ops: str
+
+
+class ArchModel:
+    """Base class: one row of Table 1."""
+
+    name = "abstract"
+    switch_ops = ""
+    data_ops = ""
+
+    def __init__(self, costs: CostModel = None, cache: CacheModel = None):
+        self.costs = costs if costs is not None else CostModel.default()
+        self.cache = cache if cache is not None else CacheModel()
+
+    def switch_ns(self) -> float:
+        raise NotImplementedError
+
+    def data_ns(self, size: int) -> float:
+        raise NotImplementedError
+
+    def evaluate(self, data_size: int = 1024) -> ArchResult:
+        return ArchResult(self.name, self.switch_ns(), self.switch_ops,
+                          self.data_ns(data_size) * 1024 / data_size,
+                          self.data_ops)
+
+
+class ConventionalCPU(ArchModel):
+    """S: 2×syscall + 4×swapgs + 2×sysret + page table switch; D: memcpy."""
+
+    name = "Conventional CPU"
+    switch_ops = "2xsyscall + 4xswapgs + 2xsysret + page table switch"
+    data_ops = "memcpy"
+
+    def switch_ns(self) -> float:
+        # SYSCALL_HW already bundles one syscall+2xswapgs+sysret sequence
+        return 2 * self.costs.SYSCALL_HW + self.costs.PT_SWITCH
+
+    def data_ns(self, size: int) -> float:
+        return self.cache.copy_ns(size,
+                                  startup=self.costs.MEMCPY_STARTUP)
+
+
+class CHERI(ArchModel):
+    """S: 2×exception; D: capability setup."""
+
+    name = "CHERI"
+    switch_ops = "2xexception"
+    data_ops = "capability setup"
+
+    def switch_ns(self) -> float:
+        return 2 * self.costs.EXCEPTION
+
+    def data_ns(self, size: int) -> float:
+        return self.costs.CAP_CREATE
+
+
+class MMP(ArchModel):
+    """S: 2×pipeline flush; D: copy into a pre-shared buffer, or
+    write/invalidate entries in the privileged protection table."""
+
+    name = "MMP"
+    switch_ops = "2xpipeline flush"
+    data_ops = "copy into pre-shared buffer / priv. prot. table writes"
+
+    def switch_ns(self) -> float:
+        return 2 * self.costs.PIPELINE_FLUSH
+
+    def data_ns(self, size: int) -> float:
+        copy = self.cache.copy_ns(size, startup=self.costs.MEMCPY_STARTUP)
+        table_writes = 2 * self.costs.MMP_PROT_WRITE
+        return min(copy, table_writes)
+
+
+class CODOMs(ArchModel):
+    """S: call + return; D: capability setup."""
+
+    name = "CODOMs"
+    switch_ops = "call + return"
+    data_ops = "capability setup"
+
+    def switch_ns(self) -> float:
+        return self.costs.FUNC_CALL + self.costs.DOMAIN_SWITCH
+
+    def data_ns(self, size: int) -> float:
+        return self.costs.CAP_CREATE
+
+
+ALL_MODELS = (ConventionalCPU, CHERI, MMP, CODOMs)
+
+
+def table1(costs: CostModel = None, *,
+           data_size: int = 1024) -> List[ArchResult]:
+    """Evaluate every row of Table 1."""
+    return [model(costs).evaluate(data_size) for model in ALL_MODELS]

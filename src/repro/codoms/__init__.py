@@ -1,0 +1,23 @@
+"""The CODOMs architecture (Vilanova et al., ISCA'14), as dIPC uses it:
+code-centric domains in one page table, APLs with a per-CPU cache,
+transient capabilities with immediate revocation, and the DCS."""
+
+from repro.codoms.access import (AccessEngine, CodomsContext,
+                                 DEFAULT_ENTRY_ALIGN)
+from repro.codoms.apl import APL, APLRegistry, Permission
+from repro.codoms.aplcache import APL_CACHE_ENTRIES, APLCache, APLCacheMiss
+from repro.codoms.capability import (CAP_REGISTERS, CAP_SIZE_BYTES,
+                                     Capability, RevocationCounter,
+                                     mint_from_apl)
+from repro.codoms.dcs import DCSPool, DomainCapabilityStack
+from repro.codoms.tags import TagAllocator
+
+__all__ = [
+    "AccessEngine", "CodomsContext", "DEFAULT_ENTRY_ALIGN",
+    "APL", "APLRegistry", "Permission",
+    "APL_CACHE_ENTRIES", "APLCache", "APLCacheMiss",
+    "CAP_REGISTERS", "CAP_SIZE_BYTES", "Capability", "RevocationCounter",
+    "mint_from_apl",
+    "DCSPool", "DomainCapabilityStack",
+    "TagAllocator",
+]

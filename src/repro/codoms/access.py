@@ -1,0 +1,191 @@
+"""Code-centric access checks (§4.1): the heart of CODOMs.
+
+Unlike a conventional MMU — which asks "can the current *process* touch
+this address?" — CODOMs asks "can the *code page the instruction pointer
+is in* touch this address?". The subject of every check is the domain tag
+of the current instruction's page.
+
+:class:`CodomsContext` models the per-thread architectural state (current
+domain, 8 capability registers, DCS, privilege), and
+:class:`AccessEngine` evaluates loads, stores, calls and privileged
+instructions against the page table + APLs + capabilities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.codoms.apl import APLRegistry, Permission
+from repro.codoms.capability import (CAP_REGISTERS, Capability, mint_from_apl)
+from repro.codoms.dcs import DomainCapabilityStack
+from repro.errors import (AccessFault, CapabilityFault, EntryAlignmentFault,
+                          PrivilegeFault)
+from repro.mem.addrspace import AddressSpace
+
+#: system-configurable alignment of public entry points (§4.1)
+DEFAULT_ENTRY_ALIGN = 64
+
+
+class CodomsContext:
+    """Per-thread CODOMs state: where the thread executes and what it holds."""
+
+    def __init__(self, *, tag: Optional[int] = None):
+        #: domain tag of the page the instruction pointer is in
+        self.current_tag: Optional[int] = tag
+        #: whether the current code page has the privileged capability bit
+        self.privileged: bool = False
+        #: the 8 capability registers (§4.2)
+        self.cap_regs: List[Optional[Capability]] = [None] * CAP_REGISTERS
+        #: the per-thread domain capability stack
+        self.dcs = DomainCapabilityStack()
+
+    def install_cap(self, index: int, cap: Optional[Capability]) -> None:
+        if not 0 <= index < CAP_REGISTERS:
+            raise CapabilityFault(f"no capability register {index}")
+        self.cap_regs[index] = cap
+
+    def live_caps(self) -> List[Capability]:
+        return [cap for cap in self.cap_regs if cap is not None]
+
+
+class AccessEngine:
+    """Evaluates CODOMs checks for one shared address space."""
+
+    def __init__(self, space: AddressSpace, apls: APLRegistry, *,
+                 entry_align: int = DEFAULT_ENTRY_ALIGN):
+        self.space = space
+        self.apls = apls
+        self.entry_align = entry_align
+        #: counters for the evaluation's sensitivity analysis (§7.5)
+        self.checks = 0
+        self.cap_hits = 0
+        self.cross_domain_accesses = 0
+
+    # -- data access ------------------------------------------------------------
+
+    def check_data(self, ctx: CodomsContext, addr: int, size: int, *,
+                   write: bool, thread=None) -> None:
+        """Authorize a load (``write=False``) or store of ``size`` bytes."""
+        self.checks += 1
+        pte = self.space.pte_for(addr)
+        if size > 1:
+            self.space.check_mapped(addr, size)
+        # per-page protection bits are always honoured (§4.1)
+        if write and not pte.write and not pte.cow:
+            raise AccessFault(f"page at {addr:#x} is read-only",
+                              address=addr, domain=ctx.current_tag,
+                              kind="write")
+        if not write and not pte.read:
+            raise AccessFault(f"page at {addr:#x} is not readable",
+                              address=addr, domain=ctx.current_tag,
+                              kind="read")
+        target_tag = pte.tag
+        if target_tag == ctx.current_tag:
+            return  # implicit access to the domain's own pages
+        self.cross_domain_accesses += 1
+        perm = self.apls.permission(ctx.current_tag, target_tag)
+        if write and perm.allows_write():
+            return
+        if not write and perm.allows_read():
+            return
+        # fall back to the 8 capability registers (checked in parallel
+        # with the TLB on real hardware, §4.2)
+        for cap in ctx.live_caps():
+            if cap.grants(addr, size, write=write, thread=thread):
+                self.cap_hits += 1
+                return
+        kind = "write" if write else "read"
+        raise AccessFault(
+            f"domain {ctx.current_tag} may not {kind} {addr:#x} "
+            f"(domain {target_tag})",
+            address=addr, domain=ctx.current_tag, kind=kind)
+
+    def read(self, ctx: CodomsContext, addr: int, size: int,
+             thread=None) -> bytes:
+        self.check_data(ctx, addr, size, write=False, thread=thread)
+        return self.space.read(addr, size)
+
+    def write(self, ctx: CodomsContext, addr: int, data: bytes,
+              thread=None) -> None:
+        self.check_data(ctx, addr, len(data), write=True, thread=thread)
+        self.space.write(addr, data)
+
+    # -- control transfer -----------------------------------------------------------
+
+    def check_call(self, ctx: CodomsContext, target: int,
+                   thread=None) -> Optional[int]:
+        """Authorize a call/jump to ``target``; returns the new current tag.
+
+        Crossing into another domain via CALL permission requires the
+        target to be an aligned entry point (§4.1); READ or better allows
+        arbitrary jumps. On success the context's current tag (and
+        privilege, from the target page's privileged-capability bit) are
+        switched — the "implicit change of the effective key set and
+        privilege level" that makes CODOMs switches free.
+        """
+        self.checks += 1
+        pte = self.space.pte_for(target)
+        if not pte.execute:
+            raise AccessFault(f"page at {target:#x} is not executable",
+                              address=target, domain=ctx.current_tag,
+                              kind="execute")
+        target_tag = pte.tag
+        if target_tag != ctx.current_tag:
+            perm = self.apls.permission(ctx.current_tag, target_tag)
+            if perm.allows_arbitrary_jump():
+                pass
+            elif perm.allows_call():
+                if target % self.entry_align:
+                    raise EntryAlignmentFault(
+                        f"call to {target:#x} misses the {self.entry_align}-"
+                        f"byte entry alignment of domain {target_tag}")
+            else:
+                granted = False
+                for cap in ctx.live_caps():
+                    if cap.grants_call(target, thread=thread):
+                        if cap.perm.allows_arbitrary_jump() or \
+                                target % self.entry_align == 0:
+                            granted = True
+                            self.cap_hits += 1
+                            break
+                if not granted:
+                    raise AccessFault(
+                        f"domain {ctx.current_tag} may not call into "
+                        f"{target:#x} (domain {target_tag})",
+                        address=target, domain=ctx.current_tag, kind="call")
+        ctx.current_tag = target_tag
+        ctx.privileged = pte.privileged
+        return target_tag
+
+    # -- privileged instructions --------------------------------------------------------
+
+    def check_privileged(self, ctx: CodomsContext, what: str = "") -> None:
+        """The privileged-capability bit replaces privilege-mode switches."""
+        if not ctx.privileged:
+            raise PrivilegeFault(
+                f"privileged instruction {what or ''} from non-privileged "
+                f"domain {ctx.current_tag}")
+
+    # -- capability instructions ------------------------------------------------------------
+
+    def mint(self, ctx: CodomsContext, base: int, size: int,
+             perm: Permission, *, synchronous: bool = True,
+             thread=None) -> Capability:
+        """Capability-creation instruction: authority comes from the APL.
+
+        The effective authority over the range is the *minimum* APL
+        permission across the pages it spans (self pages count as WRITE).
+        """
+        effective = Permission.OWNER  # will only ever go down
+        addr = base
+        end = base + size
+        while addr < end:
+            pte = self.space.pte_for(addr)
+            page_perm = (Permission.WRITE if pte.tag == ctx.current_tag
+                         else self.apls.permission(ctx.current_tag, pte.tag))
+            if not pte.write and page_perm.allows_write():
+                page_perm = Permission.READ  # page R/O bit caps it
+            effective = min(effective, page_perm)
+            addr = (addr // 4096 + 1) * 4096
+        return mint_from_apl(effective, base, size, perm,
+                             synchronous=synchronous, owner_thread=thread)

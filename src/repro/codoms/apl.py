@@ -1,0 +1,111 @@
+"""Access Protection Lists (§4.1).
+
+Every domain tag T has an APL: the list of tags in the same address space
+that code pages tagged T can access, with one of three (ordered) access
+permissions. The dIPC layer adds a software-only OWNER level on top for
+its handles (§5.2); the hardware only ever sees NIL/CALL/READ/WRITE.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class Permission(enum.IntEnum):
+    """Ordered permission set ``{owner > write > read > call > nil}``.
+
+    * CALL — call into *aligned public entry points* of the target domain.
+    * READ — read the target, plus call/jump to arbitrary addresses in it.
+    * WRITE — READ plus writes (still honouring per-page W bits).
+    * OWNER — software-only (dIPC handles): manage the domain's APL and
+      memory; translated to WRITE when installed in hardware.
+    """
+
+    NIL = 0
+    CALL = 1
+    READ = 2
+    WRITE = 3
+    OWNER = 4
+
+    def hardware(self) -> "Permission":
+        """Clamp to what the APL hardware can encode (§5.2.2)."""
+        return Permission.WRITE if self is Permission.OWNER else self
+
+    def allows_read(self) -> bool:
+        return self >= Permission.READ
+
+    def allows_write(self) -> bool:
+        return self.hardware() >= Permission.WRITE
+
+    def allows_call(self) -> bool:
+        return self >= Permission.CALL
+
+    def allows_arbitrary_jump(self) -> bool:
+        return self >= Permission.READ
+
+
+class APL:
+    """The access list of one source domain."""
+
+    __slots__ = ("tag", "_grants", "version")
+
+    def __init__(self, tag: int):
+        self.tag = tag
+        self._grants: Dict[int, Permission] = {}
+        #: bumped on every change so APL caches can detect staleness
+        self.version = 0
+
+    def grant(self, dst_tag: int, perm: Permission) -> None:
+        perm = Permission(perm).hardware()
+        if perm is Permission.NIL:
+            self._grants.pop(dst_tag, None)
+        else:
+            self._grants[dst_tag] = perm
+        self.version += 1
+
+    def revoke(self, dst_tag: int) -> None:
+        self.grant(dst_tag, Permission.NIL)
+
+    def permission_to(self, dst_tag: int) -> Permission:
+        if dst_tag == self.tag:
+            # a domain has implicit write access to its own pages (§4.2)
+            return Permission.WRITE
+        return self._grants.get(dst_tag, Permission.NIL)
+
+    def entries(self) -> Iterator[Tuple[int, Permission]]:
+        return iter(sorted(self._grants.items()))
+
+    def __len__(self) -> int:
+        return len(self._grants)
+
+    def __repr__(self) -> str:
+        grants = ", ".join(f"{dst}:{perm.name}" for dst, perm in self.entries())
+        return f"<APL tag={self.tag} [{grants}]>"
+
+
+class APLRegistry:
+    """All APLs of one shared address space, keyed by source tag."""
+
+    def __init__(self):
+        self._apls: Dict[int, APL] = {}
+
+    def apl_of(self, tag: int) -> APL:
+        apl = self._apls.get(tag)
+        if apl is None:
+            apl = APL(tag)
+            self._apls[tag] = apl
+        return apl
+
+    def permission(self, src_tag: Optional[int],
+                   dst_tag: Optional[int]) -> Permission:
+        """Effective APL permission from src to dst (NIL across untagged)."""
+        if src_tag is None or dst_tag is None:
+            return Permission.WRITE if src_tag == dst_tag else Permission.NIL
+        return self.apl_of(src_tag).permission_to(dst_tag)
+
+    def drop_tag(self, tag: int) -> None:
+        """Remove a destroyed domain from every APL."""
+        self._apls.pop(tag, None)
+        for apl in self._apls.values():
+            apl.revoke(tag)

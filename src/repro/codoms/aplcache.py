@@ -1,0 +1,99 @@
+"""The per-hardware-thread APL cache (§4.1, §4.3).
+
+A small (32-entry) software-managed associative memory holding the access
+grants of recently executed domains. Two properties matter to dIPC:
+
+* hits are 1-2 cycles and run in parallel with the pipeline, so domain
+  switches are effectively free;
+* each cached domain is assigned a 5-bit **hardware domain tag**, and the
+  dIPC extension (§4.3) adds a privileged instruction to retrieve it —
+  that index is what makes the proxy's process-tracking fast path an
+  array lookup (§6.1.2).
+
+Misses raise an exception for the OS to refill the cache; the paper's
+benchmarks never miss (≤ 7 domains live at once), and tests assert ours
+don't either unless a benchmark forces it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+APL_CACHE_ENTRIES = 32
+
+
+class APLCacheMiss(Exception):
+    """Raised to simulate the exception CODOMs delivers on a cache miss."""
+
+    def __init__(self, tag: int):
+        super().__init__(f"APL cache miss for domain tag {tag}")
+        self.tag = tag
+
+
+class APLCache:
+    """32-entry, LRU, software-managed cache of domain grants."""
+
+    def __init__(self, entries: int = APL_CACHE_ENTRIES):
+        self.capacity = entries
+        #: tag -> hardware tag index; OrderedDict gives LRU order
+        self._slots: OrderedDict[int, int] = OrderedDict()
+        self._free = list(range(entries - 1, -1, -1))
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, tag: int) -> int:
+        """Return the hardware tag for ``tag``; raises APLCacheMiss."""
+        hw = self._slots.get(tag)
+        if hw is None:
+            self.misses += 1
+            raise APLCacheMiss(tag)
+        self.hits += 1
+        self._slots.move_to_end(tag)
+        return hw
+
+    def contains(self, tag: int) -> bool:
+        return tag in self._slots
+
+    def fill(self, tag: int) -> int:
+        """Software refill after a miss (or eager preload); returns hw tag."""
+        if tag in self._slots:
+            self._slots.move_to_end(tag)
+            return self._slots[tag]
+        if not self._free:
+            _evicted_tag, hw = self._slots.popitem(last=False)
+            self._free.append(hw)
+        hw = self._free.pop()
+        self._slots[tag] = hw
+        return hw
+
+    def hw_tag_of(self, tag: int) -> Optional[int]:
+        """§4.3 privileged instruction: hardware tag of a cached domain.
+
+        Returns None when the domain is not currently cached (software
+        must then fall back to its warm path).
+        """
+        return self._slots.get(tag)
+
+    def invalidate(self, tag: int) -> None:
+        hw = self._slots.pop(tag, None)
+        if hw is not None:
+            self._free.append(hw)
+
+    def swap_out(self) -> OrderedDict:
+        """Context-switch support: the scheduler can swap cache contents
+        (§4.1 'being software managed allows the scheduler to swap an
+        APL's contents during a context switch')."""
+        contents = self._slots
+        self._slots = OrderedDict()
+        self._free = list(range(self.capacity - 1, -1, -1))
+        return contents
+
+    def swap_in(self, contents: OrderedDict) -> None:
+        self._slots = OrderedDict(contents)
+        used = set(self._slots.values())
+        self._free = [hw for hw in range(self.capacity - 1, -1, -1)
+                      if hw not in used]
+
+    def occupancy(self) -> int:
+        return len(self._slots)

@@ -1,0 +1,163 @@
+"""Transient data-sharing capabilities (§4.2).
+
+CODOMs capabilities grant access to an arbitrary address range. They are
+created and destroyed by user code through special instructions; the
+hardware guarantees they cannot be forged or tampered with — here that is
+modelled by keeping them as opaque Python objects that only this module
+constructs, and by having byte writes over capability-storage slots
+destroy the stored capability (see ``repro.mem.addrspace``).
+
+Key CODOMs-specific properties reproduced here:
+
+* a new capability is always **derived** from the current domain's APL
+  authority or from an existing capability, never conjured (monotonic
+  attenuation — property-tested in tests/codoms);
+* **synchronous** capabilities are bound to their creating thread and
+  support immediate revocation through revocation counters; only
+  **asynchronous** capabilities may be passed across threads (§4.1.5 of
+  the CODOMs paper, as summarized in §4.2);
+* capabilities occupy 32 B in memory and live in 8 per-thread capability
+  registers, separate from regular pointers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.codoms.apl import Permission
+from repro.errors import CapabilityFault
+
+#: number of per-thread capability registers
+CAP_REGISTERS = 8
+
+#: in-memory footprint of one capability
+CAP_SIZE_BYTES = 32
+
+_serial = itertools.count(1)
+
+
+class RevocationCounter:
+    """Shared counter enabling immediate revocation of derived capabilities."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def bump(self) -> None:
+        self.value += 1
+
+
+class Capability:
+    """An unforgeable grant of ``perm`` over ``[base, base+size)``."""
+
+    __slots__ = ("base", "size", "perm", "synchronous", "owner_thread",
+                 "_counter", "_epoch", "serial")
+
+    def __init__(self, base: int, size: int, perm: Permission, *,
+                 synchronous: bool, owner_thread, counter: RevocationCounter,
+                 epoch: int):
+        if size <= 0:
+            raise CapabilityFault("capability over empty range")
+        if Permission(perm) is Permission.NIL:
+            raise CapabilityFault("capability with NIL permission")
+        self.base = base
+        self.size = size
+        self.perm = Permission(perm).hardware()
+        self.synchronous = synchronous
+        self.owner_thread = owner_thread
+        self._counter = counter
+        self._epoch = epoch
+        self.serial = next(_serial)
+
+    # -- validity ---------------------------------------------------------------
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def is_valid(self) -> bool:
+        return self._epoch == self._counter.value
+
+    def revoke(self) -> None:
+        """Immediately invalidate this capability and everything derived
+        from it (they share the revocation counter)."""
+        self._counter.bump()
+
+    def covers(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+    def grants(self, addr: int, size: int, *, write: bool,
+               thread=None) -> bool:
+        """Does this capability authorize the access? Checked against all
+        8 registers on every access, in parallel with the TLB (§4.2)."""
+        if not self.is_valid():
+            return False
+        if self.synchronous and thread is not None \
+                and thread is not self.owner_thread:
+            return False
+        if not self.covers(addr, size):
+            return False
+        if write and not self.perm.allows_write():
+            return False
+        if not write and not self.perm.allows_read():
+            # CALL-only capabilities do not permit data loads
+            return False
+        return True
+
+    def grants_call(self, addr: int, *, thread=None) -> bool:
+        if not self.is_valid():
+            return False
+        if self.synchronous and thread is not None \
+                and thread is not self.owner_thread:
+            return False
+        return self.covers(addr, 1) and self.perm.allows_call()
+
+    # -- derivation ------------------------------------------------------------------
+
+    def derive(self, base: int = None, size: int = None,
+               perm: Permission = None, *, owner_thread=None) -> "Capability":
+        """Create an attenuated capability: range and permission can only
+        shrink. The derived capability shares this one's revocation
+        counter, so revoking the parent kills the child too."""
+        if not self.is_valid():
+            raise CapabilityFault("cannot derive from a revoked capability")
+        new_base = self.base if base is None else base
+        new_size = self.size if size is None else size
+        new_perm = self.perm if perm is None else Permission(perm).hardware()
+        if new_base < self.base or new_base + new_size > self.end:
+            raise CapabilityFault("derived capability exceeds parent range")
+        if new_perm > self.perm:
+            raise CapabilityFault("derived capability amplifies permission")
+        return Capability(
+            new_base, new_size, new_perm,
+            synchronous=self.synchronous,
+            owner_thread=owner_thread if owner_thread is not None
+            else self.owner_thread,
+            counter=self._counter, epoch=self._counter.value)
+
+    def __repr__(self) -> str:
+        kind = "sync" if self.synchronous else "async"
+        state = "" if self.is_valid() else " REVOKED"
+        return (f"<Cap#{self.serial} {self.perm.name} "
+                f"[{self.base:#x},{self.end:#x}) {kind}{state}>")
+
+
+def mint_from_apl(apl_perm: Permission, base: int, size: int,
+                  perm: Permission, *, synchronous: bool,
+                  owner_thread) -> Capability:
+    """Create a root capability from APL authority.
+
+    The requested permission must not exceed what the current domain's APL
+    (or implicit self access) grants over the range — a program cannot use
+    the capability instructions to amplify its rights.
+    """
+    perm = Permission(perm).hardware()
+    if perm > Permission(apl_perm).hardware():
+        raise CapabilityFault(
+            f"cannot mint {perm.name} capability from {apl_perm.name} "
+            "APL authority")
+    return Capability(base, size, perm, synchronous=synchronous,
+                      owner_thread=owner_thread,
+                      counter=RevocationCounter(), epoch=0)

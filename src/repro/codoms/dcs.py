@@ -1,0 +1,101 @@
+"""The per-thread Domain Capability Stack (§4.2, §5.2.3).
+
+All capabilities can be spilled to a per-thread DCS bounded by two
+registers. Unprivileged code can only move the top through push/pop;
+the *base* register is privileged — dIPC proxies adjust it to implement
+DCS integrity (callee cannot touch the caller's spilled capabilities),
+and swap whole stacks for DCS confidentiality.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.codoms.capability import Capability
+from repro.errors import CapabilityFault
+
+
+class DomainCapabilityStack:
+    """A bounded stack of capabilities with a privileged base register."""
+
+    def __init__(self, limit: int = 4096):
+        self.limit = limit
+        self._entries: List[Capability] = []
+        #: privileged base register: entries below it are invisible to
+        #: unprivileged code
+        self.base = 0
+
+    # -- unprivileged interface (capability push/pop instructions) -------------
+
+    def push(self, cap: Capability) -> None:
+        if len(self._entries) >= self.limit:
+            raise CapabilityFault("DCS overflow")
+        if not isinstance(cap, Capability):
+            raise CapabilityFault("only capabilities can be pushed to DCS")
+        self._entries.append(cap)
+
+    def pop(self) -> Capability:
+        if len(self._entries) <= self.base:
+            raise CapabilityFault("DCS pop below base register")
+        return self._entries.pop()
+
+    def peek(self, depth: int = 0) -> Capability:
+        index = len(self._entries) - 1 - depth
+        if index < self.base:
+            raise CapabilityFault("DCS peek below base register")
+        return self._entries[index]
+
+    @property
+    def depth(self) -> int:
+        """Entries visible above the base register."""
+        return len(self._entries) - self.base
+
+    @property
+    def raw_depth(self) -> int:
+        return len(self._entries)
+
+    # -- privileged interface (proxies only) --------------------------------------
+
+    def set_base(self, new_base: int) -> int:
+        """DCS integrity (§5.2.3): hide entries below ``new_base``.
+
+        Returns the previous base so the proxy can restore it on return.
+        """
+        if new_base < 0 or new_base > len(self._entries):
+            raise CapabilityFault(f"DCS base {new_base} out of range")
+        old = self.base
+        self.base = new_base
+        return old
+
+    def visible(self) -> List[Capability]:
+        """Capabilities above the base (what the callee may pop)."""
+        return list(self._entries[self.base:])
+
+    def top_index(self) -> int:
+        return len(self._entries)
+
+
+class DCSPool:
+    """Per-domain capability stacks for DCS confidentiality (§5.2.3).
+
+    When DCS confidentiality+integrity is requested, the proxy gives the
+    callee a *separate* capability stack, copying only the argument
+    entries indicated by the signature.
+    """
+
+    def __init__(self, limit: int = 4096):
+        self.limit = limit
+        self._free: List[DomainCapabilityStack] = []
+        self.allocated = 0
+
+    def acquire(self) -> DomainCapabilityStack:
+        if self._free:
+            return self._free.pop()
+        self.allocated += 1
+        return DomainCapabilityStack(self.limit)
+
+    def release(self, dcs: DomainCapabilityStack) -> None:
+        # wipe before reuse: confidentiality must hold across borrowers
+        dcs._entries.clear()
+        dcs.base = 0
+        self._free.append(dcs)

@@ -1,0 +1,47 @@
+"""Domain tag allocation.
+
+Tags are small integers naming protection domains within one shared page
+table. The allocator recycles tags of destroyed domains — the APL cache
+holds at most 32 *concurrently hot* domains, but the tag space itself is
+larger (the page-table field width); we default to 4096.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.errors import ResourceError
+
+
+class TagAllocator:
+    """Allocates and recycles CODOMs domain tags."""
+
+    def __init__(self, max_tags: int = 4096):
+        self.max_tags = max_tags
+        self._next = 1  # tag 0 is reserved as "kernel/untagged"
+        self._free: list[int] = []
+        self._live: Set[int] = set()
+
+    def alloc(self) -> int:
+        if self._free:
+            tag = self._free.pop()
+        elif self._next < self.max_tags:
+            tag = self._next
+            self._next += 1
+        else:
+            raise ResourceError("out of CODOMs domain tags")
+        self._live.add(tag)
+        return tag
+
+    def free(self, tag: int) -> None:
+        if tag not in self._live:
+            raise ResourceError(f"tag {tag} is not live")
+        self._live.discard(tag)
+        self._free.append(tag)
+
+    def is_live(self, tag: int) -> bool:
+        return tag in self._live
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)

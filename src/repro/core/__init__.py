@@ -1,0 +1,37 @@
+"""dIPC — the paper's core contribution: Table 2's API, proxies,
+isolation policies, the KCS, the compiler pass, loader and runtime."""
+
+from repro.core.annotations import (AnnotatedModule, BinaryImage,
+                                    STUB_COOPT_FACTOR, compile_module)
+from repro.core.api import ENTRY_ALIGN, DipcManager
+from repro.core.asynccall import Future, call_async
+from repro.core.kcs import KCSEntry, KernelControlStack
+from repro.core.loader import BoundImport, LoadedImage, Loader
+from repro.core.objects import (DomainHandle, EntryDescriptor, EntryHandle,
+                                GrantHandle, Signature)
+from repro.core.policies import IsolationPolicy, effective_policies
+from repro.core.proxy import CalleeTerminated, Proxy
+from repro.core.resolution import EntryResolver
+from repro.core.runtime import DipcRuntime
+from repro.core.stacks import DataStack, StackManager
+from repro.core.templates import (ProxyTemplate, TemplateLibrary,
+                                  template_universe_size)
+from repro.core.timeouts import call_with_timeout
+from repro.core.track import ProcessTracker, TrackState
+
+__all__ = [
+    "AnnotatedModule", "BinaryImage", "STUB_COOPT_FACTOR", "compile_module",
+    "ENTRY_ALIGN", "DipcManager",
+    "Future", "call_async",
+    "KCSEntry", "KernelControlStack",
+    "BoundImport", "LoadedImage", "Loader",
+    "DomainHandle", "EntryDescriptor", "EntryHandle", "GrantHandle",
+    "Signature",
+    "IsolationPolicy", "effective_policies",
+    "CalleeTerminated", "Proxy",
+    "EntryResolver", "DipcRuntime",
+    "DataStack", "StackManager",
+    "ProxyTemplate", "TemplateLibrary", "template_universe_size",
+    "call_with_timeout",
+    "ProcessTracker", "TrackState",
+]

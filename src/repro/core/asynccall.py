@@ -1,0 +1,84 @@
+"""Asynchronous dIPC calls (§5.4).
+
+dIPC's fast path is synchronous by design; one-sided communication and
+asynchronous calls are layered on top "by creating additional threads"
+(or by falling back to conventional IPC — which ``repro.ipc`` provides).
+:func:`call_async` dispatches a proxy call onto a helper thread and
+returns a :class:`Future` the caller can await with ``yield from
+future.wait(t)``; argument immutability, when needed, is the caller's
+business (copy before dispatch), exactly as §3.4 prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import DipcError
+
+
+class Future:
+    """Completion handle for an asynchronous dIPC call."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.done = False
+        self.value = None
+        self.error: Optional[BaseException] = None
+        self._waiters: List = []
+
+    # -- producer side --------------------------------------------------------
+
+    def _complete(self, value=None, error: Optional[BaseException] = None,
+                  from_thread=None) -> None:
+        if self.done:
+            raise DipcError("future completed twice")
+        self.value = value
+        self.error = error
+        self.done = True
+        for waiter in self._waiters:
+            self.kernel.wake(waiter, from_thread=from_thread)
+        self._waiters.clear()
+
+    # -- consumer side -----------------------------------------------------------
+
+    def wait(self, thread):
+        """Sub-generator: block until completion; returns the result or
+        re-raises the callee's fault."""
+        while not self.done:
+            self._waiters.append(thread)
+            yield thread.block("dipc-future")
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+    def poll(self) -> bool:
+        return self.done
+
+
+def call_async(thread, proxy, *args, pin: Optional[int] = None) -> Future:
+    """Dispatch ``proxy.call(*args)`` on a helper thread of the caller's
+    process and return a :class:`Future` immediately.
+
+    The helper inherits the caller's execution context (its domain and
+    current process), mirroring how a programmer would spawn a worker to
+    get asynchrony on top of dIPC (§5.4). ``pin`` optionally places the
+    helper on a specific CPU (e.g. a different one, for real overlap).
+    """
+    kernel = thread.kernel
+    future = Future(kernel)
+    home_tag = thread.codoms.current_tag
+    home_process = thread.current_process
+
+    def helper(ht):
+        ht.codoms.current_tag = home_tag
+        ht.current_process = home_process
+        try:
+            result = yield from proxy.call(ht, *args)
+        except Exception as exc:  # noqa: BLE001 — forwarded to the waiter
+            future._complete(error=exc, from_thread=ht)
+        else:
+            future._complete(value=result, from_thread=ht)
+
+    kernel.spawn(thread.process, helper,
+                 name=f"{thread.name}:async", pin=pin)
+    return future

@@ -1,0 +1,84 @@
+"""The Kernel Control Stack (§5.2.1, §5.2.3 P3).
+
+Each primary thread carries a KCS tracking its call chain across
+domains. The proxy pushes an entry on the way in — the caller's process,
+return address, stack pointers, and the proxy itself — and pops it on
+the way out. Because the KCS lives in kernel memory, a malicious callee
+cannot corrupt the caller's resume state; and when a thread crashes or a
+process dies, the kernel unwinds the KCS to the oldest calling domain
+still alive and resumes execution at the proxy recorded there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class KCSEntry:
+    """One cross-domain call frame."""
+
+    proxy: object                       # the Proxy that pushed this entry
+    caller_process: object              # Process the call came from
+    caller_tag: Optional[int]           # CODOMs tag to restore
+    caller_privileged: bool
+    return_address: int                 # where the caller resumes (P3)
+    saved_stack_pointer: int
+    saved_dcs_base: Optional[int] = None
+    saved_stack: Optional[object] = None    # caller's DataStack
+    saved_dcs: Optional[object] = None      # caller's DCS (confidentiality)
+    callee_process: Optional[object] = None
+    donated_slice: float = 0.0
+
+
+class KernelControlStack:
+    """Per-thread stack of cross-domain call frames."""
+
+    def __init__(self, limit: int = 512):
+        self.limit = limit
+        self._frames: List[KCSEntry] = []
+        self.max_depth_seen = 0
+
+    def push(self, entry: KCSEntry) -> None:
+        if len(self._frames) >= self.limit:
+            raise OverflowError("KCS overflow: cross-domain call too deep")
+        self._frames.append(entry)
+        self.max_depth_seen = max(self.max_depth_seen, len(self._frames))
+
+    def pop(self) -> KCSEntry:
+        if not self._frames:
+            raise IndexError("KCS underflow: return without call")
+        return self._frames.pop()
+
+    def peek(self) -> Optional[KCSEntry]:
+        return self._frames[-1] if self._frames else None
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def frames(self) -> List[KCSEntry]:
+        return list(self._frames)
+
+    def oldest_live_frame_index(self) -> Optional[int]:
+        """Index of the deepest-from-top frame whose caller is alive —
+        i.e. where a crash unwind should deliver its error (§5.2.1).
+
+        Walks from the top of the stack towards the base and returns the
+        first frame whose caller process is still alive; returns None
+        when no caller survives (the whole chain dies).
+        """
+        for index in range(len(self._frames) - 1, -1, -1):
+            if self._frames[index].caller_process.alive:
+                return index
+        return None
+
+    def processes_in_chain(self) -> List[object]:
+        """Every process with a frame on this KCS (callers and callees)."""
+        seen: List[object] = []
+        for frame in self._frames:
+            for process in (frame.caller_process, frame.callee_process):
+                if process is not None and process not in seen:
+                    seen.append(process)
+        return seen

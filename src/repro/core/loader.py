@@ -1,0 +1,134 @@
+"""The application loader (§5.3.2).
+
+Consumes the extra sections the compiler pass emitted and configures the
+process through dIPC's primitives: creates the module's domains, loads
+entry points into them, applies intra-process ``perm`` grants, and
+publishes exported entries for dynamic resolution. Imported entries
+behave like dynamic symbols: resolution (and proxy creation) happens on
+first use (§3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.codoms.apl import Permission
+from repro.core.annotations import BinaryImage, caller_stub_charges
+from repro.core.objects import DomainHandle, EntryDescriptor, EntryHandle
+from repro.errors import LoaderError
+
+#: the module's first domain aliases the process's default domain
+DEFAULT_DOMAIN = "default"
+
+
+class BoundImport:
+    """A lazily-resolved imported entry point (steps A-B of Figure 3)."""
+
+    def __init__(self, runtime, process, spec, optimized_stubs: bool):
+        self.runtime = runtime
+        self.process = process
+        self.spec = spec
+        self.optimized_stubs = optimized_stubs
+        self.address: Optional[int] = None
+        self._proxy = None
+        self.resolutions = 0
+
+    def call(self, thread, *args):
+        """Sub-generator: call the remote entry, resolving it first if
+        this is the first use."""
+        if self.address is None:
+            yield from self._resolve(thread)
+        policy = self._proxy.stub_policy
+        yield from caller_stub_charges(thread, policy,
+                                       optimized=self.optimized_stubs,
+                                       before=True)
+        result = yield from self.runtime.manager.call(thread, self.address,
+                                                      *args)
+        yield from caller_stub_charges(thread, policy,
+                                       optimized=self.optimized_stubs,
+                                       before=False)
+        return result
+
+    def _resolve(self, thread):
+        manager = self.runtime.manager
+        handle = yield from self.runtime.resolver.resolve(thread,
+                                                          self.spec.path)
+        request = [EntryDescriptor(signature=self.spec.signature,
+                                   policy=self.spec.iso_caller,
+                                   name=self.spec.name)]
+        proxy_handle, proxies = manager.entry_request(
+            self.process, handle, request,
+            stubs_generated=self.optimized_stubs)
+        default = manager.dom_default(self.process)
+        manager.grant_create(default, proxy_handle)
+        self.address = request[0].address
+        self._proxy = proxies[0]
+        self.resolutions += 1
+
+
+@dataclass
+class LoadedImage:
+    """A module loaded into a process."""
+
+    process: object
+    image: BinaryImage
+    domains: Dict[str, DomainHandle] = field(default_factory=dict)
+    exports: Dict[str, EntryHandle] = field(default_factory=dict)
+    imports: Dict[str, BoundImport] = field(default_factory=dict)
+
+    def call_import(self, thread, name: str, *args):
+        """Sub-generator: invoke an imported entry by name."""
+        bound = self.imports.get(name)
+        if bound is None:
+            raise LoaderError(f"no import named '{name}'")
+        return (yield from bound.call(thread, *args))
+
+
+class Loader:
+    """Loads compiled binaries into dIPC-enabled processes."""
+
+    def __init__(self, runtime):
+        self.runtime = runtime
+        self.manager = runtime.manager
+
+    def load(self, process, image: BinaryImage) -> LoadedImage:
+        module = image.module
+        loaded = LoadedImage(process=process, image=image)
+
+        # 1. create the module's domains
+        for name in module.domains:
+            if name == DEFAULT_DOMAIN:
+                loaded.domains[name] = self.manager.dom_default(process)
+            else:
+                loaded.domains[name] = self.manager.dom_create(process)
+
+        # 2. register entry points, one exported handle per entry
+        for spec in module.entries.values():
+            domain = loaded.domains[spec.domain]
+            descriptor = EntryDescriptor(signature=spec.signature,
+                                         policy=spec.iso_callee,
+                                         func=spec.func, name=spec.name)
+            handle = self.manager.entry_register(process, domain,
+                                                 [descriptor])
+            loaded.exports[spec.name] = handle
+            if image.export_path:
+                self.runtime.resolver.publish(
+                    process, f"{image.export_path}/{spec.name}", handle)
+
+        # 3. intra-process perm annotations become direct grants
+        for perm in module.perms:
+            src = loaded.domains.get(perm.src)
+            dst = loaded.domains.get(perm.dst)
+            if src is None or dst is None:
+                raise LoaderError(
+                    f"perm references unknown domain {perm.src}->{perm.dst}")
+            self.manager.grant_create(
+                src, self.manager.dom_copy(dst, perm.perm))
+
+        # 4. bind imports for lazy resolution
+        for spec in module.imports.values():
+            loaded.imports[spec.name] = BoundImport(
+                self.runtime, process, spec, image.optimized_stubs)
+
+        return loaded

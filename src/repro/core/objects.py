@@ -1,0 +1,119 @@
+"""The three dIPC OS objects of Table 2: domains, grants, entry points.
+
+Handles are process-private capabilities to operate on these objects;
+processes delegate them to each other by passing them as file
+descriptors (§5.2.2). ``dom_copy`` can only downgrade a handle's
+permission, which is what makes delegation safe (P1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.codoms.apl import Permission
+from repro.core.policies import IsolationPolicy
+
+_handle_serial = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An entry point's ABI contract (P4): callers and callees must agree.
+
+    The paper's Table 2 stores "number of input/output registers and
+    stack size" — enough for the proxy generator to specialize copy loops
+    and for stubs to know what to save/zero.
+    """
+
+    in_regs: int = 0
+    out_regs: int = 0
+    stack_bytes: int = 0
+
+    def __post_init__(self):
+        if not (0 <= self.in_regs <= 6):
+            raise ValueError("in_regs must be in [0, 6] (x86-64 ABI)")
+        if not (0 <= self.out_regs <= 2):
+            raise ValueError("out_regs must be in [0, 2] (x86-64 ABI)")
+        if self.stack_bytes < 0:
+            raise ValueError("stack_bytes must be non-negative")
+
+
+class DomainHandle:
+    """A handle naming a CODOMs domain with a permission attached.
+
+    ``perm`` is from the ordered set {owner > write > read > call > nil};
+    OWNER additionally allows managing the domain's APL and memory and is
+    software-only (§5.2.2).
+    """
+
+    __slots__ = ("tag", "perm", "serial")
+
+    def __init__(self, tag: int, perm: Permission):
+        self.tag = tag
+        self.perm = Permission(perm)
+        self.serial = next(_handle_serial)
+
+    @property
+    def is_owner(self) -> bool:
+        return self.perm is Permission.OWNER
+
+    def __repr__(self) -> str:
+        return f"<dom tag={self.tag} {self.perm.name.lower()}>"
+
+
+class GrantHandle:
+    """A revocable APL edge: src domain may access dst domain."""
+
+    __slots__ = ("src_tag", "dst_tag", "perm", "revoked")
+
+    def __init__(self, src_tag: int, dst_tag: int, perm: Permission):
+        self.src_tag = src_tag
+        self.dst_tag = dst_tag
+        self.perm = Permission(perm)
+        self.revoked = False
+
+    def __repr__(self) -> str:
+        state = " (revoked)" if self.revoked else ""
+        return (f"<grant {self.src_tag}->{self.dst_tag} "
+                f"{self.perm.name.lower()}{state}>")
+
+
+@dataclass
+class EntryDescriptor:
+    """One exported (or requested) entry point.
+
+    On ``entry_register`` the ``func`` is the implementation (a
+    sub-generator ``func(thread, *args)``) and ``address`` is assigned in
+    the exporting domain. On ``entry_request`` the descriptor carries the
+    expected signature/policy, and ``address`` is set to the generated
+    proxy's entry point on return (Table 2).
+    """
+
+    signature: Signature
+    policy: IsolationPolicy = field(default_factory=IsolationPolicy)
+    func: Optional[Callable] = None
+    address: Optional[int] = None
+    name: str = ""
+
+
+class EntryHandle:
+    """An array of public entry points of one domain (Table 2)."""
+
+    __slots__ = ("domain_tag", "entries", "owner_pid", "serial")
+
+    def __init__(self, domain_tag: int, entries: List[EntryDescriptor],
+                 owner_pid: int):
+        self.domain_tag = domain_tag
+        self.entries = entries
+        self.owner_pid = owner_pid
+        self.serial = next(_handle_serial)
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        return (f"<entry dom={self.domain_tag} count={self.count} "
+                f"owner=pid{self.owner_pid}>")

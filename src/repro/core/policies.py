@@ -1,0 +1,112 @@
+"""Isolation properties (§5.2.3): the user-defined policy vocabulary.
+
+dIPC defines integrity and confidentiality per sensitive resource
+(registers, data stack, DCS). Each property is implemented either in the
+untrusted user *stubs* (where the compiler can co-optimize it) or in the
+trusted *proxy* (when it needs privileged state, like the DCS bounds
+registers or the actual stack switch). The split is what guarantees P5:
+a process that botches its own stub only hurts itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class IsolationPolicy:
+    """A set of requested isolation properties.
+
+    Stub-implemented (untrusted, caller/callee side):
+      * ``reg_integrity`` — save/restore live registers around the call
+      * ``reg_confidentiality`` — zero non-argument/non-result registers
+      * ``stack_integrity`` — capabilities over in-stack args + unused stack
+
+    Proxy-implemented (trusted):
+      * ``stack_confidentiality`` — split data stacks between domains
+        (implies stack integrity; args/results copied by signature)
+      * ``dcs_integrity`` — raise the DCS base register across the call
+      * ``dcs_confidentiality`` — separate capability stack per domain
+    """
+
+    reg_integrity: bool = False
+    reg_confidentiality: bool = False
+    stack_integrity: bool = False
+    stack_confidentiality: bool = False
+    dcs_integrity: bool = False
+    dcs_confidentiality: bool = False
+
+    # -- canned policies --------------------------------------------------------
+
+    @classmethod
+    def low(cls) -> "IsolationPolicy":
+        """A minimal non-trivial policy (the paper's 'dIPC - Low')."""
+        return cls()
+
+    @classmethod
+    def high(cls) -> "IsolationPolicy":
+        """Full mutual isolation, equivalent to processes ('dIPC - High')."""
+        return cls(reg_integrity=True, reg_confidentiality=True,
+                   stack_integrity=True, stack_confidentiality=True,
+                   dcs_integrity=True, dcs_confidentiality=True)
+
+    # -- composition (Table 2: per-entry policy is the union) ----------------------
+
+    def union(self, other: "IsolationPolicy") -> "IsolationPolicy":
+        return IsolationPolicy(*(a or b for a, b in
+                                 zip(self.as_tuple(), other.as_tuple())))
+
+    def as_tuple(self):
+        return (self.reg_integrity, self.reg_confidentiality,
+                self.stack_integrity, self.stack_confidentiality,
+                self.dcs_integrity, self.dcs_confidentiality)
+
+    def bitmask(self) -> int:
+        """Compact key used for proxy-template selection (§6.1.1)."""
+        mask = 0
+        for i, bit in enumerate(self.as_tuple()):
+            if bit:
+                mask |= 1 << i
+        return mask
+
+    def without_stub_properties(self) -> "IsolationPolicy":
+        """What remains for the proxy when compiler-generated stubs already
+        implement the stub-side properties (§5.3.2)."""
+        return replace(self, reg_integrity=False, reg_confidentiality=False,
+                       stack_integrity=False)
+
+    @property
+    def needs_stack_switch(self) -> bool:
+        return self.stack_confidentiality
+
+    @property
+    def is_low(self) -> bool:
+        return not any(self.as_tuple())
+
+    def __str__(self) -> str:
+        names = ("reg_int", "reg_conf", "stack_int", "stack_conf",
+                 "dcs_int", "dcs_conf")
+        on = [n for n, bit in zip(names, self.as_tuple()) if bit]
+        return "+".join(on) if on else "low"
+
+
+def effective_policies(caller: IsolationPolicy,
+                       callee: IsolationPolicy) -> IsolationPolicy:
+    """Combine caller- and callee-requested properties per §5.2.3.
+
+    Confidentiality of the data stack and DCS is activated when *either*
+    side requests it; integrity properties act on the caller's resources,
+    so they are activated when the caller requests them (the DCS and data
+    stack are thread-private, so integrity is enforced both ways once on).
+    """
+    return IsolationPolicy(
+        reg_integrity=caller.reg_integrity,
+        reg_confidentiality=caller.reg_confidentiality
+        or callee.reg_confidentiality,
+        stack_integrity=caller.stack_integrity,
+        stack_confidentiality=caller.stack_confidentiality
+        or callee.stack_confidentiality,
+        dcs_integrity=caller.dcs_integrity or callee.dcs_integrity,
+        dcs_confidentiality=caller.dcs_confidentiality
+        or callee.dcs_confidentiality,
+    )

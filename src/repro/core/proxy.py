@@ -1,0 +1,280 @@
+"""Trusted proxies: the runtime-generated thunks that bridge calls across
+domains and processes (§3.1, §5.2.3, §6.1).
+
+A proxy is the only privileged code on dIPC's fast path. Its job is
+minimal by design: guarantee where and when cross-domain calls and
+returns execute (P2/P3), switch ``current`` and stacks when the policy
+asks for it, and keep enough state in the KCS to survive a callee crash
+(P5). Everything else — register save/zero, stack-argument capabilities —
+lives in untrusted user stubs where the compiler can co-optimize it.
+
+Functionally, a call here really crosses CODOMs domains: the caller's
+context must hold CALL permission to the proxy's (aligned) entry point,
+the proxy jumps into the callee's domain, and the return re-enters the
+proxy through a return capability. Timing-wise, each step charges the
+calibrated cost fragments that make Figure 5's dIPC bars.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.codoms.apl import Permission
+from repro.errors import DipcError, RemoteFault
+from repro.core.kcs import KCSEntry, KernelControlStack
+from repro.core.objects import EntryDescriptor, Signature
+from repro.core.policies import IsolationPolicy
+from repro.core.templates import ProxyTemplate
+from repro.sim.stats import Block
+
+_proxy_serial = itertools.count(1)
+
+
+class CalleeTerminated(BaseException):
+    """Injected into a thread when a process on its call chain is killed
+    (§5.2.1); converted into a RemoteFault at the nearest live caller.
+
+    Derives from BaseException so simulated user code catching Exception
+    cannot swallow a kill — only proxies handle it, mirroring the kernel
+    doing the unwind rather than the application.
+    """
+
+    def __init__(self, victim):
+        super().__init__(f"process {victim.name} was killed")
+        self.victim = victim
+
+
+class _KCSUnwind(BaseException):
+    """The in-flight kernel unwind skipping frames whose caller is dead.
+
+    BaseException on purpose: a dead process's user code must not get a
+    chance to intercept the unwind — the kernel walks the KCS, not the
+    application's handlers (§5.2.1).
+    """
+
+    def __init__(self, origin: str, unwound_frames: int):
+        super().__init__(f"KCS unwind from {origin}")
+        self.origin = origin
+        self.unwound_frames = unwound_frames
+
+
+class Proxy:
+    """One generated proxy for one entry point."""
+
+    def __init__(self, manager, *, descriptor: EntryDescriptor,
+                 template: ProxyTemplate,
+                 caller_process, callee_process,
+                 callee_tag: int, proxy_tag: int,
+                 entry_address: int, target_address: int,
+                 policy: IsolationPolicy, stub_policy: IsolationPolicy,
+                 stubs_in_proxy: bool = True):
+        self.manager = manager
+        self.kernel = manager.kernel
+        self.serial = next(_proxy_serial)
+        self.descriptor = descriptor
+        self.template = template
+        self.caller_process = caller_process
+        self.callee_process = callee_process
+        self.callee_tag = callee_tag
+        self.proxy_tag = proxy_tag
+        self.entry_address = entry_address
+        self.target_address = target_address
+        #: proxy-enforced properties (stub-side ones stripped by the
+        #: runtime when compiler-generated stubs exist, §5.3.2)
+        self.policy = policy
+        #: stub-side properties; charged here too when ``stubs_in_proxy``
+        #: (no compiler backend: "folded into the proxies", §7.4)
+        self.stub_policy = stub_policy
+        self.stubs_in_proxy = stubs_in_proxy
+        self.calls = 0
+
+    @property
+    def cross_process(self) -> bool:
+        return self.caller_process is not self.callee_process
+
+    @property
+    def signature(self) -> Signature:
+        return self.descriptor.signature
+
+    # -- the call path ------------------------------------------------------------
+
+    def call(self, thread, *args):
+        """Sub-generator: a full cross-domain call through this proxy."""
+        costs = self.kernel.costs
+        manager = self.manager
+        ctx = thread.codoms
+        self.calls += 1
+
+        # ---- caller-side stub (isolate_call / user code) ----
+        if self.stubs_in_proxy:
+            yield from self._stub_call_charges(thread)
+
+        # ---- architectural transfer into the proxy (P1, P2) ----
+        # the CALL-permission + 64-byte-alignment check is what stops a
+        # caller without a grant, or a jump into the middle of the proxy
+        caller_tag = ctx.current_tag
+        caller_priv = ctx.privileged
+        manager.access.check_call(ctx, self.entry_address, thread=thread)
+        yield thread.kwork(costs.FUNC_CALL, Block.USER)
+
+        # ---- trusted proxy entry ----
+        yield thread.kwork(costs.PROXY_MIN_CALL, Block.USER)
+        caller_stack = manager.stacks.stack_for(
+            thread, getattr(thread, "current_process", thread.process))
+        if not caller_stack.contains(caller_stack.sp):
+            raise DipcError("invalid stack pointer at proxy entry (P2)")
+
+        frame = KCSEntry(
+            proxy=self,
+            caller_process=getattr(thread, "current_process",
+                                   thread.process),
+            caller_tag=caller_tag,
+            caller_privileged=caller_priv,
+            return_address=self.entry_address + 8,  # proxy_ret landing pad
+            saved_stack_pointer=caller_stack.sp,
+            saved_stack=caller_stack,
+            callee_process=self.callee_process,
+        )
+        kcs = self.kcs_of(thread)
+        kcs.push(frame)
+
+        active_stack = caller_stack
+        try:
+            # ---- cross-process bookkeeping (§6.1.2) ----
+            if self.cross_process:
+                yield from manager.track.track_call(
+                    thread, self.callee_process, self.callee_tag)
+                yield thread.kwork(costs.TLS_SWITCH, Block.USER)
+                yield thread.kwork(costs.TRACK_DONATION, Block.USER)
+
+            # ---- proxy-side isolation properties (isolate_pcall) ----
+            if self.policy.stack_confidentiality:
+                if self.cross_process:
+                    yield thread.kwork(costs.PROXY_STACK_LOCATE, Block.USER)
+                yield thread.kwork(costs.PROXY_STACK_SWITCH * 5 / 8,
+                                   Block.USER)
+                active_stack = manager.stacks.stack_for(
+                    thread, self.callee_process)
+                if self.signature.stack_bytes:
+                    # copy in-stack arguments to the callee stack
+                    copy_ns = self.kernel.machine.cache.copy_ns(
+                        self.signature.stack_bytes,
+                        startup=costs.MEMCPY_STARTUP)
+                    yield thread.kwork(copy_ns, Block.USER)
+            if self.policy.dcs_integrity:
+                yield thread.kwork(costs.PROXY_DCS_ADJUST * 2 / 3,
+                                   Block.USER)
+                frame.saved_dcs_base = ctx.dcs.set_base(ctx.dcs.top_index())
+            if self.policy.dcs_confidentiality:
+                yield thread.kwork(costs.PROXY_DCS_SWITCH * 2.5 / 4.3,
+                                   Block.USER)
+                frame.saved_dcs = ctx.dcs
+                ctx.dcs = manager.dcs_pool.acquire()
+
+            # ---- jump into the target function's domain ----
+            ctx.current_tag = self.proxy_tag
+            ctx.privileged = True
+            manager.access.check_call(ctx, self.target_address,
+                                      thread=thread)
+            active_stack.push_frame(max(self.signature.stack_bytes, 16))
+            try:
+                result = yield from self.descriptor.func(thread, *args)
+            finally:
+                active_stack.pop_frame(max(self.signature.stack_bytes, 16))
+
+            # ---- return into the proxy via the return capability (P3) ----
+            ctx.current_tag = self.proxy_tag
+            ctx.privileged = True
+            yield from self._unwind_state(thread, frame, ctx,
+                                          charge=True)
+            yield thread.kwork(costs.PROXY_MIN_RET, Block.USER)
+            if self.stubs_in_proxy:
+                yield from self._stub_ret_charges(thread)
+            return result
+
+        except (Exception, CalleeTerminated, _KCSUnwind) as exc:
+            # ---- crash/kill path: the kernel unwinds the KCS (§5.2.1) ----
+            ctx.current_tag = self.proxy_tag
+            ctx.privileged = True
+            yield from self._unwind_state(thread, frame, ctx, charge=False)
+            yield thread.kwork(costs.SYSCALL_HW, Block.SYSCALL)
+            yield thread.kwork(costs.KCS_UNWIND_FRAME, Block.KERNEL)
+            manager.faults_unwound += 1
+            if isinstance(exc, (_KCSUnwind, RemoteFault)):
+                origin = exc.origin
+                frames = exc.unwound_frames + 1
+            else:
+                origin = (self.callee_process.name
+                          if self.cross_process else
+                          f"domain {self.callee_tag}")
+                frames = 1
+            if frame.caller_process.alive:
+                # flag the error to the (live) caller, errno-style
+                raise RemoteFault(
+                    f"callee failed in {origin}: {exc}", origin=origin,
+                    unwound_frames=frames) from exc
+            # the caller is dead too: keep the kernel unwind going, past
+            # its user code, to the next proxy outward
+            raise _KCSUnwind(origin, frames) from exc
+
+    # -- helpers --------------------------------------------------------------------
+
+    def kcs_of(self, thread) -> KernelControlStack:
+        if thread.kcs is None:
+            thread.kcs = KernelControlStack()
+        return thread.kcs
+
+    def _unwind_state(self, thread, frame: KCSEntry, ctx, *,
+                      charge: bool):
+        """Restore everything the KCS frame recorded (deisolate_pcall,
+        track_process_ret, deprepare_ret). Used by both the normal return
+        and the fault unwind; the fault path skips the fine-grained
+        charges (the kernel does the restore wholesale)."""
+        costs = self.kernel.costs
+        manager = self.manager
+        if self.policy.dcs_confidentiality and frame.saved_dcs is not None:
+            if charge:
+                yield thread.kwork(costs.PROXY_DCS_SWITCH * 1.8 / 4.3,
+                                   Block.USER)
+            manager.dcs_pool.release(ctx.dcs)
+            ctx.dcs = frame.saved_dcs
+        if self.policy.dcs_integrity and frame.saved_dcs_base is not None:
+            if charge:
+                yield thread.kwork(costs.PROXY_DCS_ADJUST * 1 / 3,
+                                   Block.USER)
+            ctx.dcs.set_base(frame.saved_dcs_base)
+        if self.policy.stack_confidentiality and charge:
+            yield thread.kwork(costs.PROXY_STACK_SWITCH * 3 / 8, Block.USER)
+        if self.cross_process:
+            if charge:
+                yield thread.kwork(costs.TLS_SWITCH, Block.USER)
+            yield from manager.track.track_ret(thread, frame.caller_process)
+        # pop the KCS entry and restore the caller's execution state
+        popped = self.kcs_of(thread).pop()
+        if popped is not frame:
+            raise DipcError("KCS imbalance: popped a foreign frame")
+        frame.saved_stack.sp = frame.saved_stack_pointer
+        ctx.current_tag = frame.caller_tag
+        ctx.privileged = frame.caller_privileged
+
+    def _stub_call_charges(self, thread):
+        costs = self.kernel.costs
+        if self.stub_policy.reg_integrity:
+            yield thread.kwork(costs.STUB_REG_SAVE, Block.USER)
+        if self.stub_policy.reg_confidentiality:
+            yield thread.kwork(costs.STUB_REG_ZERO * 5 / 8, Block.USER)
+        if self.stub_policy.stack_integrity:
+            yield thread.kwork(costs.STUB_STACK_CAPS, Block.USER)
+
+    def _stub_ret_charges(self, thread):
+        costs = self.kernel.costs
+        if self.stub_policy.reg_confidentiality:
+            yield thread.kwork(costs.STUB_REG_ZERO * 3 / 8, Block.USER)
+        if self.stub_policy.reg_integrity:
+            yield thread.kwork(costs.STUB_REG_RESTORE, Block.USER)
+
+    def __repr__(self) -> str:
+        kind = "+proc" if self.cross_process else "local"
+        return (f"<Proxy#{self.serial} {self.descriptor.name or 'entry'} "
+                f"{kind} policy={self.policy}>")

@@ -1,0 +1,83 @@
+"""Entry-point resolution over UNIX named sockets (§6.2.1).
+
+The dIPC runtime's default resolution hook: the exporting process runs a
+small service thread bound to a named socket; importers send a request
+datagram naming the entry array they want and receive the entry handle
+back. Programmers control access with socket-file permissions or swap
+in their own hook (e.g. a central service) — both are supported here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.objects import EntryHandle
+from repro.errors import DipcError
+from repro.ipc.unixsocket import SocketNamespace
+
+HANDLE_MSG_BYTES = 64  # a handle reference + array metadata on the wire
+
+
+class EntryResolver:
+    """Default resolver: one publisher thread per exported socket path."""
+
+    def __init__(self, kernel, namespace: SocketNamespace):
+        self.kernel = kernel
+        self.namespace = namespace
+        self._published: Dict[str, EntryHandle] = {}
+        #: user-supplied resolution hooks, tried before the socket path
+        self._hooks: Dict[str, Callable[[str], Optional[EntryHandle]]] = {}
+        self.resolutions = 0
+
+    # -- exporter side ------------------------------------------------------------
+
+    def publish(self, process, path: str, handle: EntryHandle) -> None:
+        """Export ``handle`` under ``path`` and start its service thread."""
+        if path in self._published:
+            raise DipcError(f"entry path already published: {path}")
+        self._published[path] = handle
+        sock = self.namespace.socket(self.kernel)
+        sock.bind(path)
+
+        def publisher(t):
+            while True:
+                request, _sender = yield from sock.recvfrom(t)
+                if request is None:
+                    return  # socket closed: publisher retires
+                reply_to = request["reply_to"]
+                yield from sock.sendto(t, reply_to, HANDLE_MSG_BYTES,
+                                       payload={"handle": handle})
+
+        self.kernel.spawn(process, publisher, name=f"resolver:{path}")
+
+    def register_hook(self, path: str,
+                      hook: Callable[[str], Optional[EntryHandle]]) -> None:
+        """Install an application-provided resolution hook for ``path``."""
+        self._hooks[path] = hook
+
+    # -- importer side ---------------------------------------------------------------
+
+    def resolve(self, thread, path: str) -> EntryHandle:
+        """Sub-generator: obtain the entry handle published at ``path``
+        (step A of Figure 3). Costs a socket round trip unless a custom
+        hook short-circuits it."""
+        hook = self._hooks.get(path)
+        if hook is not None:
+            handle = hook(path)
+            if handle is None:
+                raise DipcError(f"resolution hook failed for {path}")
+            self.resolutions += 1
+            return handle
+        sock = self.namespace.socket(self.kernel)
+        sock.bind(f"{path}#resolve-{thread.tid}-{self.resolutions}")
+        yield from sock.sendto(thread, path, HANDLE_MSG_BYTES,
+                               payload={"reply_to": sock.path})
+        reply, _sender = yield from sock.recvfrom(thread)
+        sock.close()
+        if reply is None:
+            raise DipcError(f"no publisher at {path}")
+        self.resolutions += 1
+        return reply["handle"]
+
+    def lookup_published(self, path: str) -> Optional[EntryHandle]:
+        return self._published.get(path)

@@ -1,0 +1,43 @@
+"""The dIPC user-level runtime: glue between manager, loader, resolver.
+
+One :class:`DipcRuntime` serves a whole kernel; each dIPC-enabled process
+calls :meth:`enable` with its compiled binary to get a
+:class:`~repro.core.loader.LoadedImage` whose imports resolve lazily over
+named sockets (§6.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.annotations import AnnotatedModule, BinaryImage, \
+    compile_module
+from repro.core.api import DipcManager
+from repro.core.loader import LoadedImage, Loader
+from repro.core.resolution import EntryResolver
+from repro.ipc.unixsocket import SocketNamespace
+
+
+class DipcRuntime:
+    """Runtime services for dIPC-enabled applications."""
+
+    def __init__(self, kernel, namespace: Optional[SocketNamespace] = None):
+        self.kernel = kernel
+        self.manager = kernel.dipc if kernel.dipc is not None \
+            else DipcManager(kernel)
+        self.namespace = namespace if namespace is not None \
+            else SocketNamespace()
+        self.resolver = EntryResolver(kernel, self.namespace)
+        self.loader = Loader(self)
+        self.images: Dict[int, LoadedImage] = {}
+
+    def enable(self, process, binary) -> LoadedImage:
+        """Load a compiled module (or raw AnnotatedModule) into a process."""
+        if isinstance(binary, AnnotatedModule):
+            binary = compile_module(binary)
+        image = self.loader.load(process, binary)
+        self.images[process.pid] = image
+        return image
+
+    def image_of(self, process) -> Optional[LoadedImage]:
+        return self.images.get(process.pid)

@@ -1,0 +1,125 @@
+"""Exception hierarchy for the dIPC reproduction.
+
+Every fault a simulated program can raise derives from :class:`ReproError`.
+Hardware-level protection violations (the ones CODOMs raises) derive from
+:class:`ProtectionFault`; OS- and dIPC-level errors have their own branches
+so tests can assert on the exact failure class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the simulated system."""
+
+
+# ---------------------------------------------------------------------------
+# Hardware / CODOMs faults
+# ---------------------------------------------------------------------------
+
+class ProtectionFault(ReproError):
+    """A memory or privilege check failed at the (simulated) hardware level."""
+
+
+class AccessFault(ProtectionFault):
+    """A load/store/fetch was denied by the APL and capability checks."""
+
+    def __init__(self, message, *, address=None, domain=None, kind=None):
+        super().__init__(message)
+        self.address = address
+        self.domain = domain
+        self.kind = kind
+
+
+class PrivilegeFault(ProtectionFault):
+    """A privileged instruction was executed from non-privileged code."""
+
+
+class CapabilityFault(ProtectionFault):
+    """Illegal capability operation (forge, overflow, revoked use, ...)."""
+
+
+class EntryAlignmentFault(ProtectionFault):
+    """A cross-domain call with *call* permission missed an aligned entry."""
+
+
+class PageFault(ProtectionFault):
+    """Access to an unmapped page, or a write to a read-only/COW page."""
+
+    def __init__(self, message, *, address=None, write=False):
+        super().__init__(message)
+        self.address = address
+        self.write = write
+
+
+# ---------------------------------------------------------------------------
+# OS-level errors
+# ---------------------------------------------------------------------------
+
+class KernelError(ReproError):
+    """Base class for OS kernel errors (simulated errno-style failures)."""
+
+
+class InvalidSyscall(KernelError):
+    """Unknown or malformed system call."""
+
+
+class ResourceError(KernelError):
+    """Out of a finite kernel resource (fds, pids, frames, ...)."""
+
+
+class DeadProcessError(KernelError):
+    """Operation on a process that has already exited."""
+
+
+class WouldBlock(KernelError):
+    """Non-blocking operation could not complete immediately."""
+
+
+# ---------------------------------------------------------------------------
+# dIPC-level errors
+# ---------------------------------------------------------------------------
+
+class DipcError(ReproError):
+    """Base class for errors raised by the dIPC OS extension."""
+
+
+class PermissionDenied(DipcError):
+    """Handle permission insufficient for the requested operation (P1)."""
+
+
+class SignatureMismatch(DipcError):
+    """entry_register/entry_request signatures disagree (P4)."""
+
+
+class RemoteFault(DipcError):
+    """A callee crashed (or was killed) during a cross-process call.
+
+    Delivered to the oldest live caller after the kernel unwinds the KCS
+    (§5.2.1); carries the errno-style flag the proxy observes.
+    """
+
+    def __init__(self, message, *, origin=None, unwound_frames=0):
+        super().__init__(message)
+        self.origin = origin
+        self.unwound_frames = unwound_frames
+
+
+class CallTimeout(DipcError):
+    """A cross-process call exceeded its time-out and the thread was split."""
+
+    def __init__(self, message, *, elapsed_ns=None):
+        super().__init__(message)
+        self.elapsed_ns = elapsed_ns
+
+
+class LoaderError(DipcError):
+    """Binary/annotation loading failed (bad section, unresolved entry...)."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation-engine errors
+# ---------------------------------------------------------------------------
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly."""

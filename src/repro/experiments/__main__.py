@@ -1,0 +1,124 @@
+"""Command-line entry point regenerating the paper's tables and figures.
+
+``python -m repro.experiments [names...] [--quick]``
+
+Names: table1, fig1, fig2, fig5, fig6, fig7, fig8, extras, all.
+``--quick`` shrinks iteration counts and OLTP windows (for smoke runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _run_table1(quick: bool) -> str:
+    from repro.experiments import table01_arch
+    return table01_arch.render(table01_arch.run())
+
+
+def _run_fig1(quick: bool) -> str:
+    from repro.experiments import fig01_breakdown
+    return fig01_breakdown.render(
+        fig01_breakdown.run(concurrency=64 if quick else 256,
+                            scale=0.3 if quick else 1.0))
+
+
+def _run_fig2(quick: bool) -> str:
+    from repro.experiments import fig02_ipc_breakdown
+    return fig02_ipc_breakdown.render(
+        fig02_ipc_breakdown.run(iters=15 if quick else 40))
+
+
+def _run_fig5(quick: bool) -> str:
+    from repro.experiments import fig05_sync_calls
+    return fig05_sync_calls.render(
+        fig05_sync_calls.run(iters=15 if quick else 40))
+
+
+def _run_fig6(quick: bool) -> str:
+    from repro.experiments import fig06_argsize
+    sizes = tuple(16 ** i for i in range(0, 6)) if quick else \
+        fig06_argsize.DEFAULT_SIZES
+    return fig06_argsize.render(
+        fig06_argsize.run(sizes=sizes, iters=8 if quick else 20))
+
+
+def _run_fig7(quick: bool) -> str:
+    from repro.experiments import fig07_driver
+    return fig07_driver.render(
+        fig07_driver.run(iters=10 if quick else 30))
+
+
+def _run_fig8(quick: bool) -> str:
+    from repro.experiments import fig08_oltp
+    concurrencies = (4, 16, 64) if quick else \
+        fig08_oltp.DEFAULT_CONCURRENCIES
+    scale = 0.25 if quick else 1.0
+    on_disk = fig08_oltp.run("on-disk", concurrencies, scale)
+    in_mem = fig08_oltp.run("in-memory", concurrencies, scale)
+    return (fig08_oltp.render(on_disk) + "\n\n"
+            + fig08_oltp.render(in_mem))
+
+
+def _run_extras(quick: bool) -> str:
+    from repro.experiments import extras
+    return extras.render()
+
+
+def _run_ablation(quick: bool) -> str:
+    from repro.experiments import ablation
+    return ablation.render(ablation.run(iters=10 if quick else 25))
+
+
+def _run_report(quick: bool) -> str:
+    from repro.experiments import report
+    path = report.generate(quick=quick)
+    return f"report written to {path}"
+
+
+RUNNERS = {
+    "table1": _run_table1,
+    "fig1": _run_fig1,
+    "fig2": _run_fig2,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "extras": _run_extras,
+    "ablation": _run_ablation,
+    "report": _run_report,
+}
+
+#: "all" runs every figure/table but not the aggregate report
+DEFAULT_SET = [name for name in RUNNERS if name != "report"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the dIPC paper's tables and figures.")
+    parser.add_argument("names", nargs="*", default=["all"],
+                        help=f"which experiments: {', '.join(RUNNERS)}, "
+                             "or 'all'")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller iteration counts / windows")
+    args = parser.parse_args(argv)
+    names = DEFAULT_SET if (not args.names or "all" in args.names) \
+        else args.names
+    for name in names:
+        runner = RUNNERS.get(name)
+        if runner is None:
+            print(f"unknown experiment '{name}' "
+                  f"(choose from {', '.join(RUNNERS)})", file=sys.stderr)
+            return 2
+        start = time.time()
+        print(f"\n{'=' * 78}\n{name}\n{'=' * 78}")
+        print(runner(args.quick))
+        print(f"\n[{name} took {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Figure 2: time breakdown of traditional IPC primitives.
+
+Reproduces the stacked bars: Sem. (=CPU / ≠CPU), L4 (=CPU / ≠CPU) and
+Local RPC (=CPU / ≠CPU), decomposed into the paper's seven blocks. The
+paper notes it did not examine breakdowns for L4; we report them anyway
+since the simulator gives them for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.microbench import (BenchResult, bench_l4, bench_rpc,
+                                          bench_sem)
+from repro.sim.stats import Block
+
+#: bars of Figure 2, bottom to top
+BARS = ("sem_same_cpu", "sem_cross_cpu", "l4_same_cpu", "l4_cross_cpu",
+        "rpc_same_cpu", "rpc_cross_cpu")
+
+
+@dataclass
+class Fig2Row:
+    label: str
+    total_ns: float
+    blocks: Dict[Block, float]
+
+
+def run(iters: int = 40) -> List[Fig2Row]:
+    results: Dict[str, BenchResult] = {
+        "sem_same_cpu": bench_sem(same_cpu=True, iters=iters),
+        "sem_cross_cpu": bench_sem(same_cpu=False, iters=iters),
+        "l4_same_cpu": bench_l4(same_cpu=True, iters=iters),
+        "l4_cross_cpu": bench_l4(same_cpu=False, iters=iters),
+        "rpc_same_cpu": bench_rpc(same_cpu=True, iters=iters),
+        "rpc_cross_cpu": bench_rpc(same_cpu=False, iters=iters),
+    }
+    rows = []
+    for label in BARS:
+        result = results[label]
+        rows.append(Fig2Row(label, result.mean_ns,
+                            dict(result.breakdown.ns)))
+    return rows
+
+
+def render(rows: List[Fig2Row]) -> str:
+    lines = [
+        "Figure 2: Time breakdown of different IPC primitives [ns]",
+        "(function call < 2ns, empty Linux syscall ~ 34ns)",
+        "",
+        f"{'primitive':<16}{'total':>9} | " + " ".join(
+            f"{f'({b.value})':>8}" for b in Block),
+        "-" * 90,
+    ]
+    for row in rows:
+        cells = " ".join(f"{row.blocks.get(b, 0.0):>8.0f}" for b in Block)
+        lines.append(f"{row.label:<16}{row.total_ns:>9.0f} | {cells}")
+    lines += [
+        "",
+        "blocks: (1) user code  (2) syscall+2xswapgs+sysret  "
+        "(3) dispatch trampoline  (4) kernel code",
+        "        (5) schedule/ctxt switch  (6) page table switch  "
+        "(7) idle/IO wait",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Figure 5: performance of synchronous calls in dIPC and other
+primitives, with the paper's speedup multipliers over a function call."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.microbench import BenchResult, fig5_suite
+from repro.hw.costs import FIG5_TARGETS_NS
+
+#: bar order of Figure 5, left to right
+ORDER = ("func", "syscall", "dipc_low", "dipc_high", "sem_same_cpu",
+         "sem_cross_cpu", "pipe_same_cpu", "pipe_cross_cpu",
+         "dipc_proc_low", "dipc_proc_high", "rpc_same_cpu",
+         "rpc_cross_cpu", "dipc_user_rpc", "l4_same_cpu")
+
+
+@dataclass
+class Fig5Row:
+    label: str
+    measured_ns: float
+    multiplier_over_func: float
+    paper_target_ns: float
+    error_pct: float
+
+
+def run(iters: int = 40) -> List[Fig5Row]:
+    suite: Dict[str, BenchResult] = fig5_suite(iters=iters)
+    func_ns = suite["func"].mean_ns
+    rows = []
+    for label in ORDER:
+        result = suite[label]
+        target = FIG5_TARGETS_NS[label]
+        rows.append(Fig5Row(
+            label, result.mean_ns, result.mean_ns / func_ns, target,
+            (result.mean_ns - target) / target * 100.0))
+    return rows
+
+
+def headline_ratios(rows: List[Fig5Row]) -> Dict[str, float]:
+    by = {row.label: row.measured_ns for row in rows}
+    return {
+        "dipc_vs_rpc": by["rpc_same_cpu"] / by["dipc_proc_high"],
+        "dipc_vs_l4": by["l4_same_cpu"] / by["dipc_proc_high"],
+        "policy_spread": by["dipc_high"] / by["dipc_low"],
+        "vs_sem": by["sem_same_cpu"] / by["dipc_proc_high"],
+        "vs_rpc_low": by["rpc_same_cpu"] / by["dipc_proc_low"],
+    }
+
+
+def render(rows: List[Fig5Row]) -> str:
+    lines = [
+        "Figure 5: Performance of synchronous calls [ns, log scale in "
+        "the paper]",
+        "",
+        f"{'primitive':<16}{'measured':>10}{'x func':>9}"
+        f"{'paper':>10}{'err%':>7}",
+        "-" * 55,
+    ]
+    for row in rows:
+        lines.append(f"{row.label:<16}{row.measured_ns:>10.1f}"
+                     f"{row.multiplier_over_func:>8.0f}x"
+                     f"{row.paper_target_ns:>10.1f}{row.error_pct:>+6.1f}%")
+    ratios = headline_ratios(rows)
+    lines += [
+        "",
+        f"dIPC vs local RPC : {ratios['dipc_vs_rpc']:.2f}x "
+        "(paper: 64.12x)",
+        f"dIPC vs L4        : {ratios['dipc_vs_l4']:.2f}x (paper: 8.87x)",
+        f"policy spread     : {ratios['policy_spread']:.2f}x "
+        "(paper: up to 8.47x)",
+        f"vs Sem / vs RPC   : {ratios['vs_sem']:.2f}x / "
+        f"{ratios['vs_rpc_low']:.2f}x (paper: 14.16x - 120.67x)",
+    ]
+    return "\n".join(lines)

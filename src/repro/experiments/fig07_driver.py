@@ -1,0 +1,86 @@
+"""Figure 7: bandwidth and latency overheads when isolating the
+Infiniband user-level driver with different mechanisms.
+
+Per-driver-call costs come from the same simulations as Figure 5, so the
+two figures stay consistent; the NIC itself is the analytic envelope of
+``repro.apps.infiniband`` (the paper uses real hardware there — this is
+the substitution DESIGN.md documents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.apps.infiniband import (CONFIG_DIPC, CONFIG_DIPC_PROC,
+                                   CONFIG_INLINE, CONFIG_KERNEL,
+                                   CONFIG_PIPE, CONFIG_SEM,
+                                   ISOLATION_CONFIGS, KERNEL_OPS_PER_MSG,
+                                   IsolatedDriver, NICModel,
+                                   inline_per_call_ns, kernel_per_call_ns)
+from repro.apps.netpipe import DEFAULT_SIZES, NetpipeSeries, run_netpipe
+from repro.experiments.microbench import (bench_dipc, bench_pipe, bench_sem)
+
+
+def measure_per_call_costs(iters: int = 30) -> Dict[str, float]:
+    """Round-trip cost of one synchronous driver call per mechanism.
+
+    The driver domain trusts the application but not vice versa, so the
+    dIPC configurations use the asymmetric Low policy (§7.3: "dIPC uses
+    an asymmetric policy between the application and the driver").
+    """
+    return {
+        CONFIG_INLINE: inline_per_call_ns(),
+        CONFIG_DIPC: bench_dipc(policy="low", iters=iters).mean_ns,
+        CONFIG_DIPC_PROC: bench_dipc(policy="low", cross_process=True,
+                                     iters=iters).mean_ns,
+        CONFIG_KERNEL: kernel_per_call_ns(),
+        CONFIG_SEM: bench_sem(same_cpu=True, iters=iters).mean_ns,
+        CONFIG_PIPE: bench_pipe(same_cpu=True, iters=iters).mean_ns,
+    }
+
+
+@dataclass
+class Fig7Row:
+    config: str
+    latency_overhead_pct: Dict[int, float]
+    bandwidth_overhead_pct: Dict[int, float]
+
+
+def run(sizes=DEFAULT_SIZES, iters: int = 30) -> List[Fig7Row]:
+    nic = NICModel()
+    costs = measure_per_call_costs(iters=iters)
+    baseline = run_netpipe(nic, IsolatedDriver(CONFIG_INLINE,
+                                               costs[CONFIG_INLINE]),
+                           sizes)
+    rows = []
+    for config in ISOLATION_CONFIGS:
+        ops = KERNEL_OPS_PER_MSG if config == CONFIG_KERNEL else None
+        driver = IsolatedDriver(config, costs[config]) if ops is None \
+            else IsolatedDriver(config, costs[config], ops_per_message=ops)
+        series = run_netpipe(nic, driver, sizes)
+        rows.append(Fig7Row(config,
+                            series.latency_overhead_pct(baseline),
+                            series.bandwidth_overhead_pct(baseline)))
+    return rows
+
+
+def render(rows: List[Fig7Row]) -> str:
+    sizes = sorted(next(iter(rows)).latency_overhead_pct)
+    lines = ["Figure 7: overheads of isolating the Infiniband driver "
+             "(lower is better)", ""]
+    for title, attr in (("latency overhead [%]", "latency_overhead_pct"),
+                        ("bandwidth overhead [%]",
+                         "bandwidth_overhead_pct")):
+        header = f"{'size':>6} | " + " ".join(
+            f"{row.config:>10}" for row in rows)
+        lines += [title, header, "-" * len(header)]
+        for size in sizes:
+            cells = " ".join(f"{getattr(row, attr)[size]:>10.1f}"
+                             for row in rows)
+            lines.append(f"{size:>6} | {cells}")
+        lines.append("")
+    lines.append("paper: dIPC ~1% latency overhead, kernel driver ~10%, "
+                 "IPC >100%; IPC bandwidth overhead >60% at 4KB (we land "
+                 "somewhat lower: ~45-50%).")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Figure 8: throughput of the dynamic web server — Linux vs dIPC vs
+Ideal, on-disk and in-memory, 4 to 512 threads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.apps.oltp import (CONFIGS, DIPC, IDEAL, IN_MEMORY, LINUX,
+                             ON_DISK, params_for, run_oltp)
+from repro.sim.stats import geometric_mean
+
+DEFAULT_CONCURRENCIES = (4, 16, 64, 256, 512)
+
+#: the paper's speedup annotations over Linux, for EXPERIMENTS.md
+PAPER_SPEEDUPS = {
+    (ON_DISK, DIPC): {4: 2.23, 16: 3.18, 64: 1.80, 256: 1.39, 512: 1.11},
+    (ON_DISK, IDEAL): {4: 2.26, 16: 3.19, 64: 1.84, 256: 1.40, 512: 1.12},
+    (IN_MEMORY, DIPC): {4: 2.42, 16: 5.12, 64: 2.62, 256: 1.81, 512: 1.17},
+    (IN_MEMORY, IDEAL): {4: 2.49, 16: 5.22, 64: 2.68, 256: 1.92,
+                         512: 1.17},
+}
+
+
+@dataclass
+class Fig8Result:
+    storage: str
+    throughput: Dict[str, Dict[int, float]] = field(default_factory=dict)
+
+    def speedup(self, config: str, concurrency: int) -> float:
+        return (self.throughput[config][concurrency]
+                / self.throughput[LINUX][concurrency])
+
+    def dipc_efficiency(self, concurrency: int) -> float:
+        """dIPC throughput as a fraction of Ideal (paper: > 94%)."""
+        return (self.throughput[DIPC][concurrency]
+                / self.throughput[IDEAL][concurrency])
+
+    def mean_dipc_speedup(self) -> float:
+        return geometric_mean(
+            self.speedup(DIPC, c) for c in self.throughput[DIPC])
+
+
+def run(storage: str, concurrencies=DEFAULT_CONCURRENCIES,
+        scale: float = 1.0) -> Fig8Result:
+    result = Fig8Result(storage)
+    for config in CONFIGS:
+        result.throughput[config] = {}
+        for concurrency in concurrencies:
+            r = run_oltp(params_for(config, storage, concurrency,
+                                    scale=scale))
+            result.throughput[config][concurrency] = r.throughput_ops_min
+    return result
+
+
+def run_both(concurrencies=DEFAULT_CONCURRENCIES,
+             scale: float = 1.0) -> Tuple[Fig8Result, Fig8Result]:
+    return (run(ON_DISK, concurrencies, scale),
+            run(IN_MEMORY, concurrencies, scale))
+
+
+def render(result: Fig8Result) -> str:
+    concurrencies = sorted(result.throughput[LINUX])
+    title = ("With on-disk DB" if result.storage == ON_DISK
+             else "With in-memory DB")
+    lines = [
+        f"Figure 8 ({title}): throughput [ops/min], higher is better",
+        "",
+        f"{'conc.':>6} {'Linux':>10} {'dIPC':>10} {'Ideal':>10} "
+        f"{'dIPC x':>8} {'Ideal x':>8} {'paper dIPC x':>13} "
+        f"{'dIPC/Ideal':>11}",
+        "-" * 74,
+    ]
+    for c in concurrencies:
+        paper = PAPER_SPEEDUPS[(result.storage, DIPC)].get(c)
+        paper_str = f"{paper:.2f}x" if paper else "-"
+        lines.append(
+            f"{c:>6} {result.throughput[LINUX][c]:>10.0f} "
+            f"{result.throughput[DIPC][c]:>10.0f} "
+            f"{result.throughput[IDEAL][c]:>10.0f} "
+            f"{result.speedup(DIPC, c):>7.2f}x "
+            f"{result.speedup(IDEAL, c):>7.2f}x {paper_str:>13} "
+            f"{result.dipc_efficiency(c):>10.1%}")
+    lines += [
+        "",
+        f"geometric-mean dIPC speedup: {result.mean_dipc_speedup():.2f}x "
+        "(paper overall average: 2.13x)",
+    ]
+    return "\n".join(lines)

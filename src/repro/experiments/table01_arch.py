@@ -1,0 +1,28 @@
+"""Table 1: best-case round-trip domain switch + bulk data communication
+across architectures."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.arch import ArchResult, table1
+
+
+def run(data_size: int = 1024) -> List[ArchResult]:
+    return table1(data_size=data_size)
+
+
+def render(rows: List[ArchResult]) -> str:
+    lines = [
+        "Table 1: best-case round-trip domain switch (S) and bulk data "
+        "communication (D)",
+        "",
+        f"{'architecture':<18}{'S [ns]':>9}  {'S: operations':<46}"
+        f"{'D [ns/KB]':>10}  D: operations",
+        "-" * 118,
+    ]
+    for row in rows:
+        lines.append(f"{row.name:<18}{row.switch_ns:>9.1f}  "
+                     f"{row.switch_ops:<46}{row.data_ns_per_kb:>10.1f}  "
+                     f"{row.data_ops}")
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Simulated hardware: cost model, cache model, CPUs, machine."""
+
+from repro.hw.cache import CacheModel
+from repro.hw.costs import CostModel, FIG5_TARGETS_NS
+from repro.hw.cpu import CPU
+from repro.hw.machine import Machine
+
+__all__ = ["CacheModel", "CostModel", "FIG5_TARGETS_NS", "CPU", "Machine"]

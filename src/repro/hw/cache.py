@@ -1,0 +1,63 @@
+"""Coarse cache-hierarchy model: copy bandwidth as a function of footprint.
+
+Figure 6 of the paper shows the added cost of each IPC primitive growing
+with argument size, with visible knees at the L1 and L2 capacities. The
+only cache effect that matters at that granularity is where the data being
+copied lives, so we model memcpy bandwidth by footprint tier (the Table 3
+machine: 32 KB L1d, 256 KB L2, 8 MB L3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+
+
+@dataclass
+class CacheModel:
+    """Copy-bandwidth model for the simulated memory hierarchy."""
+
+    l1_size: int = 32 * units.KB
+    l2_size: int = 256 * units.KB
+    llc_size: int = 8 * units.MB
+
+    #: sustained copy bandwidth in bytes per nanosecond per tier
+    l1_bw: float = 16.0
+    l2_bw: float = 10.0
+    llc_bw: float = 6.0
+    dram_bw: float = 3.0
+
+    def bandwidth_for(self, footprint: int) -> float:
+        """Bytes/ns for a copy whose working set is ``footprint`` bytes."""
+        if footprint <= self.l1_size:
+            return self.l1_bw
+        if footprint <= self.l2_size:
+            return self.l2_bw
+        if footprint <= self.llc_size:
+            return self.llc_bw
+        return self.dram_bw
+
+    def copy_ns(self, size: int, *, startup: float = 3.0,
+                footprint: int = None) -> float:
+        """Time to copy ``size`` bytes.
+
+        ``footprint`` overrides the working-set estimate (e.g. a pipe
+        bounces data through a small kernel buffer, so its footprint is
+        capped at the buffer size even for large transfers).
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if size == 0:
+            return 0.0
+        effective = footprint if footprint is not None else size
+        return startup + size / self.bandwidth_for(effective)
+
+    def touch_ns(self, size: int) -> float:
+        """Time for one pass (read *or* write) over ``size`` bytes.
+
+        A single-direction sweep moves half the traffic of a copy.
+        """
+        if size <= 0:
+            return 0.0
+        return size / (2.0 * self.bandwidth_for(size))

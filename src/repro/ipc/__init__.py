@@ -1,0 +1,16 @@
+"""Baseline IPC primitives the paper compares dIPC against:
+shared-memory semaphores, pipes, UNIX-socket local RPC, and L4-style
+synchronous IPC."""
+
+from repro.ipc.l4 import L4Endpoint
+from repro.ipc.pipe import PIPE_BUF_SIZE, Pipe
+from repro.ipc.rpc import RpcClient, RpcServer
+from repro.ipc.semaphore import Semaphore
+from repro.ipc.shm import SharedBuffer
+from repro.ipc.unixsocket import SocketNamespace, UnixSocket
+from repro.ipc.xdr import XDRCodec
+
+__all__ = [
+    "L4Endpoint", "PIPE_BUF_SIZE", "Pipe", "RpcClient", "RpcServer",
+    "Semaphore", "SharedBuffer", "SocketNamespace", "UnixSocket", "XDRCodec",
+]

@@ -1,0 +1,106 @@
+"""L4 Fiasco.OC-style synchronous IPC (§2.2's "L4" bars).
+
+L4's fast path passes the message inline in registers, performs a
+*direct* thread switch (no general scheduler pass) and keeps the kernel
+path short — which is why it lands two orders of magnitude under POSIX
+IPC yet is still 474× a function call (page-table switch + syscall
+entry remain). Cross-CPU, it degrades to the IPI wake path like any
+other primitive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.errors import KernelError
+from repro.kernel.effects import Handoff
+from repro.kernel.thread import Thread
+from repro.sim.stats import Block
+
+
+class L4Endpoint:
+    """A rendezvous endpoint owned by a server thread."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._server: Optional[Thread] = None
+        self._pending: Deque[Tuple[Thread, object]] = deque()
+        self.calls = 0
+
+    # -- cost fragments ---------------------------------------------------------
+
+    def _entry(self, thread: Thread):
+        costs = self.kernel.costs
+        yield thread.kwork(costs.L4_USER_STUB, Block.USER)
+        yield thread.kwork(costs.SYSCALL_HW, Block.SYSCALL)
+        yield thread.kwork(costs.L4_KERNEL_PATH, Block.KERNEL)
+
+    def _switch_cost(self, thread: Thread):
+        costs = self.kernel.costs
+        yield thread.kwork(costs.L4_DIRECT_SWITCH, Block.SCHED)
+        # the page-table switch itself is charged by the scheduler's
+        # handoff when the address space actually changes
+
+    # -- client side ---------------------------------------------------------------
+
+    def call(self, thread: Thread, message=None):
+        """Sub-generator: l4_ipc_call — send and wait for the reply."""
+        yield from self._entry(thread)
+        self.calls += 1
+        server = self._server
+        if server is not None and self._same_cpu(thread, server):
+            self._server = None
+            yield from self._switch_cost(thread)
+            reply = yield Handoff(server, (thread, message))
+            return reply
+        # server not yet waiting, or on another CPU: queue + block
+        self._pending.append((thread, message))
+        if server is not None:
+            self._server = None
+            self.kernel.wake(server, self._pending.popleft(),
+                             from_thread=thread)
+        reply = yield thread.block("l4-call")
+        return reply
+
+    # -- server side -----------------------------------------------------------------
+
+    def wait(self, thread: Thread):
+        """Sub-generator: l4_ipc_wait — returns (caller, message)."""
+        yield from self._entry(thread)
+        if self._pending:
+            return self._pending.popleft()
+        if self._server is not None:
+            raise KernelError("endpoint already has a waiting server")
+        self._server = thread
+        return (yield thread.block("l4-wait"))
+
+    def reply_and_wait(self, thread: Thread, caller: Thread, reply=None):
+        """Sub-generator: l4_ipc_reply_and_wait — the server fast path."""
+        yield from self._entry(thread)
+        if self._pending:
+            # someone is already queued: wake the old caller normally and
+            # take the next request without blocking
+            self.kernel.wake(caller, reply, from_thread=thread)
+            return self._pending.popleft()
+        self._server = thread
+        if self._same_cpu(thread, caller) and caller.state == "blocked":
+            yield from self._switch_cost(thread)
+            return (yield Handoff(caller, reply))
+        self.kernel.wake(caller, reply, from_thread=thread)
+        return (yield thread.block("l4-wait"))
+
+    def reply(self, thread: Thread, caller: Thread, reply=None):
+        """Sub-generator: plain reply, server does not re-wait."""
+        yield from self._entry(thread)
+        if self._same_cpu(thread, caller) and caller.state == "blocked":
+            yield from self._switch_cost(thread)
+            yield Handoff(caller, reply)
+        else:
+            self.kernel.wake(caller, reply, from_thread=thread)
+
+    @staticmethod
+    def _same_cpu(a: Thread, b: Thread) -> bool:
+        if a.pin is not None and b.pin is not None:
+            return a.pin == b.pin
+        return False

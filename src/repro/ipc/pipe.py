@@ -1,0 +1,133 @@
+"""UNIX pipes with a bounded kernel buffer and streaming transfers.
+
+Pipe transfers pay two kernel copies (user→pipe buffer, pipe buffer→user)
+plus the per-page mapping checks of cross-process transfers (§7.2), which
+is why Pipe tracks above Sem. in Figures 2/5/6. Writes larger than the
+64 KB buffer stream through it in chunks, with the writer and reader
+alternating — so large transfers also bounce between the two processes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro import units
+from repro.kernel.thread import Thread
+from repro.sim.stats import Block
+
+PIPE_BUF_SIZE = 64 * units.KB
+
+
+class _Message:
+    """A framed write in flight through the pipe buffer."""
+
+    __slots__ = ("total", "written", "read", "payload", "done_writing")
+
+    def __init__(self, total: int, payload):
+        self.total = total
+        self.written = 0
+        self.read = 0
+        self.payload = payload
+        self.done_writing = False
+
+
+class Pipe:
+    """A unidirectional pipe (message-framed for payload convenience)."""
+
+    def __init__(self, kernel, capacity: int = PIPE_BUF_SIZE):
+        self.kernel = kernel
+        self.capacity = capacity
+        self._messages: Deque[_Message] = deque()
+        self._bytes = 0
+        self._readers: Deque[Thread] = deque()
+        self._writers: Deque[Thread] = deque()
+        self.closed = False
+
+    def _kernel_copy_ns(self, size: int) -> float:
+        """One kernel-side copy: bandwidth capped by the pipe-buffer
+        footprint, plus per-page mapping checks on large transfers."""
+        cache = self.kernel.machine.cache
+        costs = self.kernel.costs
+        ns = cache.copy_ns(size, startup=costs.MEMCPY_STARTUP,
+                           footprint=min(size, self.capacity))
+        if size > units.PAGE_SIZE:
+            ns += units.pages_for(size) * costs.KERNEL_COPY_PAGE_CHECK
+        return ns
+
+    def _wake_one(self, queue: Deque[Thread], thread: Thread) -> None:
+        while queue:
+            waiter = queue.popleft()
+            if not waiter.is_done:
+                self.kernel.wake(waiter, from_thread=thread)
+                return
+
+    # -- write ---------------------------------------------------------------------
+
+    def write(self, thread: Thread, size: int, payload=None):
+        """Sub-generator: write() — streams through the buffer, blocking
+        whenever it is full."""
+        if size <= 0:
+            raise ValueError("write of non-positive size")
+        costs = self.kernel.costs
+        yield from thread.syscall(0)
+        yield thread.kwork(costs.PIPE_WRITE_WORK, Block.KERNEL)
+        message = _Message(size, payload)
+        self._messages.append(message)
+        remaining = size
+        first_chunk = True
+        while remaining > 0:
+            space = self.capacity - self._bytes
+            if space <= 0:
+                self._writers.append(thread)
+                yield thread.block("pipe-full")
+                continue
+            chunk = min(space, remaining)
+            yield thread.kwork(self._kernel_copy_ns(chunk), Block.KERNEL)
+            self._bytes += chunk
+            message.written += chunk
+            remaining -= chunk
+            if first_chunk:
+                # waitqueue wake of a sleeping reader (futex-class cost)
+                yield thread.kwork(costs.FUTEX_WAKE_WORK, Block.KERNEL)
+                first_chunk = False
+            self._wake_one(self._readers, thread)
+        message.done_writing = True
+
+    # -- read -----------------------------------------------------------------------
+
+    def read(self, thread: Thread):
+        """Sub-generator: read one framed message; returns its payload,
+        or None at EOF."""
+        costs = self.kernel.costs
+        yield from thread.syscall(0)
+        yield thread.kwork(costs.PIPE_READ_WORK, Block.KERNEL)
+        while not self._messages:
+            if self.closed:
+                return None
+            self._readers.append(thread)
+            yield thread.block("pipe-empty")
+        message = self._messages[0]
+        while True:
+            available = message.written - message.read
+            if available > 0:
+                yield thread.kwork(self._kernel_copy_ns(available),
+                                   Block.KERNEL)
+                self._bytes -= available
+                message.read += available
+                self._wake_one(self._writers, thread)
+            if message.done_writing and message.read >= message.total:
+                self._messages.popleft()
+                return message.payload
+            self._readers.append(thread)
+            yield thread.block("pipe-partial")
+
+    def close(self) -> None:
+        self.closed = True
+        for reader in self._readers:
+            self.kernel.wake(reader)
+        self._readers.clear()
+
+    @property
+    def buffered_bytes(self) -> int:
+        return self._bytes

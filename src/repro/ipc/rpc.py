@@ -1,0 +1,122 @@
+"""Local RPC over UNIX sockets, rpcgen-style (§2.2's "Local RPC").
+
+The client stub marshals arguments, sends the request datagram, and
+blocks for the reply; a *service thread* in the server process
+demultiplexes requests to registered handler functions. All the costs
+the paper's Figure 2 decomposes are here: XDR user time, clnt/svc
+library bookkeeping, socket syscalls with kernel copies, and the
+context switches between the two processes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict
+
+from repro.errors import KernelError
+from repro.ipc.unixsocket import SocketNamespace, UnixSocket
+from repro.ipc.xdr import XDRCodec
+from repro.kernel.process import Process
+from repro.kernel.thread import Thread
+from repro.sim.stats import Block
+
+_xid = itertools.count(1)
+
+_SHUTDOWN = "__rpc_shutdown__"
+
+
+class RpcServer:
+    """An rpcgen-style server: bind, register programs, run svc loop."""
+
+    def __init__(self, kernel, process: Process, namespace: SocketNamespace,
+                 path: str, *, bufsize: int = None):
+        self.kernel = kernel
+        self.process = process
+        self.codec = XDRCodec(kernel)
+        self.sock = namespace.socket(kernel) if bufsize is None \
+            else namespace.socket(kernel, bufsize=bufsize)
+        self.sock.bind(path)
+        self.path = path
+        self._handlers: Dict[str, Callable] = {}
+        self.requests_served = 0
+        self._stopping = False
+
+    def register(self, name: str, handler: Callable) -> None:
+        """Register a handler: a sub-generator ``handler(thread, payload)``
+        returning (reply_size, reply_payload)."""
+        self._handlers[name] = handler
+
+    def serve_loop(self, thread: Thread):
+        """Thread body for the service thread (svc_run)."""
+        costs = self.kernel.costs
+        while not self._stopping:
+            request, _sender = yield from self.sock.recvfrom(thread)
+            if request is None:
+                return
+            # svc_getreq: poll bookkeeping + request demultiplexing
+            yield thread.kwork(costs.RPC_SERVER_USER, Block.USER)
+            body = yield from self.codec.decode(thread, request)
+            name = body["proc"]
+            if name == _SHUTDOWN:
+                self._stopping = True
+                return
+            handler = self._handlers.get(name)
+            if handler is None:
+                reply_size, reply = 4, KernelError(f"no such proc {name}")
+            else:
+                reply_size, reply = yield from handler(thread,
+                                                       body["args"])
+            wire = yield from self.codec.encode(
+                thread, reply_size,
+                {"xid": body["xid"], "result": reply})
+            yield from self.sock.sendto(thread, body["reply_to"],
+                                        reply_size, wire)
+            self.requests_served += 1
+
+    def stop(self) -> None:
+        self._stopping = True
+        self.sock.close()
+
+
+class RpcClient:
+    """An rpcgen-style client handle (clnt_create + clnt_call)."""
+
+    def __init__(self, kernel, process: Process, namespace: SocketNamespace,
+                 server_path: str, *, bufsize: int = None):
+        self.kernel = kernel
+        self.process = process
+        self.codec = XDRCodec(kernel)
+        self.namespace = namespace
+        self.server_path = server_path
+        self.sock = namespace.socket(kernel) if bufsize is None \
+            else namespace.socket(kernel, bufsize=bufsize)
+        self.sock.bind(f"{server_path}#client-{id(self)}")
+        self.calls = 0
+
+    def call(self, thread: Thread, proc: str, size: int, args=None):
+        """Sub-generator: clnt_call — returns the handler's reply payload."""
+        costs = self.kernel.costs
+        xid = next(_xid)
+        # clnt_call bookkeeping: xid management, timeout setup, retransmit
+        yield thread.kwork(costs.RPC_CLIENT_USER, Block.USER)
+        wire = yield from self.codec.encode(
+            thread, size,
+            {"xid": xid, "proc": proc, "args": args,
+             "reply_to": self.sock.path})
+        yield from self.sock.sendto(thread, self.server_path, size, wire)
+        reply_wire, _sender = yield from self.sock.recvfrom(thread)
+        body = yield from self.codec.decode(thread, reply_wire)
+        if body["xid"] != xid:
+            raise KernelError("RPC reply xid mismatch")
+        self.calls += 1
+        result = body["result"]
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def shutdown_server(self, thread: Thread):
+        """Sub-generator: deliver the shutdown sentinel to the svc loop."""
+        wire = yield from self.codec.encode(
+            thread, 4, {"xid": next(_xid), "proc": _SHUTDOWN, "args": None,
+                        "reply_to": self.sock.path})
+        yield from self.sock.sendto(thread, self.server_path, 4, wire)

@@ -1,0 +1,32 @@
+"""POSIX semaphores, futex-backed — the "Sem." bars of Figures 2/5/6."""
+
+from __future__ import annotations
+
+from repro.kernel.futex import Futex
+from repro.kernel.thread import Thread
+
+
+class Semaphore:
+    """sem_t: a counting semaphore whose slow path is a futex."""
+
+    def __init__(self, kernel, value: int = 0):
+        self.kernel = kernel
+        self._futex = Futex(kernel, value)
+
+    def post(self, thread: Thread):
+        """Sub-generator: sem_post. glibc's fast path is a user-space
+        atomic, but with a waiter present it always enters FUTEX_WAKE —
+        the synchronous ping-pong of the benchmarks is all slow path."""
+        yield from self._futex.wake(thread)
+
+    def wait(self, thread: Thread):
+        """Sub-generator: sem_wait (FUTEX_WAIT slow path)."""
+        yield from self._futex.wait(thread)
+
+    @property
+    def value(self) -> int:
+        return self._futex.value
+
+    @property
+    def waiters(self) -> int:
+        return self._futex.waiter_count

@@ -1,0 +1,131 @@
+"""UNIX datagram sockets with a filesystem-style name registry.
+
+These carry the local RPC traffic (glibc rpcgen runs over UNIX sockets,
+§2.2) and dIPC's default entry-point resolution handshake (§6.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro import units
+from repro.errors import KernelError, ResourceError
+from repro.kernel.thread import Thread
+from repro.sim.stats import Block
+
+SOCK_BUF_SIZE = 208 * units.KB  # net.core.rmem_default ballpark
+
+
+class Datagram:
+    """One queued message."""
+
+    __slots__ = ("size", "payload", "sender")
+
+    def __init__(self, size: int, payload, sender: Optional["UnixSocket"]):
+        self.size = size
+        self.payload = payload
+        self.sender = sender
+
+
+class UnixSocket:
+    """A datagram socket; bind to a path to receive, sendto by path."""
+
+    def __init__(self, kernel, namespace: "SocketNamespace", *,
+                 bufsize: int = SOCK_BUF_SIZE):
+        self.kernel = kernel
+        self.namespace = namespace
+        self.bufsize = bufsize
+        self.path: Optional[str] = None
+        self._queue: Deque[Datagram] = deque()
+        self._bytes = 0
+        self._receivers: Deque[Thread] = deque()
+        self.closed = False
+
+    # -- naming -------------------------------------------------------------------
+
+    def bind(self, path: str) -> None:
+        self.namespace.bind(path, self)
+        self.path = path
+
+    # -- copy cost ----------------------------------------------------------------
+
+    def _kernel_copy_ns(self, size: int) -> float:
+        cache = self.kernel.machine.cache
+        costs = self.kernel.costs
+        ns = cache.copy_ns(size, startup=costs.MEMCPY_STARTUP,
+                           footprint=min(size, SOCK_BUF_SIZE))
+        if size > units.PAGE_SIZE:
+            ns += units.pages_for(size) * costs.KERNEL_COPY_PAGE_CHECK
+        return ns
+
+    # -- data path -----------------------------------------------------------------
+
+    def sendto(self, thread: Thread, path: str, size: int, payload=None):
+        """Sub-generator: sendto(2). Fails if the peer buffer is full
+        (datagram semantics: no blocking on send)."""
+        costs = self.kernel.costs
+        yield from thread.syscall(0)
+        yield thread.kwork(costs.SOCK_SEND_WORK, Block.KERNEL)
+        peer = self.namespace.lookup(path)
+        if peer is None or peer.closed:
+            raise KernelError(f"connection refused: {path}")
+        if peer._bytes + size > peer.bufsize:
+            raise KernelError(f"peer buffer full: {path}")
+        yield thread.kwork(self._kernel_copy_ns(size), Block.KERNEL)
+        peer._queue.append(Datagram(size, payload, self))
+        peer._bytes += size
+        while peer._receivers:
+            receiver = peer._receivers.popleft()
+            if not receiver.is_done:
+                self.kernel.wake(receiver, from_thread=thread)
+                break
+
+    def recvfrom(self, thread: Thread):
+        """Sub-generator: recvfrom(2) — blocks while empty; returns
+        (payload, sender_socket)."""
+        costs = self.kernel.costs
+        yield from thread.syscall(0)
+        yield thread.kwork(costs.SOCK_RECV_WORK, Block.KERNEL)
+        while not self._queue:
+            if self.closed:
+                return None, None
+            self._receivers.append(thread)
+            yield thread.block("sock-recv")
+        dgram = self._queue.popleft()
+        self._bytes -= dgram.size
+        yield thread.kwork(self._kernel_copy_ns(dgram.size), Block.KERNEL)
+        return dgram.payload, dgram.sender
+
+    def close(self) -> None:
+        self.closed = True
+        if self.path is not None:
+            self.namespace.unbind(self.path)
+        for receiver in self._receivers:
+            self.kernel.wake(receiver)
+        self._receivers.clear()
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+
+class SocketNamespace:
+    """The abstract-socket / filesystem namespace mapping paths to sockets."""
+
+    def __init__(self):
+        self._bound: Dict[str, UnixSocket] = {}
+
+    def socket(self, kernel, *, bufsize: int = SOCK_BUF_SIZE) -> UnixSocket:
+        return UnixSocket(kernel, self, bufsize=bufsize)
+
+    def bind(self, path: str, sock: UnixSocket) -> None:
+        if path in self._bound and not self._bound[path].closed:
+            raise ResourceError(f"address already in use: {path}")
+        self._bound[path] = sock
+
+    def unbind(self, path: str) -> None:
+        self._bound.pop(path, None)
+
+    def lookup(self, path: str) -> Optional[UnixSocket]:
+        return self._bound.get(path)

@@ -1,0 +1,19 @@
+"""The OS kernel substrate: processes, threads, scheduler, futexes."""
+
+from repro.kernel.effects import BlockThread, Charge, YieldCPU
+from repro.kernel.fdtable import FDTable
+from repro.kernel.futex import Futex
+from repro.kernel.kernel import Kernel
+from repro.kernel.libraries import (LibraryImage, LibraryRegistry,
+                                     MappedLibrary)
+from repro.kernel.process import Process
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.thread import (BLOCKED, DONE, NEW, RUNNABLE, RUNNING,
+                                 Thread)
+
+__all__ = [
+    "BlockThread", "Charge", "YieldCPU",
+    "FDTable", "Futex", "Kernel", "Process", "Scheduler", "Thread",
+    "LibraryImage", "LibraryRegistry", "MappedLibrary",
+    "NEW", "RUNNABLE", "RUNNING", "BLOCKED", "DONE",
+]

@@ -1,0 +1,58 @@
+"""Per-process file descriptor tables.
+
+Resource isolation in the paper's sense: the fd table is part of the
+per-CPU ``current`` process state that conventional IPC must switch
+(§2.2) and that dIPC's ``track_process_call`` switches on its fast path
+(§6.1.2). dIPC also passes domain handles between processes *as file
+descriptors* (§5.2.2), which is why this lives in the kernel substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ResourceError
+
+
+class FDTable:
+    """A small UNIX-style descriptor table."""
+
+    def __init__(self, max_fds: int = 1024):
+        self.max_fds = max_fds
+        self._fds: Dict[int, object] = {}
+        self._next = 3  # 0-2 reserved for std streams, as tradition demands
+
+    def install(self, obj: object) -> int:
+        """Install an object at the lowest free descriptor."""
+        for fd in range(self._next, self.max_fds):
+            if fd not in self._fds:
+                self._fds[fd] = obj
+                return fd
+        raise ResourceError("fd table full")
+
+    def get(self, fd: int) -> object:
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise ResourceError(f"bad file descriptor {fd}") from None
+
+    def close(self, fd: int) -> object:
+        try:
+            return self._fds.pop(fd)
+        except KeyError:
+            raise ResourceError(f"bad file descriptor {fd}") from None
+
+    def dup(self, fd: int) -> int:
+        return self.install(self.get(fd))
+
+    def clone(self) -> "FDTable":
+        """fork(): the child inherits the parent's descriptors."""
+        child = FDTable(self.max_fds)
+        child._fds = dict(self._fds)
+        return child
+
+    def open_count(self) -> int:
+        return len(self._fds)
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self._fds

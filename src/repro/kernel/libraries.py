@@ -1,0 +1,109 @@
+"""Shared-library "virtual copies" for the global virtual address space
+(§6.1.3).
+
+dIPC-enabled programs are position-independent; each process maps its
+own *virtual copy* of every library it uses, but the code and read-only
+data of all copies point at the same physical frames (and therefore the
+same cache lines). Writable library data is per-copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.errors import LoaderError
+from repro.mem.phys import Frame
+
+
+@dataclass
+class LibraryImage:
+    """The canonical (physical) image of one shared library."""
+
+    name: str
+    code_frames: List[Frame]
+    rodata_frames: List[Frame]
+    data_pages: int  # writable template pages, copied per process
+
+
+@dataclass
+class MappedLibrary:
+    """One process's virtual copy."""
+
+    library: str
+    base: int
+    code_pages: int
+    rodata_pages: int
+    data_pages: int
+
+    @property
+    def total_pages(self) -> int:
+        return self.code_pages + self.rodata_pages + self.data_pages
+
+
+class LibraryRegistry:
+    """Loads libraries once and maps virtual copies into processes."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self._images: Dict[str, LibraryImage] = {}
+        self.physical_pages = 0
+
+    def register(self, name: str, *, code_pages: int = 4,
+                 rodata_pages: int = 2, data_pages: int = 1,
+                 code_bytes: Optional[bytes] = None) -> LibraryImage:
+        """Load a library's canonical image into physical memory."""
+        if name in self._images:
+            raise LoaderError(f"library already registered: {name}")
+        code = [self.kernel.phys.alloc() for _ in range(code_pages)]
+        if code_bytes:
+            view = memoryview(code_bytes)
+            for frame in code:
+                chunk = view[:units.PAGE_SIZE]
+                frame.data[:len(chunk)] = chunk
+                view = view[len(chunk):]
+        rodata = [self.kernel.phys.alloc() for _ in range(rodata_pages)]
+        image = LibraryImage(name, code, rodata, data_pages)
+        self._images[name] = image
+        self.physical_pages += code_pages + rodata_pages
+        return image
+
+    def map_into(self, process, name: str) -> MappedLibrary:
+        """Map a virtual copy of ``name`` into ``process``.
+
+        Code and read-only data share the canonical frames (refcounted);
+        writable data gets fresh frames. Pages carry the process's
+        default domain tag, so the copy is private to its domains even
+        though the bytes are shared machine-wide.
+        """
+        image = self._images.get(name)
+        if image is None:
+            raise LoaderError(f"no such library: {name}")
+        total = (len(image.code_frames) + len(image.rodata_frames)
+                 + image.data_pages)
+        if process.uses_shared_table:
+            base = self.kernel.gvas.suballoc(process.pid,
+                                             total * units.PAGE_SIZE)
+        else:
+            base = process._private_cursor
+            process._private_cursor += (total + 1) * units.PAGE_SIZE
+        vpn = base // units.PAGE_SIZE
+        tag = process.default_tag
+        for frame in image.code_frames:
+            process.page_table.map_page(vpn, frame=self.kernel.phys.share(
+                frame), read=True, write=False, execute=True, tag=tag)
+            vpn += 1
+        for frame in image.rodata_frames:
+            process.page_table.map_page(vpn, frame=self.kernel.phys.share(
+                frame), read=True, write=False, tag=tag)
+            vpn += 1
+        for _ in range(image.data_pages):
+            process.page_table.map_page(vpn, read=True, write=True, tag=tag)
+            vpn += 1
+        process.pages_allocated += total
+        return MappedLibrary(name, base, len(image.code_frames),
+                             len(image.rodata_frames), image.data_pages)
+
+    def image_of(self, name: str) -> Optional[LibraryImage]:
+        return self._images.get(name)

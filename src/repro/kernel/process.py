@@ -1,0 +1,106 @@
+"""Processes: the OS unit of isolation that dIPC teaches to share.
+
+An ordinary process owns a private page table. A dIPC-enabled process
+instead lives in the machine-wide *shared* page table at a unique range
+of the global virtual address space, with its pages tagged by its default
+CODOMs domain (§5.2, §6.1.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro import units
+from repro.errors import DeadProcessError
+from repro.kernel.fdtable import FDTable
+from repro.mem.addrspace import AddressSpace
+from repro.mem.pagetable import PageTable
+
+_pid_counter = itertools.count(1)
+
+#: where ordinary (non-dIPC) processes place their heap
+PRIVATE_BASE = 0x0000_0000_0040_0000
+
+
+class Process:
+    """A process control block."""
+
+    def __init__(self, kernel, name: str, *, page_table: PageTable,
+                 shared_table: bool, default_tag: Optional[int] = None):
+        self.kernel = kernel
+        self.pid = next(_pid_counter)
+        self.name = name
+        self.page_table = page_table
+        self.space = AddressSpace(page_table)
+        self.uses_shared_table = shared_table
+        #: CODOMs tag of the process's default domain (dIPC processes only)
+        self.default_tag = default_tag
+        self.fdtable = FDTable()
+        self.threads: List = []
+        self.alive = True
+        self.exit_code: Optional[int] = None
+        #: whether dIPC is active (fork disables it until exec, §6.1.3)
+        self.dipc_enabled = default_tag is not None
+        #: bump pointer for private-table allocations
+        self._private_cursor = PRIVATE_BASE
+        #: dIPC objects owned by this process (filled in by repro.core)
+        self.dipc = None
+        #: POSIX-ish identity, used to show resource isolation in tests
+        self.uid = 1000
+        #: CPU time charged to this process (§5.2.1: "dIPC charges CPU
+        #: time and memory to each process as usual" — a thread visiting
+        #: another process bills its time there, time-slice donation)
+        self.cpu_ns = 0.0
+        #: pages this process has mapped (memory accounting)
+        self.pages_allocated = 0
+
+    # -- memory ------------------------------------------------------------------
+
+    def alloc_pages(self, num_pages: int, *, tag: Optional[int] = "default",
+                    read: bool = True, write: bool = True,
+                    execute: bool = False, privileged: bool = False,
+                    cap_storage: bool = False) -> int:
+        """Map ``num_pages`` fresh pages and return their base address.
+
+        dIPC-enabled processes allocate from the global VAS (two-phase,
+        §6.1.3); ordinary ones from their private table. ``tag="default"``
+        uses the process's default domain — pass an explicit tag (or
+        ``None``) for dom_mmap-style placement.
+        """
+        if not self.alive:
+            raise DeadProcessError(f"{self.name} has exited")
+        if num_pages <= 0:
+            raise ValueError("num_pages must be positive")
+        size = num_pages * units.PAGE_SIZE
+        if self.uses_shared_table:
+            base = self.kernel.gvas.suballoc(self.pid, size)
+        else:
+            base = self._private_cursor
+            self._private_cursor += size + units.PAGE_SIZE  # guard page
+        effective_tag = self.default_tag if tag == "default" else tag
+        self.pages_allocated += num_pages
+        first_vpn = base // units.PAGE_SIZE
+        for vpn in range(first_vpn, first_vpn + num_pages):
+            self.page_table.map_page(
+                vpn, read=read, write=write, execute=execute,
+                tag=effective_tag, privileged=privileged,
+                cap_storage=cap_storage)
+        return base
+
+    def alloc_bytes(self, size: int, **bits) -> int:
+        return self.alloc_pages(units.pages_for(size), **bits)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def live_threads(self) -> List:
+        return [t for t in self.threads if not t.is_done]
+
+    def exit(self, code: int = 0) -> None:
+        """Mark the process dead (thread teardown is done by the kernel)."""
+        self.alive = False
+        self.exit_code = code
+
+    def __repr__(self) -> str:
+        kind = "dIPC" if self.dipc_enabled else "proc"
+        return f"<{kind} {self.name} pid={self.pid}>"

@@ -1,0 +1,14 @@
+"""Memory substrate: frames, CODOMs-tagged page tables, address spaces,
+and the dIPC global virtual address space allocator."""
+
+from repro.mem.addrspace import AddressSpace, offset_of, vpn_of
+from repro.mem.gvas import BLOCK_SIZE, GVAS_BASE, Block, GlobalVAS
+from repro.mem.pagetable import PTE, PageTable
+from repro.mem.phys import Frame, PhysicalMemory
+
+__all__ = [
+    "AddressSpace", "offset_of", "vpn_of",
+    "BLOCK_SIZE", "GVAS_BASE", "Block", "GlobalVAS",
+    "PTE", "PageTable",
+    "Frame", "PhysicalMemory",
+]

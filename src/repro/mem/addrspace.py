@@ -1,0 +1,107 @@
+"""Address spaces: raw byte access on top of a (possibly shared) page table.
+
+The address space performs translation, page-permission and COW handling;
+CODOMs' code-centric checks (APL + capabilities) are layered on top by
+``repro.codoms.access.AccessEngine`` which wraps these raw accessors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import units
+from repro.errors import PageFault
+from repro.mem.pagetable import PTE, PageTable
+
+
+def vpn_of(addr: int) -> int:
+    return addr // units.PAGE_SIZE
+
+
+def offset_of(addr: int) -> int:
+    return addr % units.PAGE_SIZE
+
+
+class AddressSpace:
+    """Byte-addressable view over a page table."""
+
+    def __init__(self, table: PageTable):
+        self.table = table
+
+    # -- translation -----------------------------------------------------------
+
+    def pte_for(self, addr: int) -> PTE:
+        if addr < 0:
+            raise PageFault(f"negative address {addr:#x}", address=addr)
+        return self.table.lookup(vpn_of(addr))
+
+    def check_mapped(self, addr: int, size: int) -> None:
+        for vpn in range(vpn_of(addr), vpn_of(addr + size - 1) + 1):
+            self.table.lookup(vpn)
+
+    # -- raw data access ----------------------------------------------------------
+
+    def read(self, addr: int, size: int) -> bytes:
+        """Read bytes, honouring page R bits (no APL/capability checks)."""
+        out = bytearray()
+        remaining = size
+        cursor = addr
+        while remaining > 0:
+            pte = self.pte_for(cursor)
+            if not pte.read:
+                raise PageFault(f"read of non-readable page at {cursor:#x}",
+                                address=cursor)
+            off = offset_of(cursor)
+            chunk = min(remaining, units.PAGE_SIZE - off)
+            out += pte.frame.data[off:off + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(out)
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Write bytes, honouring page W bits and breaking COW."""
+        cursor = addr
+        view = memoryview(data)
+        while view:
+            pte = self.pte_for(cursor)
+            if not pte.write:
+                if pte.cow:
+                    pte = self.table.break_cow(vpn_of(cursor))
+                else:
+                    raise PageFault(
+                        f"write to read-only page at {cursor:#x}",
+                        address=cursor, write=True)
+            off = offset_of(cursor)
+            chunk = min(len(view), units.PAGE_SIZE - off)
+            pte.frame.data[off:off + chunk] = view[:chunk]
+            # A plain byte write over a capability slot destroys it: user
+            # code cannot forge capabilities by writing their bytes (§4.2).
+            for slot in range(units.align_down(off, 32),
+                              min(units.align_up(off + chunk, 32),
+                                  units.PAGE_SIZE),
+                              32):
+                pte.frame.cap_slots.pop(slot, None)
+            cursor += chunk
+            view = view[chunk:]
+
+    # -- capability storage (32 B aligned slots on cap_storage pages) -----------------
+
+    def store_capability(self, addr: int, cap) -> None:
+        if addr % 32:
+            raise PageFault(f"capability store to unaligned {addr:#x}",
+                            address=addr, write=True)
+        pte = self.pte_for(addr)
+        if not pte.write:
+            raise PageFault(f"capability store to read-only page {addr:#x}",
+                            address=addr, write=True)
+        pte.frame.cap_slots[offset_of(addr)] = cap
+
+    def load_capability(self, addr: int):
+        if addr % 32:
+            raise PageFault(f"capability load from unaligned {addr:#x}",
+                            address=addr)
+        pte = self.pte_for(addr)
+        if not pte.read:
+            raise PageFault(f"capability load from unreadable page {addr:#x}",
+                            address=addr)
+        return pte.frame.cap_slots.get(offset_of(addr))

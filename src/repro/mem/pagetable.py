@@ -1,0 +1,148 @@
+"""Page tables extended the CODOMs way (§4.1, §4.2).
+
+Each PTE carries, on top of the usual frame pointer and R/W/X protection
+bits:
+
+* a per-page **domain tag** associating the page with a protection domain;
+* the **privileged capability bit** marking code pages allowed to execute
+  privileged instructions (replacing syscall-based privilege switches);
+* the **capability storage bit** marking pages that may hold capabilities;
+* a **COW** flag for fork()'s copy-on-write semantics (§6.1.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro import units
+from repro.errors import PageFault
+from repro.mem.phys import Frame, PhysicalMemory
+
+
+@dataclass
+class PTE:
+    """One page-table entry."""
+
+    frame: Frame
+    read: bool = True
+    write: bool = True
+    execute: bool = False
+    #: CODOMs per-page domain tag (None = untagged / default domain)
+    tag: Optional[int] = None
+    #: CODOMs privileged capability bit
+    privileged: bool = False
+    #: CODOMs capability storage bit
+    cap_storage: bool = False
+    cow: bool = False
+
+    def perms(self) -> str:
+        return ("r" if self.read else "-") + \
+               ("w" if self.write else "-") + \
+               ("x" if self.execute else "-")
+
+
+class PageTable:
+    """A sparse vpn -> PTE map.
+
+    dIPC-enabled processes *share* one page table (§6.1.3); ordinary
+    processes each get their own. Sharing is by holding the same object.
+    """
+
+    _next_id = 0
+
+    def __init__(self, phys: PhysicalMemory):
+        self.phys = phys
+        self.entries: Dict[int, PTE] = {}
+        PageTable._next_id += 1
+        self.table_id = PageTable._next_id
+
+    # -- mapping -----------------------------------------------------------------
+
+    def map_page(self, vpn: int, frame: Frame = None, **bits) -> PTE:
+        if vpn in self.entries:
+            raise PageFault(f"vpn {vpn:#x} already mapped",
+                            address=vpn * units.PAGE_SIZE)
+        if frame is None:
+            frame = self.phys.alloc()
+        pte = PTE(frame=frame, **bits)
+        self.entries[vpn] = pte
+        return pte
+
+    def unmap_page(self, vpn: int) -> None:
+        pte = self.entries.pop(vpn, None)
+        if pte is None:
+            raise PageFault(f"vpn {vpn:#x} not mapped",
+                            address=vpn * units.PAGE_SIZE)
+        self.phys.release(pte.frame)
+
+    def lookup(self, vpn: int) -> PTE:
+        pte = self.entries.get(vpn)
+        if pte is None:
+            raise PageFault(f"vpn {vpn:#x} not mapped",
+                            address=vpn * units.PAGE_SIZE)
+        return pte
+
+    def contains(self, vpn: int) -> bool:
+        return vpn in self.entries
+
+    def pages(self) -> Iterator[Tuple[int, PTE]]:
+        return iter(sorted(self.entries.items()))
+
+    # -- tag / bit management -------------------------------------------------------
+
+    def set_tag(self, vpn: int, tag: Optional[int]) -> None:
+        self.lookup(vpn).tag = tag
+
+    def retag_range(self, vpn_start: int, count: int,
+                    old_tag: Optional[int], new_tag: Optional[int]) -> None:
+        """dom_remap: move pages from one domain to another (Table 2)."""
+        for vpn in range(vpn_start, vpn_start + count):
+            pte = self.lookup(vpn)
+            if pte.tag != old_tag:
+                raise PageFault(
+                    f"vpn {vpn:#x} tagged {pte.tag}, expected {old_tag}",
+                    address=vpn * units.PAGE_SIZE)
+        for vpn in range(vpn_start, vpn_start + count):
+            self.entries[vpn].tag = new_tag
+
+    # -- COW ---------------------------------------------------------------------------
+
+    def mark_cow(self) -> None:
+        """Mark every writable page copy-on-write (fork, §6.1.3)."""
+        for pte in self.entries.values():
+            if pte.write:
+                pte.write = False
+                pte.cow = True
+
+    def break_cow(self, vpn: int) -> PTE:
+        """Resolve a COW fault on ``vpn``: copy the frame, restore write."""
+        pte = self.lookup(vpn)
+        if not pte.cow:
+            raise PageFault(f"vpn {vpn:#x} is not COW",
+                            address=vpn * units.PAGE_SIZE, write=True)
+        if pte.frame.refcount > 1:
+            fresh = self.phys.copy_frame(pte.frame)
+            self.phys.release(pte.frame)
+            pte.frame = fresh
+        pte.write = True
+        pte.cow = False
+        return pte
+
+    # -- fork support -------------------------------------------------------------------
+
+    def clone_for_fork(self) -> "PageTable":
+        """Duplicate the table sharing frames, with COW on writable pages."""
+        child = PageTable(self.phys)
+        self.mark_cow()
+        for vpn, pte in self.entries.items():
+            child.entries[vpn] = PTE(
+                frame=self.phys.share(pte.frame),
+                read=pte.read, write=pte.write, execute=pte.execute,
+                tag=pte.tag, privileged=pte.privileged,
+                cap_storage=pte.cap_storage, cow=pte.cow,
+            )
+        return child
+
+    def __repr__(self) -> str:
+        return f"<PageTable #{self.table_id} pages={len(self.entries)}>"

@@ -1,0 +1,126 @@
+"""Discrete-event simulation engine.
+
+The engine owns the global simulated clock (nanoseconds, float) and a
+priority queue of timestamped callbacks. Everything above it — CPUs,
+scheduler, IPC blocking, disk I/O — is expressed as events posted here.
+
+Determinism: events at equal timestamps fire in posting order (a
+monotonically increasing sequence number breaks ties), so simulations are
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback. Returned by :meth:`Engine.post` for cancelling."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.1f} seq={self.seq} {state}>"
+
+
+class Engine:
+    """Event queue + simulated clock."""
+
+    def __init__(self):
+        self._queue: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        self.events_processed = 0
+
+    # -- clock --------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def post(self, delay_ns: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn()`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot post event in the past ({delay_ns})")
+        return self.post_at(self._now + delay_ns, fn)
+
+    def post_at(self, time_ns: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn()`` at absolute simulated time ``time_ns``."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot post event at {time_ns} before now ({self._now})"
+            )
+        event = Event(time_ns, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event; cancelling twice is harmless."""
+        event.cancelled = True
+
+    # -- running -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event. Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_processed += 1
+            event.fn()
+            return True
+        return False
+
+    def run(self, until_ns: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Drain the queue, optionally stopping at a time or event budget.
+
+        When ``until_ns`` is given, the clock is advanced to exactly that
+        time on return (even if the queue drained earlier), so utilization
+        accounting over a fixed window is well defined.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        try:
+            processed = 0
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    return
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_ns is not None and head.time > until_ns:
+                    break
+                self.step()
+                processed += 1
+            if until_ns is not None and self._now < until_ns:
+                self._now = until_ns
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def __repr__(self) -> str:
+        return f"<Engine now={self._now:.1f} pending={self.pending()}>"

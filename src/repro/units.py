@@ -1,0 +1,81 @@
+"""Unit helpers: all simulated time is in nanoseconds, sizes in bytes.
+
+Keeping units explicit at call sites (``5 * units.US``) avoids the classic
+ns/us confusion bugs in timing models.
+"""
+
+from __future__ import annotations
+
+# --- time (nanoseconds are the base unit) ---------------------------------
+NS = 1.0
+US = 1_000.0
+MS = 1_000_000.0
+SECOND = 1_000_000_000.0
+MINUTE = 60.0 * SECOND
+
+# --- sizes (bytes are the base unit) ---------------------------------------
+KB = 1024
+MB = 1024 * 1024
+GB = 1024 * 1024 * 1024
+
+# --- cache line -------------------------------------------------------------
+CACHE_LINE = 64
+PAGE_SIZE = 4096
+
+
+def ns_to_ms(ns: float) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return ns / MS
+
+
+def ns_to_us(ns: float) -> float:
+    """Convert nanoseconds to microseconds."""
+    return ns / US
+
+
+def pages_for(size: int) -> int:
+    """Number of 4 KiB pages needed to hold ``size`` bytes."""
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    return (size + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to the next multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError("alignment must be a positive power of two")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment``."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError("alignment must be a positive power of two")
+    return value & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True if ``value`` is a multiple of ``alignment`` (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError("alignment must be a positive power of two")
+    return (value & (alignment - 1)) == 0
+
+
+def human_size(size: int) -> str:
+    """Render a byte count as '4B', '2KB', '1MB' for figure axes."""
+    if size >= MB and size % MB == 0:
+        return f"{size // MB}MB"
+    if size >= KB and size % KB == 0:
+        return f"{size // KB}KB"
+    return f"{size}B"
+
+
+def human_time(ns: float) -> str:
+    """Render a nanosecond count at a readable magnitude."""
+    if ns >= SECOND:
+        return f"{ns / SECOND:.2f}s"
+    if ns >= MS:
+        return f"{ns / MS:.2f}ms"
+    if ns >= US:
+        return f"{ns / US:.2f}us"
+    return f"{ns:.2f}ns"

@@ -1,0 +1,81 @@
+"""Tests for the simulated NIC + netpipe benchmark (Figure 7's substrate)."""
+
+import pytest
+
+from repro.apps.infiniband import (CONFIG_DIPC, CONFIG_INLINE,
+                                   CONFIG_KERNEL, DRIVER_OPS_PER_MSG,
+                                   IsolatedDriver, NICModel,
+                                   inline_per_call_ns, kernel_per_call_ns)
+from repro.apps.netpipe import NetpipeSeries, run_netpipe
+
+
+@pytest.fixture
+def nic():
+    return NICModel()
+
+
+def test_latency_grows_with_size(nic):
+    assert nic.one_way_ns(4096) > nic.one_way_ns(1)
+
+
+def test_round_trip_is_twice_one_way(nic):
+    assert nic.round_trip_ns(64) == pytest.approx(2 * nic.one_way_ns(64))
+
+
+def test_driver_overhead_multiplies_ops(nic):
+    driver = IsolatedDriver("x", per_call_ns=100.0)
+    assert driver.overhead_per_message_ns() == \
+        DRIVER_OPS_PER_MSG * 100.0
+
+
+def test_inline_per_call_is_a_function_call():
+    assert inline_per_call_ns() == pytest.approx(2.0)
+
+
+def test_kernel_per_call_is_syscallish():
+    assert 34.0 <= kernel_per_call_ns() <= 60.0
+
+
+class TestNetpipe:
+    def run_pair(self, nic, per_call):
+        baseline = run_netpipe(nic, IsolatedDriver(CONFIG_INLINE,
+                                                   inline_per_call_ns()))
+        series = run_netpipe(nic, IsolatedDriver("isolated", per_call))
+        return baseline, series
+
+    def test_bandwidth_increases_with_size(self, nic):
+        series = run_netpipe(nic, IsolatedDriver(CONFIG_INLINE, 2.0))
+        bws = [p.bandwidth_bpns for p in series.points]
+        assert bws == sorted(bws)
+
+    def test_latency_overhead_shrinks_with_size(self, nic):
+        baseline, series = self.run_pair(nic, per_call=1000.0)
+        overhead = series.latency_overhead_pct(baseline)
+        sizes = sorted(overhead)
+        assert overhead[sizes[0]] > overhead[sizes[-1]]
+
+    def test_dipc_overhead_is_about_one_percent(self, nic):
+        """§7.3: only dIPC sustains Infiniband's latency, ~1% overhead."""
+        baseline, series = self.run_pair(nic, per_call=6.0)  # dIPC Low
+        overhead = series.latency_overhead_pct(baseline)
+        assert overhead[1] < 3.0
+
+    def test_kernel_overhead_is_about_ten_percent(self, nic):
+        baseline, series = self.run_pair(nic, kernel_per_call_ns())
+        overhead = series.latency_overhead_pct(baseline)
+        assert 5.0 <= overhead[1] <= 20.0
+
+    def test_ipc_overhead_exceeds_100_percent(self, nic):
+        baseline, series = self.run_pair(nic, per_call=1514.0)  # Sem.
+        overhead = series.latency_overhead_pct(baseline)
+        assert overhead[1] > 100.0
+
+    def test_ipc_bandwidth_overhead_large_at_4kb(self, nic):
+        baseline, series = self.run_pair(nic, per_call=2032.0)  # Pipe
+        overhead = series.bandwidth_overhead_pct(baseline)
+        assert overhead[4096] > 40.0
+
+    def test_overheads_relative_to_self_are_zero(self, nic):
+        baseline = run_netpipe(nic, IsolatedDriver(CONFIG_INLINE, 2.0))
+        assert all(v == pytest.approx(0.0)
+                   for v in baseline.latency_overhead_pct(baseline).values())

@@ -1,0 +1,131 @@
+"""Tests for the DVDStore workload generator and the storage engine."""
+
+import pytest
+
+from repro import units
+from repro.apps.oltp import (IN_MEMORY, ON_DISK, STANDARD_MIX, Disk,
+                             StorageEngine, WorkloadGenerator,
+                             mean_cpu_per_op_ns, mean_queries_per_op)
+from repro.kernel import Kernel
+
+
+class TestWorkload:
+    def test_mix_is_weighted_and_reproducible(self):
+        a = WorkloadGenerator(seed=7)
+        b = WorkloadGenerator(seed=7)
+        seq_a = [a.next_transaction().name for _ in range(50)]
+        seq_b = [b.next_transaction().name for _ in range(50)]
+        assert seq_a == seq_b
+
+    def test_different_seeds_differ(self):
+        a = WorkloadGenerator(seed=1)
+        b = WorkloadGenerator(seed=2)
+        assert [a.next_transaction().name for _ in range(50)] != \
+            [b.next_transaction().name for _ in range(50)]
+
+    def test_all_transactions_appear(self):
+        gen = WorkloadGenerator(seed=3)
+        names = {gen.next_transaction().name for _ in range(300)}
+        assert names == {"login", "browse", "purchase"}
+
+    def test_row_fetch_granularity(self):
+        """§7.5: ~211 cross-domain calls per op → ~100 round trips."""
+        queries = mean_queries_per_op()
+        calls = 2 * (queries + 1)
+        assert 100 <= calls <= 250
+
+    def test_cpu_demand_sane(self):
+        # ~0.5ms of pure application CPU per op (see workload.py)
+        demand = mean_cpu_per_op_ns()
+        assert 300 * units.US <= demand <= 900 * units.US
+
+    def test_disk_miss_respects_probability(self):
+        gen = WorkloadGenerator(seed=11)
+        query = STANDARD_MIX[1].queries[0]
+        misses = sum(gen.disk_miss(query) for _ in range(20000))
+        assert misses / 20000 == pytest.approx(query.disk_prob, abs=0.01)
+
+
+class TestDisk:
+    def test_requests_serialize(self):
+        kernel = Kernel(num_cpus=2)
+        proc = kernel.spawn_process("p")
+        disk = Disk(kernel, service_ns=1000.0)
+        finish = []
+
+        def body(t):
+            yield from disk.read(t)
+            finish.append(t.now())
+
+        kernel.spawn(proc, body, pin=0)
+        kernel.spawn(proc, body, pin=1)
+        kernel.run()
+        finish.sort()
+        assert finish[0] >= 1000
+        assert finish[1] >= 2000  # second request queued behind the first
+        assert disk.requests == 2
+
+    def test_busy_accounting(self):
+        kernel = Kernel(num_cpus=1)
+        proc = kernel.spawn_process("p")
+        disk = Disk(kernel, service_ns=500.0)
+
+        def body(t):
+            yield from disk.read(t)
+
+        kernel.spawn(proc, body)
+        kernel.run()
+        assert disk.busy_ns == 500.0
+
+
+class TestStorageEngine:
+    def test_kv_roundtrip(self):
+        kernel = Kernel(num_cpus=1)
+        store = StorageEngine(kernel, IN_MEMORY)
+        store.put("products", 1, {"title": "dvd"})
+        assert store.get("products", 1) == {"title": "dvd"}
+        assert store.get("products", 2) is None
+        assert store.scan("products") == {1: {"title": "dvd"}}
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            StorageEngine(Kernel(num_cpus=1), "floppy")
+
+    def test_in_memory_access_never_touches_disk(self):
+        kernel = Kernel(num_cpus=1)
+        proc = kernel.spawn_process("p")
+        store = StorageEngine(kernel, IN_MEMORY)
+
+        def body(t):
+            yield from store.access(t, miss=True)
+
+        kernel.spawn(proc, body)
+        kernel.run()
+        assert store.disk_reads == 0
+        assert kernel.engine.now() < 1000  # no 420us disk wait
+
+    def test_on_disk_miss_blocks_for_service_time(self):
+        kernel = Kernel(num_cpus=1)
+        proc = kernel.spawn_process("p")
+        store = StorageEngine(kernel, ON_DISK)
+
+        def body(t):
+            yield from store.access(t, miss=True)
+
+        kernel.spawn(proc, body)
+        kernel.run()
+        assert store.disk_reads == 1
+        assert kernel.engine.now() >= kernel.costs.HDD_READ
+
+    def test_on_disk_hit_is_fast(self):
+        kernel = Kernel(num_cpus=1)
+        proc = kernel.spawn_process("p")
+        store = StorageEngine(kernel, ON_DISK)
+
+        def body(t):
+            yield from store.access(t, miss=False)
+
+        kernel.spawn(proc, body)
+        kernel.run()
+        assert store.disk_reads == 0
+        assert kernel.engine.now() < 1000

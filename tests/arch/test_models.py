@@ -1,0 +1,52 @@
+"""Tests for the Table 1 architecture comparison."""
+
+import pytest
+
+from repro.arch import (CHERI, CODOMs, ConventionalCPU, MMP, table1)
+
+
+def test_codoms_switch_is_a_call():
+    model = CODOMs()
+    assert model.switch_ns() == pytest.approx(model.costs.FUNC_CALL)
+
+
+def test_codoms_has_cheapest_switch():
+    rows = {row.name: row.switch_ns for row in table1()}
+    assert rows["CODOMs"] < rows["MMP"]
+    assert rows["CODOMs"] < rows["Conventional CPU"]
+    assert rows["CODOMs"] < rows["CHERI"]
+
+
+def test_cheri_pays_exceptions():
+    model = CHERI()
+    assert model.switch_ns() == 2 * model.costs.EXCEPTION
+    # §4.1: exceptions are worse than even the conventional syscall path
+    assert model.switch_ns() > ConventionalCPU().switch_ns()
+
+
+def test_mmp_pipeline_flush_beats_syscall_path():
+    assert MMP().switch_ns() < ConventionalCPU().switch_ns()
+
+
+def test_capability_data_is_size_independent():
+    model = CODOMs()
+    assert model.data_ns(64) == model.data_ns(1 << 20)
+
+
+def test_conventional_data_scales_with_size():
+    model = ConventionalCPU()
+    assert model.data_ns(1 << 20) > model.data_ns(64) * 100
+
+
+def test_mmp_large_data_prefers_table_writes():
+    model = MMP()
+    big = 1 << 22
+    assert model.data_ns(big) == 2 * model.costs.MMP_PROT_WRITE
+
+
+def test_table1_has_four_rows_with_ops_text():
+    rows = table1()
+    assert len(rows) == 4
+    assert all(row.switch_ops and row.data_ops for row in rows)
+    assert [row.name for row in rows] == \
+        ["Conventional CPU", "CHERI", "MMP", "CODOMs"]

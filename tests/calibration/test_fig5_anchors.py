@@ -1,0 +1,151 @@
+"""Calibration: the simulated primitives must land on the paper's numbers.
+
+These are the regression tests that keep every figure's *shape* honest:
+each Figure 5 bar is re-measured end-to-end through the simulator and
+compared against the paper-derived target. Same-CPU compositions are
+tight (the paper reports them directly); cross-CPU ones depend on the
+emergent IPI/idle interleaving and get a wider band.
+"""
+
+import pytest
+
+from repro.experiments.microbench import (bench_dipc, bench_dipc_user_rpc,
+                                          bench_func, bench_l4, bench_pipe,
+                                          bench_rpc, bench_sem,
+                                          bench_syscall)
+from repro.hw.costs import FIG5_TARGETS_NS
+
+ITERS = 30
+
+TIGHT = 0.05
+LOOSE = 0.15
+
+
+def assert_near(result, key, tolerance):
+    target = FIG5_TARGETS_NS[key]
+    assert result.mean_ns == pytest.approx(target, rel=tolerance), \
+        f"{key}: measured {result.mean_ns:.1f}ns vs target {target:.1f}ns"
+
+
+# -- baselines ---------------------------------------------------------------
+
+def test_function_call():
+    assert_near(bench_func(iters=ITERS), "func", 0.01)
+
+
+def test_syscall():
+    assert_near(bench_syscall(iters=ITERS), "syscall", 0.01)
+
+
+# -- same-CPU primitives (paper-reported, tight) --------------------------------
+
+def test_sem_same_cpu():
+    assert_near(bench_sem(same_cpu=True, iters=ITERS), "sem_same_cpu", TIGHT)
+
+
+def test_pipe_same_cpu():
+    assert_near(bench_pipe(same_cpu=True, iters=ITERS), "pipe_same_cpu",
+                TIGHT)
+
+
+def test_rpc_same_cpu():
+    assert_near(bench_rpc(same_cpu=True, iters=ITERS), "rpc_same_cpu", TIGHT)
+
+
+def test_l4_same_cpu():
+    assert_near(bench_l4(same_cpu=True, iters=ITERS), "l4_same_cpu", TIGHT)
+
+
+# -- dIPC bars -------------------------------------------------------------------
+
+def test_dipc_low():
+    assert_near(bench_dipc(policy="low", iters=ITERS), "dipc_low", 0.02)
+
+
+def test_dipc_high():
+    assert_near(bench_dipc(policy="high", iters=ITERS), "dipc_high", 0.02)
+
+
+def test_dipc_proc_low():
+    assert_near(bench_dipc(policy="low", cross_process=True, iters=ITERS),
+                "dipc_proc_low", 0.02)
+
+
+def test_dipc_proc_high():
+    assert_near(bench_dipc(policy="high", cross_process=True, iters=ITERS),
+                "dipc_proc_high", 0.02)
+
+
+# -- cross-CPU primitives (emergent, loose) ------------------------------------------
+
+def test_sem_cross_cpu():
+    assert_near(bench_sem(same_cpu=False, iters=ITERS), "sem_cross_cpu",
+                LOOSE)
+
+
+def test_pipe_cross_cpu():
+    assert_near(bench_pipe(same_cpu=False, iters=ITERS), "pipe_cross_cpu",
+                LOOSE)
+
+
+def test_rpc_cross_cpu():
+    assert_near(bench_rpc(same_cpu=False, iters=ITERS), "rpc_cross_cpu",
+                LOOSE)
+
+
+def test_dipc_user_rpc():
+    assert_near(bench_dipc_user_rpc(iters=ITERS), "dipc_user_rpc", LOOSE)
+
+
+# -- the paper's headline ratios, on *measured* numbers -----------------------------
+
+class TestHeadlineRatios:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        return {
+            "rpc": bench_rpc(same_cpu=True, iters=ITERS).mean_ns,
+            "l4": bench_l4(same_cpu=True, iters=ITERS).mean_ns,
+            "sem": bench_sem(same_cpu=True, iters=ITERS).mean_ns,
+            "dipc_low": bench_dipc(policy="low", iters=ITERS).mean_ns,
+            "dipc_high": bench_dipc(policy="high", iters=ITERS).mean_ns,
+            "proc_low": bench_dipc(policy="low", cross_process=True,
+                                   iters=ITERS).mean_ns,
+            "proc_high": bench_dipc(policy="high", cross_process=True,
+                                    iters=ITERS).mean_ns,
+        }
+
+    def test_dipc_vs_rpc_64x(self, measured):
+        """Abstract: 'dIPC is 64.12x faster than local RPCs'."""
+        assert measured["rpc"] / measured["proc_high"] == \
+            pytest.approx(64.12, rel=0.10)
+
+    def test_dipc_vs_l4_9x(self, measured):
+        """Abstract: '8.87x faster than IPC in the L4 microkernel'."""
+        assert measured["l4"] / measured["proc_high"] == \
+            pytest.approx(8.87, rel=0.10)
+
+    def test_policy_spread_8x(self, measured):
+        """§7.2: asymmetric policies differ by up to 8.47x."""
+        assert measured["dipc_high"] / measured["dipc_low"] == \
+            pytest.approx(8.47, rel=0.10)
+
+    def test_speedup_range_14x_to_120x(self, measured):
+        """§7.2: cross-process speedups between 14.16x and 120.67x."""
+        assert measured["sem"] / measured["proc_high"] == \
+            pytest.approx(14.16, rel=0.10)
+        assert measured["rpc"] / measured["proc_low"] == \
+            pytest.approx(120.67, rel=0.10)
+
+    def test_rpc_over_3000x_function_call(self, measured):
+        """§2.2: local RPC is more than 3000x slower than a function call."""
+        func = bench_func(iters=ITERS).mean_ns
+        assert measured["rpc"] / func > 3000
+
+
+def test_stddev_below_one_percent():
+    """§7.2: all experiments have standard deviation below 1% of the mean."""
+    for result in (bench_sem(same_cpu=True, iters=ITERS),
+                   bench_rpc(same_cpu=True, iters=ITERS),
+                   bench_dipc(policy="high", cross_process=True,
+                              iters=ITERS)):
+        assert result.relative_stddev < 0.01, result

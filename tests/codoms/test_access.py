@@ -1,0 +1,185 @@
+"""Tests for the code-centric access engine — the crux of CODOMs (§4.1).
+
+Builds the paper's Figure 4 layout: domain A (pages 1,2,4,7), domain B
+(page 3, entry points), domain C (pages 0,5,6); A's APL grants CALL to B,
+B's APL grants READ to C.
+"""
+
+import pytest
+
+from repro import units
+from repro.codoms.access import AccessEngine, CodomsContext
+from repro.codoms.apl import APLRegistry, Permission
+from repro.errors import (AccessFault, CapabilityFault, EntryAlignmentFault,
+                          PrivilegeFault)
+from repro.mem.addrspace import AddressSpace
+from repro.mem.pagetable import PageTable
+from repro.mem.phys import PhysicalMemory
+
+PAGE = units.PAGE_SIZE
+TAG_A, TAG_B, TAG_C = 1, 2, 3
+
+
+@pytest.fixture
+def system():
+    table = PageTable(PhysicalMemory())
+    layout = {0: TAG_C, 1: TAG_A, 2: TAG_A, 3: TAG_B, 4: TAG_A,
+              5: TAG_C, 6: TAG_C, 7: TAG_A}
+    for vpn, tag in layout.items():
+        table.map_page(vpn, tag=tag, execute=True)
+    apls = APLRegistry()
+    apls.apl_of(TAG_A).grant(TAG_B, Permission.CALL)
+    apls.apl_of(TAG_B).grant(TAG_C, Permission.READ)
+    engine = AccessEngine(AddressSpace(table), apls)
+    return engine
+
+
+@pytest.fixture
+def ctx_a():
+    return CodomsContext(tag=TAG_A)
+
+
+@pytest.fixture
+def ctx_b():
+    return CodomsContext(tag=TAG_B)
+
+
+def addr(vpn, off=0):
+    return vpn * PAGE + off
+
+
+class TestDataAccess:
+    def test_own_domain_full_access(self, system, ctx_a):
+        system.write(ctx_a, addr(1, 10), b"hi")
+        assert system.read(ctx_a, addr(1, 10), 2) == b"hi"
+
+    def test_call_permission_gives_no_data_access(self, system, ctx_a):
+        with pytest.raises(AccessFault):
+            system.read(ctx_a, addr(3), 1)
+        with pytest.raises(AccessFault):
+            system.write(ctx_a, addr(3), b"x")
+
+    def test_read_permission_allows_reads_not_writes(self, system, ctx_b):
+        system.read(ctx_b, addr(5), 4)
+        with pytest.raises(AccessFault):
+            system.write(ctx_b, addr(5), b"x")
+
+    def test_unrelated_domain_fully_isolated(self, system, ctx_a):
+        with pytest.raises(AccessFault):
+            system.read(ctx_a, addr(0), 1)
+
+    def test_page_ro_bit_honoured_despite_apl_write(self, system):
+        """§4.1: an APL with write access will not allow writing into a
+        read-only page of that domain."""
+        system.apls.apl_of(TAG_A).grant(TAG_C, Permission.WRITE)
+        system.space.table.lookup(0).write = False
+        ctx = CodomsContext(tag=TAG_A)
+        system.read(ctx, addr(0), 1)
+        with pytest.raises(AccessFault):
+            system.write(ctx, addr(0), b"x")
+
+    def test_capability_fallback_grants_access(self, system, ctx_a):
+        cap = system.mint(CodomsContext(tag=TAG_C), addr(0), 16,
+                          Permission.WRITE)
+        ctx_a.install_cap(0, cap)
+        system.write(ctx_a, addr(0), b"ok")
+        assert system.read(ctx_a, addr(0), 2) == b"ok"
+
+    def test_revoked_capability_stops_granting(self, system, ctx_a):
+        cap = system.mint(CodomsContext(tag=TAG_C), addr(0), 16,
+                          Permission.READ)
+        ctx_a.install_cap(0, cap)
+        system.read(ctx_a, addr(0), 1)
+        cap.revoke()
+        with pytest.raises(AccessFault):
+            system.read(ctx_a, addr(0), 1)
+
+    def test_all_eight_registers_are_checked(self, system, ctx_a):
+        cap = system.mint(CodomsContext(tag=TAG_C), addr(0), 16,
+                          Permission.READ)
+        ctx_a.install_cap(7, cap)
+        system.read(ctx_a, addr(0), 1)
+
+    def test_cross_domain_counter(self, system, ctx_b):
+        before = system.cross_domain_accesses
+        system.read(ctx_b, addr(5), 1)   # cross-domain (B -> C)
+        system.read(ctx_b, addr(3), 1)   # own domain
+        assert system.cross_domain_accesses == before + 1
+
+
+class TestControlTransfer:
+    def test_call_to_aligned_entry_point(self, system, ctx_a):
+        new_tag = system.check_call(ctx_a, addr(3, 0))
+        assert new_tag == TAG_B
+        assert ctx_a.current_tag == TAG_B
+
+    def test_call_to_unaligned_address_faults(self, system, ctx_a):
+        with pytest.raises(EntryAlignmentFault):
+            system.check_call(ctx_a, addr(3, 17))
+
+    def test_read_permission_allows_arbitrary_jump(self, system, ctx_b):
+        system.check_call(ctx_b, addr(5, 17))
+        assert ctx_b.current_tag == TAG_C
+
+    def test_no_permission_no_call(self, system, ctx_a):
+        with pytest.raises(AccessFault):
+            system.check_call(ctx_a, addr(0, 0))
+
+    def test_figure4_transitivity(self, system, ctx_a):
+        """A calls B; now running as B, the thread may jump into C, which
+        A could never reach directly (Figure 4's walkthrough)."""
+        system.check_call(ctx_a, addr(3, 0))
+        system.check_call(ctx_a, addr(5, 64))
+        assert ctx_a.current_tag == TAG_C
+
+    def test_call_via_call_capability_needs_alignment(self, system, ctx_a):
+        cap = system.mint(CodomsContext(tag=TAG_C), addr(0), PAGE,
+                          Permission.CALL)
+        ctx_a.install_cap(0, cap)
+        system.check_call(ctx_a, addr(0, 64))
+        ctx_a.current_tag = TAG_A
+        with pytest.raises(AccessFault):
+            system.check_call(ctx_a, addr(0, 65))
+
+    def test_non_executable_page_fetch_faults(self, system, ctx_a):
+        system.space.table.lookup(2).execute = False
+        with pytest.raises(AccessFault):
+            system.check_call(ctx_a, addr(2, 0))
+
+    def test_privilege_follows_priv_cap_bit(self, system, ctx_a):
+        """The privileged-capability bit switches privilege implicitly."""
+        system.space.table.lookup(3).privileged = True
+        assert not ctx_a.privileged
+        system.check_call(ctx_a, addr(3, 0))
+        assert ctx_a.privileged
+        system.check_privileged(ctx_a)  # no fault
+
+    def test_privileged_instruction_denied_otherwise(self, system, ctx_a):
+        with pytest.raises(PrivilegeFault):
+            system.check_privileged(ctx_a, "wrmsr")
+
+
+class TestMinting:
+    def test_mint_over_own_pages(self, system, ctx_a):
+        cap = system.mint(ctx_a, addr(1), 2 * PAGE, Permission.WRITE)
+        assert cap.grants(addr(2, 100), 4, write=True)
+
+    def test_mint_cannot_exceed_apl(self, system, ctx_a):
+        with pytest.raises(CapabilityFault):
+            system.mint(ctx_a, addr(0), 16, Permission.READ)
+
+    def test_mint_range_spanning_mixed_authority_takes_min(self, system,
+                                                           ctx_b):
+        # pages 5-6 belong to C, which B may only READ: WRITE mint fails
+        with pytest.raises(CapabilityFault):
+            system.mint(ctx_b, addr(5), 2 * PAGE, Permission.WRITE)
+        cap = system.mint(ctx_b, addr(5), 2 * PAGE, Permission.READ)
+        assert cap.grants(addr(6, 8), 1, write=False)
+        # a range straddling into domain A (page 4) carries B's NIL to A
+        with pytest.raises(CapabilityFault):
+            system.mint(ctx_b, addr(3), 2 * PAGE, Permission.READ)
+
+    def test_mint_over_readonly_page_caps_at_read(self, system, ctx_a):
+        system.space.table.lookup(1).write = False
+        with pytest.raises(CapabilityFault):
+            system.mint(ctx_a, addr(1), 16, Permission.WRITE)

@@ -1,0 +1,124 @@
+"""Property-based end-to-end checks of the CODOMs access engine against
+an independent oracle written straight from the paper's §4.1 rules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.codoms.access import AccessEngine, CodomsContext
+from repro.codoms.apl import APLRegistry, Permission
+from repro.errors import AccessFault, EntryAlignmentFault, ProtectionFault
+from repro.mem.addrspace import AddressSpace
+from repro.mem.pagetable import PageTable
+from repro.mem.phys import PhysicalMemory
+
+NUM_DOMAINS = 4
+PAGES_PER_DOMAIN = 2
+PAGE = units.PAGE_SIZE
+
+perm_strategy = st.sampled_from([Permission.NIL, Permission.CALL,
+                                 Permission.READ, Permission.WRITE])
+
+
+def build_system(grants):
+    """grants: dict[(src, dst)] -> Permission over NUM_DOMAINS domains."""
+    table = PageTable(PhysicalMemory())
+    for dom in range(NUM_DOMAINS):
+        for page in range(PAGES_PER_DOMAIN):
+            table.map_page(dom * PAGES_PER_DOMAIN + page, tag=dom,
+                           execute=True)
+    apls = APLRegistry()
+    for (src, dst), perm in grants.items():
+        if src != dst:
+            apls.apl_of(src).grant(dst, perm)
+    return AccessEngine(AddressSpace(table), apls)
+
+
+def oracle_data(grants, src, dst, write):
+    """§4.1: implicit write to own pages; else the APL entry decides."""
+    if src == dst:
+        return True
+    perm = grants.get((src, dst), Permission.NIL)
+    return perm.allows_write() if write else perm.allows_read()
+
+
+def oracle_call(grants, src, dst, aligned):
+    if src == dst:
+        return True
+    perm = grants.get((src, dst), Permission.NIL)
+    if perm.allows_arbitrary_jump():
+        return True
+    return perm.allows_call() and aligned
+
+
+grants_strategy = st.dictionaries(
+    keys=st.tuples(st.integers(0, NUM_DOMAINS - 1),
+                   st.integers(0, NUM_DOMAINS - 1)),
+    values=perm_strategy, max_size=12)
+
+
+@settings(max_examples=150, deadline=None)
+@given(grants=grants_strategy,
+       src=st.integers(0, NUM_DOMAINS - 1),
+       dst=st.integers(0, NUM_DOMAINS - 1),
+       write=st.booleans(),
+       offset=st.integers(0, PAGE - 16))
+def test_property_data_access_matches_oracle(grants, src, dst, write,
+                                             offset):
+    engine = build_system(grants)
+    ctx = CodomsContext(tag=src)
+    addr = dst * PAGES_PER_DOMAIN * PAGE + offset
+    expected = oracle_data(grants, src, dst, write)
+    try:
+        engine.check_data(ctx, addr, 8, write=write)
+        allowed = True
+    except AccessFault:
+        allowed = False
+    assert allowed == expected
+
+
+@settings(max_examples=150, deadline=None)
+@given(grants=grants_strategy,
+       src=st.integers(0, NUM_DOMAINS - 1),
+       dst=st.integers(0, NUM_DOMAINS - 1),
+       offset=st.integers(0, PAGE - 1))
+def test_property_control_transfer_matches_oracle(grants, src, dst,
+                                                  offset):
+    engine = build_system(grants)
+    ctx = CodomsContext(tag=src)
+    addr = dst * PAGES_PER_DOMAIN * PAGE + offset
+    aligned = addr % engine.entry_align == 0
+    expected = oracle_call(grants, src, dst, aligned)
+    try:
+        engine.check_call(ctx, addr)
+        allowed = True
+    except (AccessFault, EntryAlignmentFault):
+        allowed = False
+    assert allowed == expected
+    if allowed:
+        assert ctx.current_tag == dst  # landing switches the domain
+
+
+@settings(max_examples=80, deadline=None)
+@given(grants=grants_strategy,
+       src=st.integers(0, NUM_DOMAINS - 1),
+       dst=st.integers(0, NUM_DOMAINS - 1),
+       want=st.sampled_from([Permission.CALL, Permission.READ,
+                             Permission.WRITE]))
+def test_property_minting_never_amplifies_apl(grants, src, dst, want):
+    """A capability minted by src over dst's pages can never authorize
+    more than src's APL does."""
+    engine = build_system(grants)
+    ctx = CodomsContext(tag=src)
+    base = dst * PAGES_PER_DOMAIN * PAGE
+    try:
+        cap = engine.mint(ctx, base, 64, want)
+    except ProtectionFault:
+        return  # refusing is always safe
+    # if minting succeeded, every access the cap grants must also be
+    # granted by the APL rules the cap was derived from
+    if cap.grants(base, 8, write=True):
+        assert oracle_data(grants, src, dst, write=True)
+    if cap.grants(base, 8, write=False):
+        assert oracle_data(grants, src, dst, write=False)

@@ -1,0 +1,113 @@
+"""Tests for APLs and the permission lattice."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codoms.apl import APL, APLRegistry, Permission
+
+
+class TestPermission:
+    def test_ordering(self):
+        assert (Permission.NIL < Permission.CALL < Permission.READ <
+                Permission.WRITE < Permission.OWNER)
+
+    def test_owner_maps_to_write_in_hardware(self):
+        assert Permission.OWNER.hardware() is Permission.WRITE
+
+    def test_call_grants_only_calls(self):
+        perm = Permission.CALL
+        assert perm.allows_call()
+        assert not perm.allows_read()
+        assert not perm.allows_write()
+        assert not perm.allows_arbitrary_jump()
+
+    def test_read_grants_arbitrary_jump(self):
+        # §4.1: Read "allows reading ... as well as call/jump into
+        # arbitrary addresses"
+        assert Permission.READ.allows_arbitrary_jump()
+        assert not Permission.READ.allows_write()
+
+    def test_write_implies_read(self):
+        assert Permission.WRITE.allows_read()
+        assert Permission.WRITE.allows_call()
+
+
+class TestAPL:
+    def test_default_is_nil(self):
+        apl = APL(tag=1)
+        assert apl.permission_to(2) is Permission.NIL
+
+    def test_implicit_self_write(self):
+        apl = APL(tag=1)
+        assert apl.permission_to(1) is Permission.WRITE
+
+    def test_grant_and_revoke(self):
+        apl = APL(tag=1)
+        apl.grant(2, Permission.READ)
+        assert apl.permission_to(2) is Permission.READ
+        apl.revoke(2)
+        assert apl.permission_to(2) is Permission.NIL
+
+    def test_grant_owner_installs_write(self):
+        apl = APL(tag=1)
+        apl.grant(2, Permission.OWNER)
+        assert apl.permission_to(2) is Permission.WRITE
+
+    def test_version_bumps_on_change(self):
+        apl = APL(tag=1)
+        before = apl.version
+        apl.grant(2, Permission.CALL)
+        assert apl.version > before
+
+    def test_nil_grant_removes_entry(self):
+        apl = APL(tag=1)
+        apl.grant(2, Permission.CALL)
+        apl.grant(2, Permission.NIL)
+        assert len(apl) == 0
+
+
+class TestAPLRegistry:
+    def test_lazily_creates_apls(self):
+        reg = APLRegistry()
+        assert reg.permission(1, 2) is Permission.NIL
+        reg.apl_of(1).grant(2, Permission.CALL)
+        assert reg.permission(1, 2) is Permission.CALL
+
+    def test_untagged_pages_unreachable_across(self):
+        reg = APLRegistry()
+        assert reg.permission(None, 1) is Permission.NIL
+        assert reg.permission(1, None) is Permission.NIL
+        assert reg.permission(None, None) is Permission.WRITE
+
+    def test_drop_tag_scrubs_everywhere(self):
+        reg = APLRegistry()
+        reg.apl_of(1).grant(3, Permission.WRITE)
+        reg.apl_of(2).grant(3, Permission.READ)
+        reg.drop_tag(3)
+        assert reg.permission(1, 3) is Permission.NIL
+        assert reg.permission(2, 3) is Permission.NIL
+
+    def test_figure4_scenario(self):
+        """The paper's Figure 4: A may call into B's entry points; B has
+        read access to C; A cannot touch C at all."""
+        reg = APLRegistry()
+        reg.apl_of("A").grant("B", Permission.CALL)
+        reg.apl_of("B").grant("C", Permission.READ)
+        assert reg.permission("A", "B").allows_call()
+        assert not reg.permission("A", "B").allows_read()
+        assert reg.permission("B", "C").allows_arbitrary_jump()
+        assert reg.permission("A", "C") is Permission.NIL
+
+
+@given(st.sampled_from(list(Permission)))
+def test_property_hardware_clamp_idempotent(perm):
+    assert perm.hardware().hardware() is perm.hardware()
+
+
+@given(st.sampled_from(list(Permission)), st.sampled_from(list(Permission)))
+def test_property_grant_then_query_returns_hardware_perm(p1, p2):
+    apl = APL(tag=0)
+    apl.grant(1, p1)
+    apl.grant(1, p2)
+    assert apl.permission_to(1) is p2.hardware()

@@ -1,0 +1,100 @@
+"""Tests for the 32-entry per-hardware-thread APL cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codoms.aplcache import APL_CACHE_ENTRIES, APLCache, APLCacheMiss
+
+
+def test_cache_has_32_entries():
+    assert APL_CACHE_ENTRIES == 32
+    assert APLCache().capacity == 32
+
+
+def test_miss_raises_then_fill_hits():
+    cache = APLCache()
+    with pytest.raises(APLCacheMiss):
+        cache.lookup(7)
+    hw = cache.fill(7)
+    assert cache.lookup(7) == hw
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_hw_tags_fit_in_5_bits():
+    """§4.3: the 32-entry cache yields a 5-bit hardware domain tag."""
+    cache = APLCache()
+    hw_tags = {cache.fill(tag) for tag in range(32)}
+    assert len(hw_tags) == 32
+    assert all(0 <= hw < 32 for hw in hw_tags)
+
+
+def test_fill_is_idempotent():
+    cache = APLCache()
+    assert cache.fill(5) == cache.fill(5)
+
+
+def test_lru_eviction():
+    cache = APLCache(entries=2)
+    cache.fill(1)
+    cache.fill(2)
+    cache.lookup(1)      # 2 becomes LRU
+    cache.fill(3)        # evicts 2
+    assert cache.contains(1) and cache.contains(3)
+    assert not cache.contains(2)
+
+
+def test_evicted_hw_tag_is_recycled():
+    cache = APLCache(entries=2)
+    cache.fill(1)
+    hw2 = cache.fill(2)
+    cache.fill(1)  # keep 1 hot
+    hw3 = cache.fill(3)  # evicts 2
+    assert hw3 == hw2
+
+
+def test_hw_tag_of_uncached_returns_none():
+    cache = APLCache()
+    cache.fill(1)
+    assert cache.hw_tag_of(1) is not None
+    assert cache.hw_tag_of(99) is None
+
+
+def test_invalidate():
+    cache = APLCache()
+    cache.fill(1)
+    cache.invalidate(1)
+    assert not cache.contains(1)
+    cache.invalidate(1)  # harmless twice
+
+
+def test_swap_out_and_in_for_context_switch():
+    cache = APLCache()
+    hw = cache.fill(9)
+    saved = cache.swap_out()
+    assert cache.occupancy() == 0
+    cache.fill(55)
+    cache.swap_in(saved)
+    assert cache.hw_tag_of(9) == hw
+    assert not cache.contains(55)
+
+
+def test_swap_in_frees_remaining_slots():
+    cache = APLCache(entries=4)
+    cache.fill(1)
+    saved = cache.swap_out()
+    cache.swap_in(saved)
+    for tag in (2, 3, 4):
+        cache.fill(tag)
+    assert cache.occupancy() == 4
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=300))
+def test_property_never_exceeds_capacity_and_tags_unique(tags):
+    cache = APLCache()
+    for tag in tags:
+        cache.fill(tag)
+        assert cache.occupancy() <= cache.capacity
+    seen = [cache.hw_tag_of(t) for t in set(tags) if cache.contains(t)]
+    assert len(seen) == len(set(seen))

@@ -1,0 +1,158 @@
+"""Tests for transient capabilities: attenuation, revocation, thread binding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codoms.apl import Permission
+from repro.codoms.capability import (CAP_REGISTERS, CAP_SIZE_BYTES,
+                                     Capability, mint_from_apl)
+from repro.errors import CapabilityFault
+
+THREAD_A = object()
+THREAD_B = object()
+
+
+def make_cap(base=0x1000, size=0x1000, perm=Permission.WRITE, *,
+             synchronous=True, thread=THREAD_A):
+    return mint_from_apl(Permission.WRITE, base, size, perm,
+                         synchronous=synchronous, owner_thread=thread)
+
+
+def test_constants_match_paper():
+    assert CAP_REGISTERS == 8       # "8 per-thread capability registers"
+    assert CAP_SIZE_BYTES == 32     # "they occupy 32B"
+
+
+def test_grants_within_range():
+    cap = make_cap()
+    assert cap.grants(0x1000, 16, write=True)
+    assert cap.grants(0x1FFF, 1, write=False)
+
+
+def test_denies_outside_range():
+    cap = make_cap()
+    assert not cap.grants(0xFFF, 1, write=False)
+    assert not cap.grants(0x1FF0, 32, write=False)  # runs past the end
+
+
+def test_read_cap_denies_write():
+    cap = make_cap(perm=Permission.READ)
+    assert cap.grants(0x1000, 1, write=False)
+    assert not cap.grants(0x1000, 1, write=True)
+
+
+def test_call_cap_denies_data_access():
+    cap = make_cap(perm=Permission.CALL)
+    assert not cap.grants(0x1000, 1, write=False)
+    assert cap.grants_call(0x1000)
+
+
+def test_mint_cannot_amplify_apl_authority():
+    with pytest.raises(CapabilityFault):
+        mint_from_apl(Permission.READ, 0, 16, Permission.WRITE,
+                      synchronous=True, owner_thread=THREAD_A)
+
+
+def test_mint_rejects_empty_range():
+    with pytest.raises(CapabilityFault):
+        make_cap(size=0)
+
+
+def test_mint_rejects_nil():
+    with pytest.raises(CapabilityFault):
+        make_cap(perm=Permission.NIL)
+
+
+class TestDerivation:
+    def test_narrowing_ok(self):
+        parent = make_cap()
+        child = parent.derive(base=0x1100, size=0x100, perm=Permission.READ)
+        assert child.grants(0x1100, 1, write=False)
+        assert not child.grants(0x1000, 1, write=False)
+
+    def test_widening_range_rejected(self):
+        parent = make_cap()
+        with pytest.raises(CapabilityFault):
+            parent.derive(base=0x0F00, size=0x100)
+        with pytest.raises(CapabilityFault):
+            parent.derive(base=0x1F00, size=0x200)
+
+    def test_amplifying_permission_rejected(self):
+        parent = make_cap(perm=Permission.READ)
+        with pytest.raises(CapabilityFault):
+            parent.derive(perm=Permission.WRITE)
+
+
+class TestRevocation:
+    def test_immediate_revocation(self):
+        cap = make_cap()
+        assert cap.is_valid()
+        cap.revoke()
+        assert not cap.is_valid()
+        assert not cap.grants(0x1000, 1, write=False)
+
+    def test_revoking_parent_kills_derived(self):
+        """§4.2: revocation counters give immediate revocation, unlike
+        GC-based capability systems."""
+        parent = make_cap()
+        child = parent.derive(size=0x10)
+        parent.revoke()
+        assert not child.is_valid()
+
+    def test_cannot_derive_from_revoked(self):
+        cap = make_cap()
+        cap.revoke()
+        with pytest.raises(CapabilityFault):
+            cap.derive(size=0x10)
+
+    def test_independent_roots_unaffected(self):
+        a, b = make_cap(), make_cap()
+        a.revoke()
+        assert b.is_valid()
+
+
+class TestThreadBinding:
+    def test_synchronous_cap_bound_to_thread(self):
+        cap = make_cap(synchronous=True, thread=THREAD_A)
+        assert cap.grants(0x1000, 1, write=False, thread=THREAD_A)
+        assert not cap.grants(0x1000, 1, write=False, thread=THREAD_B)
+        assert not cap.grants_call(0x1000, thread=THREAD_B)
+
+    def test_asynchronous_cap_crosses_threads(self):
+        cap = make_cap(synchronous=False, thread=THREAD_A)
+        assert cap.grants(0x1000, 1, write=False, thread=THREAD_B)
+
+
+@given(
+    base=st.integers(min_value=0, max_value=2**40),
+    size=st.integers(min_value=1, max_value=2**20),
+    sub_lo=st.integers(min_value=0, max_value=2**20),
+    sub_len=st.integers(min_value=1, max_value=2**20),
+)
+def test_property_derived_range_is_subset(base, size, sub_lo, sub_len):
+    parent = mint_from_apl(Permission.WRITE, base, size, Permission.WRITE,
+                           synchronous=True, owner_thread=THREAD_A)
+    new_base = base + sub_lo
+    try:
+        child = parent.derive(base=new_base, size=sub_len)
+    except CapabilityFault:
+        assert new_base < base or new_base + sub_len > base + size
+    else:
+        assert child.base >= parent.base
+        assert child.end <= parent.end
+
+
+@given(perm=st.sampled_from([Permission.CALL, Permission.READ,
+                             Permission.WRITE]),
+       want=st.sampled_from([Permission.CALL, Permission.READ,
+                             Permission.WRITE]))
+def test_property_derivation_never_amplifies(perm, want):
+    parent = mint_from_apl(Permission.WRITE, 0, 64, perm,
+                           synchronous=True, owner_thread=THREAD_A)
+    try:
+        child = parent.derive(perm=want)
+    except CapabilityFault:
+        assert want > perm
+    else:
+        assert child.perm <= parent.perm

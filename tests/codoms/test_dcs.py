@@ -1,0 +1,129 @@
+"""Tests for the Domain Capability Stack and its privileged base register."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codoms.apl import Permission
+from repro.codoms.capability import mint_from_apl
+from repro.codoms.dcs import DCSPool, DomainCapabilityStack
+from repro.errors import CapabilityFault
+
+
+def cap(n=0):
+    return mint_from_apl(Permission.WRITE, 0x1000 * (n + 1), 16,
+                         Permission.READ, synchronous=True,
+                         owner_thread=None)
+
+
+def test_push_pop_lifo():
+    dcs = DomainCapabilityStack()
+    a, b = cap(0), cap(1)
+    dcs.push(a)
+    dcs.push(b)
+    assert dcs.pop() is b
+    assert dcs.pop() is a
+
+
+def test_pop_empty_faults():
+    with pytest.raises(CapabilityFault):
+        DomainCapabilityStack().pop()
+
+
+def test_only_capabilities_allowed():
+    with pytest.raises(CapabilityFault):
+        DomainCapabilityStack().push("not a capability")
+
+
+def test_overflow():
+    dcs = DomainCapabilityStack(limit=2)
+    dcs.push(cap(0))
+    dcs.push(cap(1))
+    with pytest.raises(CapabilityFault):
+        dcs.push(cap(2))
+
+
+def test_base_register_hides_caller_entries():
+    """DCS integrity (§5.2.3): the proxy raises the base so the callee
+    cannot pop the caller's spilled capabilities."""
+    dcs = DomainCapabilityStack()
+    caller_cap, arg_cap = cap(0), cap(1)
+    dcs.push(caller_cap)
+    old_base = dcs.set_base(dcs.raw_depth)
+    dcs.push(arg_cap)
+    assert dcs.pop() is arg_cap
+    with pytest.raises(CapabilityFault):
+        dcs.pop()  # caller's entry is below the base
+    dcs.set_base(old_base)
+    assert dcs.pop() is caller_cap
+
+
+def test_peek_respects_base():
+    dcs = DomainCapabilityStack()
+    dcs.push(cap(0))
+    dcs.set_base(1)
+    with pytest.raises(CapabilityFault):
+        dcs.peek()
+
+
+def test_set_base_bounds_checked():
+    dcs = DomainCapabilityStack()
+    with pytest.raises(CapabilityFault):
+        dcs.set_base(-1)
+    with pytest.raises(CapabilityFault):
+        dcs.set_base(1)
+
+
+def test_visible_lists_only_above_base():
+    dcs = DomainCapabilityStack()
+    below, above = cap(0), cap(1)
+    dcs.push(below)
+    dcs.set_base(1)
+    dcs.push(above)
+    assert dcs.visible() == [above]
+
+
+def test_depth_counts_visible_entries():
+    dcs = DomainCapabilityStack()
+    dcs.push(cap(0))
+    dcs.push(cap(1))
+    dcs.set_base(1)
+    assert dcs.depth == 1
+    assert dcs.raw_depth == 2
+
+
+class TestDCSPool:
+    def test_acquire_release_reuses(self):
+        pool = DCSPool()
+        dcs = pool.acquire()
+        pool.release(dcs)
+        assert pool.acquire() is dcs
+        assert pool.allocated == 1
+
+    def test_released_stack_is_wiped(self):
+        """DCS confidentiality must hold across borrowers."""
+        pool = DCSPool()
+        dcs = pool.acquire()
+        dcs.push(cap(0))
+        dcs.set_base(1)
+        pool.release(dcs)
+        fresh = pool.acquire()
+        assert fresh.raw_depth == 0
+        assert fresh.base == 0
+
+
+@given(st.lists(st.sampled_from(["push", "pop"]), max_size=100))
+def test_property_depth_never_negative(ops):
+    dcs = DomainCapabilityStack()
+    expected = 0
+    for op in ops:
+        if op == "push":
+            dcs.push(cap())
+            expected += 1
+        else:
+            try:
+                dcs.pop()
+                expected -= 1
+            except CapabilityFault:
+                assert expected == 0
+    assert dcs.raw_depth == expected

@@ -1,0 +1,190 @@
+"""Tests for Table 2's operations: the dIPC OS interface."""
+
+import pytest
+
+from repro import units
+from repro.codoms.apl import Permission
+from repro.core.objects import EntryDescriptor, Signature
+from repro.core.policies import IsolationPolicy
+from repro.errors import DipcError, PermissionDenied, SignatureMismatch
+
+from tests.core.conftest import make_query_entry
+
+
+class TestDomainOps:
+    def test_dom_default_is_owner_of_default_tag(self, manager, web):
+        handle = manager.dom_default(web)
+        assert handle.is_owner
+        assert handle.tag == web.default_tag
+
+    def test_dom_create_returns_fresh_isolated_domain(self, manager, web):
+        a = manager.dom_create(web)
+        b = manager.dom_create(web)
+        assert a.tag != b.tag
+        # P1: new domains are in no APL
+        assert manager.apls.permission(web.default_tag, a.tag) is \
+            Permission.NIL
+
+    def test_dom_ops_require_dipc_enabled(self, kernel, manager):
+        legacy = kernel.spawn_process("legacy", dipc=False)
+        with pytest.raises(DipcError):
+            manager.dom_default(legacy)
+
+    def test_dom_copy_downgrades(self, manager, web):
+        owner = manager.dom_create(web)
+        read = manager.dom_copy(owner, Permission.READ)
+        assert read.tag == owner.tag
+        assert read.perm is Permission.READ
+
+    def test_dom_copy_cannot_upgrade(self, manager, web):
+        owner = manager.dom_create(web)
+        read = manager.dom_copy(owner, Permission.READ)
+        with pytest.raises(PermissionDenied):
+            manager.dom_copy(read, Permission.WRITE)
+
+    def test_dom_mmap_tags_pages(self, kernel, manager, web):
+        dom = manager.dom_create(web)
+        addr = manager.dom_mmap(web, dom, 2 * units.PAGE_SIZE)
+        pte = kernel.shared_table.lookup(addr // units.PAGE_SIZE)
+        assert pte.tag == dom.tag
+
+    def test_dom_mmap_requires_owner(self, manager, web):
+        dom = manager.dom_create(web)
+        read = manager.dom_copy(dom, Permission.READ)
+        with pytest.raises(PermissionDenied):
+            manager.dom_mmap(web, read, units.PAGE_SIZE)
+
+    def test_dom_remap_moves_pages(self, kernel, manager, web):
+        src = manager.dom_create(web)
+        dst = manager.dom_create(web)
+        addr = manager.dom_mmap(web, src, units.PAGE_SIZE)
+        manager.dom_remap(web, dst, src, addr, units.PAGE_SIZE)
+        pte = kernel.shared_table.lookup(addr // units.PAGE_SIZE)
+        assert pte.tag == dst.tag
+
+    def test_dom_remap_requires_both_owner(self, manager, web):
+        src = manager.dom_create(web)
+        dst = manager.dom_copy(manager.dom_create(web), Permission.WRITE)
+        addr = manager.dom_mmap(web, src, units.PAGE_SIZE)
+        with pytest.raises(PermissionDenied):
+            manager.dom_remap(web, dst, src, addr, units.PAGE_SIZE)
+
+
+class TestGrants:
+    def test_grant_installs_apl_edge(self, manager, web, database):
+        src = manager.dom_default(web)
+        dst = manager.dom_copy(manager.dom_default(database),
+                               Permission.READ)
+        grant = manager.grant_create(src, dst)
+        assert manager.apls.permission(web.default_tag,
+                                       database.default_tag) is \
+            Permission.READ
+        assert grant.perm is Permission.READ
+
+    def test_owner_handle_grants_write(self, manager, web, database):
+        """§5.2.2: an OWNER dst handle translates to WRITE in CODOMs."""
+        grant = manager.grant_create(manager.dom_default(web),
+                                     manager.dom_default(database))
+        assert grant.perm is Permission.WRITE
+
+    def test_grant_requires_owner_src(self, manager, web, database):
+        src = manager.dom_copy(manager.dom_default(web), Permission.WRITE)
+        with pytest.raises(PermissionDenied):
+            manager.grant_create(src, manager.dom_default(database))
+
+    def test_grant_revoke(self, manager, web, database):
+        grant = manager.grant_create(
+            manager.dom_default(web),
+            manager.dom_copy(manager.dom_default(database),
+                             Permission.READ))
+        manager.grant_revoke(grant)
+        assert manager.apls.permission(web.default_tag,
+                                       database.default_tag) is \
+            Permission.NIL
+        manager.grant_revoke(grant)  # idempotent
+
+
+class TestEntryOps:
+    def test_register_assigns_aligned_addresses(self, manager, database):
+        handle = make_query_entry(manager, database)
+        address = handle.entries[0].address
+        assert address is not None
+        assert address % 64 == 0
+
+    def test_register_requires_owner(self, manager, database):
+        dom = manager.dom_copy(manager.dom_default(database),
+                               Permission.WRITE)
+        with pytest.raises(PermissionDenied):
+            manager.entry_register(database, dom, [EntryDescriptor(
+                signature=Signature(), func=lambda t: iter(()))])
+
+    def test_register_requires_implementation(self, manager, database):
+        dom = manager.dom_default(database)
+        with pytest.raises(DipcError):
+            manager.entry_register(database, dom, [EntryDescriptor(
+                signature=Signature())])
+
+    def test_register_rejects_empty(self, manager, database):
+        with pytest.raises(DipcError):
+            manager.entry_register(database, manager.dom_default(database),
+                                   [])
+
+    def test_request_checks_signatures_p4(self, manager, web, database):
+        handle = make_query_entry(manager, database)
+        bad = [EntryDescriptor(signature=Signature(in_regs=2, out_regs=1),
+                               name="query")]
+        with pytest.raises(SignatureMismatch):
+            manager.entry_request(web, handle, bad)
+
+    def test_request_checks_count_p4(self, manager, web, database):
+        handle = make_query_entry(manager, database)
+        with pytest.raises(SignatureMismatch):
+            manager.entry_request(web, handle, [])
+
+    def test_request_returns_call_handle_and_sets_addresses(
+            self, manager, web, database):
+        handle = make_query_entry(manager, database)
+        request = [EntryDescriptor(signature=Signature(in_regs=1,
+                                                       out_regs=1),
+                                   name="query")]
+        proxy_handle, proxies = manager.entry_request(web, handle, request)
+        assert proxy_handle.perm is Permission.CALL
+        assert request[0].address is not None
+        assert request[0].address % 64 == 0
+        assert len(proxies) == 1
+        assert proxies[0].cross_process
+
+    def test_request_merges_policies_by_union(self, manager, web, database):
+        handle = make_query_entry(
+            manager, database,
+            policy=IsolationPolicy(dcs_confidentiality=True))
+        request = [EntryDescriptor(
+            signature=Signature(in_regs=1, out_regs=1),
+            policy=IsolationPolicy(reg_integrity=True), name="query")]
+        _, proxies = manager.entry_request(web, handle, request)
+        assert proxies[0].stub_policy.reg_integrity
+        assert proxies[0].stub_policy.dcs_confidentiality
+
+    def test_proxy_pages_are_privileged(self, kernel, manager, web,
+                                        database):
+        handle = make_query_entry(manager, database)
+        request = [EntryDescriptor(signature=Signature(in_regs=1,
+                                                       out_regs=1))]
+        _, proxies = manager.entry_request(web, handle, request)
+        vpn = proxies[0].entry_address // units.PAGE_SIZE
+        pte = kernel.shared_table.lookup(vpn)
+        assert pte.privileged
+        assert pte.execute
+
+
+class TestHandleDelegationViaFds:
+    def test_handles_travel_as_file_descriptors(self, manager, web,
+                                                database):
+        """§5.2.2: processes pass each other domain handles as fds."""
+        read_handle = manager.dom_copy(manager.dom_default(database),
+                                       Permission.READ)
+        fd = database.fdtable.install(read_handle)
+        # ... handed over a socket; the web process then retrieves it
+        received = database.fdtable.get(fd)
+        grant = manager.grant_create(manager.dom_default(web), received)
+        assert grant.perm is Permission.READ

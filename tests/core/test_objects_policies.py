@@ -1,0 +1,108 @@
+"""Tests for Table 2 objects and isolation policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codoms.apl import Permission
+from repro.core.objects import (DomainHandle, EntryDescriptor, EntryHandle,
+                                Signature)
+from repro.core.policies import IsolationPolicy, effective_policies
+
+
+class TestSignature:
+    def test_valid(self):
+        sig = Signature(in_regs=3, out_regs=1, stack_bytes=64)
+        assert sig.in_regs == 3
+
+    def test_equality_is_structural(self):
+        assert Signature(1, 1, 0) == Signature(1, 1, 0)
+        assert Signature(1, 1, 0) != Signature(2, 1, 0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"in_regs": 7}, {"in_regs": -1}, {"out_regs": 3},
+        {"stack_bytes": -8},
+    ])
+    def test_abi_bounds_enforced(self, kwargs):
+        with pytest.raises(ValueError):
+            Signature(**kwargs)
+
+
+class TestDomainHandle:
+    def test_owner(self):
+        handle = DomainHandle(5, Permission.OWNER)
+        assert handle.is_owner
+
+    def test_non_owner(self):
+        assert not DomainHandle(5, Permission.READ).is_owner
+
+
+class TestIsolationPolicy:
+    def test_low_has_nothing(self):
+        assert IsolationPolicy.low().is_low
+        assert IsolationPolicy.low().bitmask() == 0
+
+    def test_high_has_everything(self):
+        high = IsolationPolicy.high()
+        assert all(high.as_tuple())
+        assert high.bitmask() == 0b111111
+
+    def test_union(self):
+        a = IsolationPolicy(reg_integrity=True)
+        b = IsolationPolicy(dcs_integrity=True)
+        u = a.union(b)
+        assert u.reg_integrity and u.dcs_integrity
+        assert not u.stack_confidentiality
+
+    def test_without_stub_properties_keeps_proxy_side(self):
+        stripped = IsolationPolicy.high().without_stub_properties()
+        assert not stripped.reg_integrity
+        assert not stripped.reg_confidentiality
+        assert not stripped.stack_integrity
+        assert stripped.stack_confidentiality
+        assert stripped.dcs_integrity
+        assert stripped.dcs_confidentiality
+
+    def test_str(self):
+        assert str(IsolationPolicy.low()) == "low"
+        assert "reg_int" in str(IsolationPolicy(reg_integrity=True))
+
+    @given(st.tuples(*[st.booleans()] * 6), st.tuples(*[st.booleans()] * 6))
+    def test_property_union_commutative_and_monotone(self, a_bits, b_bits):
+        a = IsolationPolicy(*a_bits)
+        b = IsolationPolicy(*b_bits)
+        assert a.union(b) == b.union(a)
+        union = a.union(b)
+        for mine, combined in zip(a.as_tuple(), union.as_tuple()):
+            assert combined or not mine
+
+
+class TestEffectivePolicies:
+    def test_confidentiality_activated_by_either_side(self):
+        caller = IsolationPolicy()
+        callee = IsolationPolicy(stack_confidentiality=True,
+                                 dcs_confidentiality=True)
+        eff = effective_policies(caller, callee)
+        assert eff.stack_confidentiality
+        assert eff.dcs_confidentiality
+
+    def test_caller_integrity_only_from_caller(self):
+        caller = IsolationPolicy()
+        callee = IsolationPolicy(reg_integrity=True, stack_integrity=True)
+        eff = effective_policies(caller, callee)
+        assert not eff.reg_integrity
+        assert not eff.stack_integrity
+
+    def test_caller_requests_are_honoured(self):
+        caller = IsolationPolicy(reg_integrity=True, stack_integrity=True,
+                                 dcs_integrity=True)
+        eff = effective_policies(caller, IsolationPolicy())
+        assert eff.reg_integrity and eff.stack_integrity and eff.dcs_integrity
+
+
+class TestEntryObjects:
+    def test_entry_handle_count(self):
+        descriptors = [EntryDescriptor(signature=Signature(1, 1))
+                       for _ in range(3)]
+        handle = EntryHandle(7, descriptors, owner_pid=1)
+        assert handle.count == 3

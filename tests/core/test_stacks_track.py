@@ -1,0 +1,159 @@
+"""Direct unit tests for dIPC stacks and the process tracker."""
+
+import pytest
+
+from repro.codoms.apl import Permission
+from repro.core.api import DipcManager
+from repro.core.stacks import DEFAULT_STACK_PAGES, DataStack
+from repro.errors import DipcError
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    k = Kernel(num_cpus=2)
+    DipcManager(k)
+    return k
+
+
+@pytest.fixture
+def manager(kernel):
+    return kernel.dipc
+
+
+class TestDataStack:
+    def test_grows_down_from_top(self):
+        stack = DataStack(0x1000, 0x1000, owner_thread=None)
+        assert stack.sp == stack.top == 0x2000
+        frame = stack.push_frame(32)
+        assert frame == stack.sp == 0x2000 - 32
+
+    def test_frames_are_16_byte_aligned(self):
+        stack = DataStack(0x1000, 0x1000, owner_thread=None)
+        stack.push_frame(17)
+        assert stack.sp == 0x2000 - 32
+
+    def test_overflow_detected(self):
+        stack = DataStack(0x1000, 64, owner_thread=None)
+        with pytest.raises(DipcError):
+            stack.push_frame(128)
+
+    def test_underflow_detected(self):
+        stack = DataStack(0x1000, 0x1000, owner_thread=None)
+        with pytest.raises(DipcError):
+            stack.pop_frame(16)
+
+    def test_push_pop_roundtrip(self):
+        stack = DataStack(0x1000, 0x1000, owner_thread=None)
+        stack.push_frame(48)
+        stack.pop_frame(48)
+        assert stack.sp == stack.top
+
+    def test_contains(self):
+        stack = DataStack(0x1000, 0x1000, owner_thread=None)
+        assert stack.contains(0x1800)
+        assert stack.contains(stack.top)
+        assert not stack.contains(0xFFF)
+
+
+class TestStackManager:
+    def test_lazy_allocation_and_caching(self, kernel, manager):
+        proc = kernel.spawn_process("p", dipc=True)
+        thread = kernel.spawn(proc, lambda t: iter(()), start=False)
+        a = manager.stacks.stack_for(thread, proc)
+        b = manager.stacks.stack_for(thread, proc)
+        assert a is b
+        assert manager.stacks.lazy_allocations == 1
+
+    def test_stacks_are_per_thread(self, kernel, manager):
+        proc = kernel.spawn_process("p", dipc=True)
+        t1 = kernel.spawn(proc, lambda t: iter(()), start=False)
+        t2 = kernel.spawn(proc, lambda t: iter(()), start=False)
+        assert manager.stacks.stack_for(t1, proc) is not \
+            manager.stacks.stack_for(t2, proc)
+
+    def test_stack_guard_cap_is_synchronous(self, kernel, manager):
+        proc = kernel.spawn_process("p", dipc=True)
+        thread = kernel.spawn(proc, lambda t: iter(()), start=False)
+        stack = manager.stacks.stack_for(thread, proc)
+        assert stack.guard_cap.synchronous
+        assert stack.guard_cap.owner_thread is thread
+        assert stack.guard_cap.covers(stack.base, stack.size)
+
+    def test_argument_caps_are_derived_and_bounded(self, kernel, manager):
+        proc = kernel.spawn_process("p", dipc=True)
+        thread = kernel.spawn(proc, lambda t: iter(()), start=False)
+        stack = manager.stacks.stack_for(thread, proc)
+        stack.push_frame(64)
+        args_cap, unused_cap = manager.stacks.mint_argument_caps(
+            thread, stack, 64)
+        assert args_cap.base >= stack.base
+        assert args_cap.end <= stack.top
+        assert unused_cap.base == stack.base
+        # revoking the guard kills both (they share the counter)
+        stack.guard_cap.revoke()
+        assert not args_cap.is_valid()
+        assert not unused_cap.is_valid()
+
+
+class TestProcessTracker:
+    def make_thread(self, kernel, proc, pin=0):
+        thread = kernel.spawn(proc, lambda t: iter(()), start=False)
+        thread.cpu = kernel.machine.cpus[pin]
+        return thread
+
+    def drive(self, gen):
+        """Run a track sub-generator to completion, ignoring charges."""
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            return stop.value
+
+    def test_cold_warm_hot_progression(self, kernel, manager):
+        src = kernel.spawn_process("src", dipc=True)
+        dst = kernel.spawn_process("dst", dipc=True)
+        thread = self.make_thread(kernel, src)
+        tracker = manager.track
+        tid1 = self.drive(tracker.track_call(thread, dst, dst.default_tag))
+        state = thread.track_state
+        assert state.cold_misses == 1
+        tid2 = self.drive(tracker.track_call(thread, dst, dst.default_tag))
+        assert state.hot_hits == 1
+        assert tid1 == tid2
+        assert thread.current_process is dst
+
+    def test_warm_path_after_apl_cache_eviction(self, kernel, manager):
+        src = kernel.spawn_process("src", dipc=True)
+        dst = kernel.spawn_process("dst", dipc=True)
+        thread = self.make_thread(kernel, src)
+        tracker = manager.track
+        self.drive(tracker.track_call(thread, dst, dst.default_tag))
+        # evict the per-thread cache-array entry (simulates reuse of the
+        # hardware tag by another domain)
+        hw = thread.cpu.apl_cache.hw_tag_of(dst.default_tag)
+        thread.track_state.cache_array[hw] = None
+        self.drive(tracker.track_call(thread, dst, dst.default_tag))
+        assert thread.track_state.warm_hits == 1
+        assert thread.track_state.cold_misses == 1
+
+    def test_track_ret_restores(self, kernel, manager):
+        src = kernel.spawn_process("src", dipc=True)
+        dst = kernel.spawn_process("dst", dipc=True)
+        thread = self.make_thread(kernel, src)
+        self.drive(manager.track.track_call(thread, dst, dst.default_tag))
+        self.drive(manager.track.track_ret(thread, src))
+        assert thread.current_process is src
+
+    def test_per_process_tids_are_stable_and_distinct(self, kernel,
+                                                      manager):
+        src = kernel.spawn_process("src", dipc=True)
+        dst_a = kernel.spawn_process("dst-a", dipc=True)
+        dst_b = kernel.spawn_process("dst-b", dipc=True)
+        thread = self.make_thread(kernel, src)
+        tid_a = self.drive(manager.track.track_call(thread, dst_a,
+                                                    dst_a.default_tag))
+        tid_b = self.drive(manager.track.track_call(thread, dst_b,
+                                                    dst_b.default_tag))
+        assert thread.per_process_tids[dst_a.pid] == tid_a
+        assert thread.per_process_tids[dst_b.pid] == tid_b

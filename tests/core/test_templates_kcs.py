@@ -1,0 +1,159 @@
+"""Tests for proxy templates (§6.1.1) and the KCS."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.kcs import KCSEntry, KernelControlStack
+from repro.core.objects import Signature
+from repro.core.policies import IsolationPolicy
+from repro.core.templates import (TemplateLibrary, stack_class,
+                                  template_universe_size)
+
+
+class _FakeProcess:
+    def __init__(self, alive=True, name="p"):
+        self.alive = alive
+        self.name = name
+
+
+def frame(caller_alive=True, proxy=None):
+    return KCSEntry(proxy=proxy, caller_process=_FakeProcess(caller_alive),
+                    caller_tag=1, caller_privileged=False,
+                    return_address=0x1000, saved_stack_pointer=0x2000)
+
+
+class TestTemplates:
+    def test_universe_is_about_12k(self):
+        """§6.1.1: the master template produces 'around 12K templates'."""
+        assert 9_000 <= template_universe_size() <= 13_000
+
+    def test_stack_class_bucketing(self):
+        assert stack_class(0) == 0
+        assert stack_class(1) == 64
+        assert stack_class(64) == 64
+        assert stack_class(65) == 512
+        assert stack_class(100_000) == 4096
+
+    def test_memoization(self):
+        lib = TemplateLibrary()
+        a = lib.get(Signature(1, 1), IsolationPolicy.high(), True)
+        b = lib.get(Signature(1, 1), IsolationPolicy.high(), True)
+        assert a is b
+        assert lib.generated == 1
+
+    def test_low_policy_template_is_minimal(self):
+        lib = TemplateLibrary()
+        low = lib.get(Signature(), IsolationPolicy.low(), False)
+        assert "track_call" not in low.steps
+        assert "stack_switch" not in low.steps
+        assert "dcs_adjust" not in low.steps
+        assert low.steps[0] == "entry_check"
+        assert low.steps[-1] == "return"
+
+    def test_cross_process_template_tracks_and_switches_tls(self):
+        lib = TemplateLibrary()
+        template = lib.get(Signature(), IsolationPolicy.low(), True)
+        assert "track_call" in template.steps
+        assert "track_ret" in template.steps
+        assert template.steps.count("tls_switch") == 2
+
+    def test_high_template_has_all_policy_steps(self):
+        lib = TemplateLibrary()
+        template = lib.get(Signature(2, 1, 128), IsolationPolicy.high(),
+                           True)
+        for step in ("stack_locate", "stack_switch", "stack_copy_args",
+                     "dcs_adjust", "dcs_switch"):
+            assert step in template.steps
+
+    def test_sizes_are_in_the_600b_ballpark(self):
+        """§6.1.1: templates average around 600 B."""
+        lib = TemplateLibrary()
+        sizes = [
+            lib.get(Signature(i % 7, i % 3, (i * 37) % 800),
+                    IsolationPolicy.high() if i % 2 else
+                    IsolationPolicy.low(), bool(i % 2)).size_bytes
+            for i in range(40)
+        ]
+        average = sum(sizes) / len(sizes)
+        assert 300 <= average <= 900
+
+    def test_stub_properties_do_not_change_proxy_template(self):
+        lib = TemplateLibrary()
+        stub_only = IsolationPolicy(reg_integrity=True,
+                                    reg_confidentiality=True,
+                                    stack_integrity=True)
+        a = lib.key_for(Signature(), stub_only, False)
+        b = lib.key_for(Signature(), IsolationPolicy.low(), False)
+        assert a == b
+
+    @given(st.integers(0, 6), st.integers(0, 2), st.integers(0, 8192),
+           st.booleans())
+    def test_property_every_template_is_well_formed(self, in_regs, out_regs,
+                                                    stack, cross):
+        lib = TemplateLibrary()
+        template = lib.get(Signature(in_regs, out_regs, stack),
+                           IsolationPolicy.high(), cross)
+        assert template.size_bytes > 0
+        assert template.relocations >= 3
+        assert template.steps.count("kcs_push") == 1
+        assert template.steps.count("kcs_pop") == 1
+
+
+class TestKCS:
+    def test_push_pop(self):
+        kcs = KernelControlStack()
+        entry = frame()
+        kcs.push(entry)
+        assert kcs.depth == 1
+        assert kcs.peek() is entry
+        assert kcs.pop() is entry
+        assert kcs.depth == 0
+
+    def test_underflow(self):
+        with pytest.raises(IndexError):
+            KernelControlStack().pop()
+
+    def test_overflow(self):
+        kcs = KernelControlStack(limit=2)
+        kcs.push(frame())
+        kcs.push(frame())
+        with pytest.raises(OverflowError):
+            kcs.push(frame())
+
+    def test_max_depth_tracking(self):
+        kcs = KernelControlStack()
+        kcs.push(frame())
+        kcs.push(frame())
+        kcs.pop()
+        assert kcs.max_depth_seen == 2
+
+    def test_oldest_live_frame_skips_dead_callers(self):
+        kcs = KernelControlStack()
+        kcs.push(frame(caller_alive=True))    # index 0 (bottom)
+        kcs.push(frame(caller_alive=False))   # index 1
+        kcs.push(frame(caller_alive=False))   # index 2 (top)
+        assert kcs.oldest_live_frame_index() == 0
+
+    def test_oldest_live_frame_prefers_nearest(self):
+        kcs = KernelControlStack()
+        kcs.push(frame(caller_alive=True))
+        kcs.push(frame(caller_alive=True))
+        assert kcs.oldest_live_frame_index() == 1
+
+    def test_no_live_frame(self):
+        kcs = KernelControlStack()
+        kcs.push(frame(caller_alive=False))
+        assert kcs.oldest_live_frame_index() is None
+
+    def test_processes_in_chain_deduplicates(self):
+        kcs = KernelControlStack()
+        shared = _FakeProcess(name="shared")
+        entry_a = frame()
+        entry_a.callee_process = shared
+        entry_b = frame()
+        entry_b.callee_process = shared
+        kcs.push(entry_a)
+        kcs.push(entry_b)
+        chain = kcs.processes_in_chain()
+        assert chain.count(shared) == 1

@@ -1,0 +1,64 @@
+"""Tests for the ablation module and Figure 8 result helpers."""
+
+import pytest
+
+from repro.apps.oltp import DIPC, IDEAL, IN_MEMORY, LINUX, ON_DISK
+from repro.experiments import ablation
+from repro.experiments.fig08_oltp import (Fig8Result, PAPER_SPEEDUPS)
+
+
+class TestAblation:
+    def test_stub_ablation_matches_coopt_factor(self):
+        row = ablation.stub_ablation()
+        assert 1.5 < row.ratio < 2.5  # stack caps are not optimizable
+
+    def test_tracking_ablation_ordering(self):
+        warm, cold = ablation.tracking_ablation()
+        assert cold.baseline_ns > warm.baseline_ns > warm.variant_ns
+
+    def test_tls_ablation_reproduces_paper_factors(self):
+        low, high = ablation.tls_ablation(iters=10)
+        assert low.ratio == pytest.approx(3.22, rel=0.05)
+        assert high.ratio == pytest.approx(1.54, rel=0.05)
+
+    def test_policy_ablation(self):
+        row = ablation.policy_ablation(iters=10)
+        assert row.ratio == pytest.approx(8.47, rel=0.10)
+
+    def test_render(self):
+        text = ablation.render(ablation.run(iters=8))
+        assert "tls-optimized" in text
+        assert "asymmetric policy" in text
+
+
+class TestFig8Helpers:
+    def make_result(self):
+        result = Fig8Result(IN_MEMORY)
+        result.throughput = {
+            LINUX: {4: 100.0, 16: 200.0},
+            DIPC: {4: 180.0, 16: 390.0},
+            IDEAL: {4: 185.0, 16: 400.0},
+        }
+        return result
+
+    def test_speedup(self):
+        result = self.make_result()
+        assert result.speedup(DIPC, 4) == pytest.approx(1.8)
+        assert result.speedup(IDEAL, 16) == pytest.approx(2.0)
+
+    def test_efficiency(self):
+        result = self.make_result()
+        assert result.dipc_efficiency(16) == pytest.approx(0.975)
+
+    def test_mean_speedup_is_geometric(self):
+        result = self.make_result()
+        expected = (1.8 * 1.95) ** 0.5
+        assert result.mean_dipc_speedup() == pytest.approx(expected)
+
+    def test_paper_speedups_table_complete(self):
+        for storage in (ON_DISK, IN_MEMORY):
+            for config in (DIPC, IDEAL):
+                table = PAPER_SPEEDUPS[(storage, config)]
+                assert set(table) == {4, 16, 64, 256, 512}
+        # the famous peak
+        assert PAPER_SPEEDUPS[(IN_MEMORY, DIPC)][16] == 5.12

@@ -1,0 +1,35 @@
+"""Tests for the experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import DEFAULT_SET, RUNNERS, main
+
+
+def test_runner_registry_covers_every_artifact():
+    assert {"table1", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8",
+            "extras", "ablation", "report"} == set(RUNNERS)
+
+
+def test_default_set_excludes_report():
+    assert "report" not in DEFAULT_SET
+    assert "fig5" in DEFAULT_SET
+
+
+def test_unknown_name_is_an_error(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_runs_cheap_experiments(capsys):
+    assert main(["table1", "extras", "ablation", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "CODOMs" in out
+    assert "setjmp" in out
+    assert "tls-optimized" in out
+
+
+def test_cli_runs_fig5_quick(capsys):
+    assert main(["fig5", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "64.12x" in out
+    assert "dipc_proc_high" in out

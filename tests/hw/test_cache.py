@@ -1,0 +1,68 @@
+"""Tests for the copy-bandwidth cache model (drives Figure 6's knees)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.hw.cache import CacheModel
+
+
+@pytest.fixture
+def cache():
+    return CacheModel()
+
+
+def test_tiers_are_monotonically_slower(cache):
+    assert cache.l1_bw > cache.l2_bw > cache.llc_bw > cache.dram_bw
+
+
+def test_bandwidth_tier_selection(cache):
+    assert cache.bandwidth_for(1 * units.KB) == cache.l1_bw
+    assert cache.bandwidth_for(64 * units.KB) == cache.l2_bw
+    assert cache.bandwidth_for(1 * units.MB) == cache.llc_bw
+    assert cache.bandwidth_for(64 * units.MB) == cache.dram_bw
+
+
+def test_boundaries_inclusive(cache):
+    assert cache.bandwidth_for(cache.l1_size) == cache.l1_bw
+    assert cache.bandwidth_for(cache.l1_size + 1) == cache.l2_bw
+
+
+def test_zero_copy_is_free(cache):
+    assert cache.copy_ns(0) == 0.0
+
+
+def test_copy_includes_startup(cache):
+    assert cache.copy_ns(1, startup=3.0) == pytest.approx(3.0 + 1 / cache.l1_bw)
+
+
+def test_footprint_override(cache):
+    # a pipe bounces data through a 64KB kernel buffer: large copies keep
+    # L2-class bandwidth rather than falling off the LLC cliff
+    big = 4 * units.MB
+    capped = cache.copy_ns(big, footprint=64 * units.KB)
+    uncapped = cache.copy_ns(big)
+    assert capped < uncapped
+
+
+def test_negative_size_rejected(cache):
+    with pytest.raises(ValueError):
+        cache.copy_ns(-1)
+
+
+def test_touch_is_half_a_copy(cache):
+    size = 16 * units.KB
+    assert cache.touch_ns(size) == pytest.approx(
+        (cache.copy_ns(size, startup=0.0)) / 2)
+
+
+@given(st.integers(min_value=1, max_value=32 * units.MB))
+def test_copy_monotonic_in_size(size):
+    cache = CacheModel()
+    assert cache.copy_ns(size + 1) >= cache.copy_ns(size)
+
+
+@given(st.integers(min_value=1, max_value=32 * units.MB))
+def test_copy_time_positive(size):
+    assert CacheModel().copy_ns(size) > 0

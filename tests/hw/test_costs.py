@@ -1,0 +1,105 @@
+"""The cost model's internal anchors and paper-headline ratios."""
+
+import pytest
+
+from repro.hw.costs import CostModel, FIG5_TARGETS_NS
+
+
+@pytest.fixture
+def costs():
+    return CostModel.default()
+
+
+def test_function_call_under_2ns(costs):
+    assert costs.FUNC_CALL <= 2.0
+
+
+def test_empty_syscall_is_34ns(costs):
+    # §2.2: "an empty system call in Linux takes around 34ns"
+    assert costs.syscall_empty() == pytest.approx(34.0)
+
+
+def test_syscall_blocks_decompose(costs):
+    assert costs.syscall_empty() == (costs.SYSCALL_HW +
+                                     costs.SYSCALL_TRAMPOLINE +
+                                     costs.SYSCALL_MINWORK)
+
+
+def test_domain_switch_is_free(costs):
+    # ISCA'14: crossing domains has negligible performance impact
+    assert costs.DOMAIN_SWITCH == 0.0
+    assert costs.APL_CACHE_HIT < 1.0
+
+
+def test_fig5_headline_ratios():
+    t = FIG5_TARGETS_NS
+    # dIPC is 64.12x faster than local RPC (abstract)
+    assert t["rpc_same_cpu"] / t["dipc_proc_high"] == pytest.approx(64.12, rel=0.01)
+    # 8.87x faster than L4 (abstract)
+    assert t["l4_same_cpu"] / t["dipc_proc_high"] == pytest.approx(8.87, rel=0.01)
+    # asymmetric policies: up to 8.47x difference (§7.2)
+    assert t["dipc_high"] / t["dipc_low"] == pytest.approx(8.47, rel=0.01)
+    # 120.67x: dIPC+proc Low vs RPC (§7.2)
+    assert t["rpc_same_cpu"] / t["dipc_proc_low"] == pytest.approx(120.67, rel=0.01)
+    # 14.16x: dIPC+proc High vs Sem (§7.2)
+    assert t["sem_same_cpu"] / t["dipc_proc_high"] == pytest.approx(14.16, rel=0.01)
+
+
+def test_tls_switch_share_matches_paper(costs):
+    """§7.2: optimizing the TLS segment switch would improve dIPC+proc
+    performance by 1.54x-3.22x."""
+    tls = 2 * costs.TLS_SWITCH
+    low = FIG5_TARGETS_NS["dipc_proc_low"]
+    high = FIG5_TARGETS_NS["dipc_proc_high"]
+    assert low / (low - tls) == pytest.approx(3.22, rel=0.05)
+    assert high / (high - tls) == pytest.approx(1.54, rel=0.05)
+
+
+def test_dipc_low_composition(costs):
+    assert costs.FUNC_CALL + costs.PROXY_MIN_CALL + costs.PROXY_MIN_RET == \
+        pytest.approx(FIG5_TARGETS_NS["dipc_low"])
+
+
+def test_sem_same_cpu_per_side_composition(costs):
+    """One side of the Sem (=CPU) ping-pong must cost half the round trip."""
+    per_side = (
+        2 * costs.TOUCH_ARG + costs.USER_STUB / 3  # user work
+        + costs.SYSCALL_HW + costs.SYSCALL_TRAMPOLINE + costs.FUTEX_WAKE_WORK
+        + costs.SYSCALL_HW + costs.SYSCALL_TRAMPOLINE + costs.FUTEX_WAIT_WORK
+        + costs.FUTEX_RESUME
+        + costs.CTX_SWITCH + costs.PT_SWITCH
+    )
+    assert per_side == pytest.approx(FIG5_TARGETS_NS["sem_same_cpu"] / 2,
+                                     rel=0.02)
+
+
+def test_cross_cpu_wake_is_expensive(costs):
+    # §2.2: cross-CPU is dominated by IPIs + idle-loop scheduling
+    assert costs.cross_cpu_wake() > 3 * costs.same_cpu_switch()
+
+
+def test_apl_cache_miss_much_slower_than_hit(costs):
+    assert costs.APL_CACHE_MISS > 100 * costs.APL_CACHE_HIT
+
+
+def test_cycle_time(costs):
+    assert costs.cycle == pytest.approx(1 / 3.1)
+
+
+def test_track_upcall_dwarfs_fast_path(costs):
+    # cold path executes a syscall in the target's management thread
+    assert costs.TRACK_UPCALL > 100 * costs.TRACK_PROCESS_CALL
+    assert costs.TRACK_TREE_LOOKUP > costs.TRACK_PROCESS_CALL
+
+
+def test_disk_modes(costs):
+    assert costs.HDD_READ > 0
+    assert costs.TMPFS_READ == 0.0
+
+
+def test_targets_cover_all_fig5_bars():
+    expected = {"func", "syscall", "dipc_low", "dipc_high", "sem_same_cpu",
+                "sem_cross_cpu", "pipe_same_cpu", "pipe_cross_cpu",
+                "dipc_proc_low", "dipc_proc_high", "rpc_same_cpu",
+                "rpc_cross_cpu", "dipc_user_rpc", "l4_same_cpu"}
+    assert set(FIG5_TARGETS_NS) == expected

@@ -1,0 +1,101 @@
+"""Tests for the machine/CPU layer: accounting, idle tracking, IPIs."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.machine import Machine
+from repro.sim.stats import Block
+
+
+def test_machine_defaults():
+    machine = Machine()
+    assert machine.num_cpus == 4
+    assert machine.now() == 0.0
+
+
+def test_needs_at_least_one_cpu():
+    with pytest.raises(SimulationError):
+        Machine(0)
+
+
+def test_cpu_charge_accumulates():
+    machine = Machine(1)
+    cpu = machine.cpus[0]
+    cpu.charge(Block.USER, 10)
+    cpu.charge(Block.USER, 5)
+    assert cpu.account.ns[Block.USER] == 15
+
+
+def test_idle_interval_accounting():
+    machine = Machine(1)
+    cpu = machine.cpus[0]
+    cpu.begin_idle(100.0)
+    span = cpu.end_idle(250.0)
+    assert span == 150.0
+    assert cpu.account.ns[Block.IDLE] == 150.0
+
+
+def test_end_idle_without_begin_is_zero():
+    machine = Machine(1)
+    assert machine.cpus[0].end_idle(50.0) == 0.0
+
+
+def test_flush_idle_keeps_interval_open():
+    machine = Machine(1)
+    cpu = machine.cpus[0]
+    cpu.begin_idle(0.0)
+    cpu.flush_idle(100.0)
+    assert cpu.account.ns[Block.IDLE] == 100.0
+    assert cpu.idle_since == 100.0  # still idle
+    cpu.flush_idle(150.0)
+    assert cpu.account.ns[Block.IDLE] == 150.0
+
+
+def test_ipi_charges_both_sides_and_delays():
+    machine = Machine(2)
+    src, dst = machine.cpus
+    delivered = []
+    machine.send_ipi(src, dst, lambda: delivered.append(machine.now()))
+    assert src.account.ns[Block.KERNEL] == machine.costs.IPI_SEND
+    machine.engine.run()
+    assert delivered == [machine.costs.IPI_FLIGHT]
+    assert dst.account.ns[Block.KERNEL] == machine.costs.IPI_HANDLE
+
+
+def test_ipi_ends_target_idle():
+    machine = Machine(2)
+    src, dst = machine.cpus
+    dst.begin_idle(0.0)
+    machine.send_ipi(src, dst, lambda: None)
+    machine.engine.run()
+    assert dst.account.ns[Block.IDLE] == pytest.approx(machine.costs.IPI_FLIGHT)
+
+
+def test_ipi_to_self_rejected():
+    machine = Machine(2)
+    with pytest.raises(SimulationError):
+        machine.send_ipi(machine.cpus[0], machine.cpus[0], lambda: None)
+
+
+def test_total_account_merges_cpus():
+    machine = Machine(2)
+    machine.cpus[0].charge(Block.USER, 10)
+    machine.cpus[1].charge(Block.USER, 20)
+    machine.cpus[1].charge(Block.SCHED, 5)
+    merged = machine.total_account()
+    assert merged.ns[Block.USER] == 30
+    assert merged.ns[Block.SCHED] == 5
+
+
+def test_utilization():
+    machine = Machine(2)
+    machine.cpus[0].charge(Block.USER, 50)
+    machine.cpus[1].charge(Block.KERNEL, 50)
+    assert machine.utilization(100) == pytest.approx(0.5)
+
+
+def test_reset_accounts():
+    machine = Machine(1)
+    machine.cpus[0].charge(Block.USER, 10)
+    machine.reset_accounts()
+    assert machine.cpus[0].account.total() == 0

@@ -1,0 +1,98 @@
+"""Tests for semaphores + shared buffers (the Sem. configuration)."""
+
+import pytest
+
+from repro.ipc import Semaphore, SharedBuffer
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(num_cpus=2)
+
+
+@pytest.fixture
+def procs(kernel):
+    return kernel.spawn_process("a"), kernel.spawn_process("b")
+
+
+def test_ping_pong_transfers_payload(kernel, procs):
+    proc_a, proc_b = procs
+    to_b = Semaphore(kernel)
+    to_a = Semaphore(kernel)
+    buf = SharedBuffer(kernel, capacity=4096)
+    received = []
+
+    def producer(t):
+        yield from buf.populate(t, 16, payload="ping")
+        yield from to_b.post(t)
+        yield from to_a.wait(t)
+
+    def consumer(t):
+        yield from to_b.wait(t)
+        received.append((yield from buf.consume(t)))
+        yield from to_a.post(t)
+
+    kernel.spawn(proc_a, producer, pin=0)
+    kernel.spawn(proc_b, consumer, pin=0)
+    kernel.run()
+    kernel.check()
+    assert received == ["ping"]
+
+
+def test_oversized_message_rejected(kernel, procs):
+    buf = SharedBuffer(kernel, capacity=64)
+
+    def body(t):
+        yield from buf.populate(t, 128)
+
+    thread = kernel.spawn(procs[0], body)
+    kernel.run()
+    assert isinstance(thread.exception, ValueError)
+
+
+def test_semaphore_counts(kernel, procs):
+    sem = Semaphore(kernel, value=2)
+    order = []
+
+    def waiter(t, i):
+        yield from sem.wait(t)
+        order.append(i)
+
+    kernel.spawn(procs[0], lambda t: waiter(t, 0))
+    kernel.spawn(procs[0], lambda t: waiter(t, 1))
+    kernel.run()
+    assert sorted(order) == [0, 1]
+    assert sem.value == 0
+
+
+def test_populate_cost_grows_with_size(kernel, procs):
+    buf = SharedBuffer(kernel, capacity=1 << 22)
+    times = {}
+
+    def body(t, size):
+        start = t.now()
+        yield from buf.populate(t, size)
+        times[size] = t.now() - start
+
+    for size in (64, 64 * 1024):
+        kernel.spawn(procs[0], lambda t, s=size: body(t, s))
+        kernel.run()
+    assert times[64 * 1024] > times[64] * 100
+
+
+def test_consume_in_place_cheaper_than_copy_out(kernel, procs):
+    buf = SharedBuffer(kernel, capacity=1 << 20)
+    times = {}
+
+    def body(t, copy_out):
+        yield from buf.populate(t, 256 * 1024, payload="x")
+        start = t.now()
+        yield from buf.consume(t, copy_out=copy_out)
+        times[copy_out] = t.now() - start
+
+    kernel.spawn(procs[0], lambda t: body(t, False))
+    kernel.run()
+    kernel.spawn(procs[0], lambda t: body(t, True))
+    kernel.run()
+    assert times[True] > times[False]

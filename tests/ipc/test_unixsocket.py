@@ -1,0 +1,119 @@
+"""Tests for UNIX datagram sockets and the path namespace."""
+
+import pytest
+
+from repro.errors import KernelError, ResourceError
+from repro.ipc import SocketNamespace
+from repro.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(num_cpus=2)
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.spawn_process("p")
+
+
+@pytest.fixture
+def ns():
+    return SocketNamespace()
+
+
+def test_send_recv_roundtrip(kernel, proc, ns):
+    server = ns.socket(kernel)
+    server.bind("/tmp/server")
+    client = ns.socket(kernel)
+    got = []
+
+    def client_body(t):
+        yield from client.sendto(t, "/tmp/server", 8, payload="hi")
+
+    def server_body(t):
+        payload, sender = yield from server.recvfrom(t)
+        got.append((payload, sender))
+
+    kernel.spawn(proc, server_body)
+    kernel.spawn(proc, client_body)
+    kernel.run()
+    kernel.check()
+    assert got == [("hi", client)]
+
+
+def test_send_to_unbound_path_refused(kernel, proc, ns):
+    client = ns.socket(kernel)
+
+    def body(t):
+        yield from client.sendto(t, "/nowhere", 8)
+
+    thread = kernel.spawn(proc, body)
+    kernel.run()
+    assert isinstance(thread.exception, KernelError)
+
+
+def test_double_bind_rejected(kernel, ns):
+    a = ns.socket(kernel)
+    a.bind("/tmp/x")
+    b = ns.socket(kernel)
+    with pytest.raises(ResourceError):
+        b.bind("/tmp/x")
+
+
+def test_rebind_after_close_allowed(kernel, ns):
+    a = ns.socket(kernel)
+    a.bind("/tmp/x")
+    a.close()
+    b = ns.socket(kernel)
+    b.bind("/tmp/x")  # no error
+
+
+def test_datagrams_preserve_order(kernel, proc, ns):
+    server = ns.socket(kernel)
+    server.bind("/srv")
+    client = ns.socket(kernel)
+    got = []
+
+    def client_body(t):
+        for i in range(4):
+            yield from client.sendto(t, "/srv", 4, payload=i)
+
+    def server_body(t):
+        for _ in range(4):
+            payload, _ = yield from server.recvfrom(t)
+            got.append(payload)
+
+    kernel.spawn(proc, client_body)
+    kernel.spawn(proc, server_body)
+    kernel.run()
+    assert got == [0, 1, 2, 3]
+
+
+def test_buffer_full_rejects_datagram(kernel, proc, ns):
+    from repro.ipc.unixsocket import SOCK_BUF_SIZE
+    server = ns.socket(kernel)
+    server.bind("/srv")
+    client = ns.socket(kernel)
+
+    def body(t):
+        yield from client.sendto(t, "/srv", SOCK_BUF_SIZE - 1)
+        yield from client.sendto(t, "/srv", 4096)
+
+    thread = kernel.spawn(proc, body)
+    kernel.run()
+    assert isinstance(thread.exception, KernelError)
+
+
+def test_recv_on_closed_socket_returns_none(kernel, proc, ns):
+    sock = ns.socket(kernel)
+    sock.bind("/srv")
+    got = []
+
+    def body(t):
+        got.append((yield from sock.recvfrom(t)))
+
+    kernel.spawn(proc, body)
+    kernel.engine.post(100, sock.close)
+    kernel.run()
+    assert got == [(None, None)]

@@ -1,0 +1,90 @@
+"""Tests for the XDR marshalling cost model."""
+
+import pytest
+
+from repro import units
+from repro.ipc import XDRCodec
+from repro.kernel import Kernel
+from repro.sim.stats import Block
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(num_cpus=1)
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.spawn_process("p")
+
+
+def test_encode_decode_roundtrip(kernel, proc):
+    codec = XDRCodec(kernel)
+    out = []
+
+    def body(t):
+        wire = yield from codec.encode(t, 128, payload={"a": 1})
+        out.append((yield from codec.decode(t, wire)))
+
+    kernel.spawn(proc, body)
+    kernel.run()
+    kernel.check()
+    assert out == [{"a": 1}]
+
+
+def test_marshalling_is_user_time(kernel, proc):
+    codec = XDRCodec(kernel)
+
+    def body(t):
+        yield from codec.encode(t, 64)
+
+    kernel.spawn(proc, body, pin=0)
+    kernel.run()
+    account = kernel.machine.cpus[0].account
+    assert account.ns[Block.USER] > 0
+    assert account.ns[Block.KERNEL] == 0
+
+
+def test_cost_grows_with_size(kernel, proc):
+    codec = XDRCodec(kernel)
+    times = {}
+
+    def body(t, size):
+        start = t.now()
+        yield from codec.encode(t, size)
+        times[size] = t.now() - start
+
+    kernel.spawn(proc, lambda t: body(t, 64))
+    kernel.run()
+    kernel.spawn(proc, lambda t: body(t, 256 * units.KB))
+    kernel.run()
+    assert times[256 * units.KB] > times[64] * 20
+
+
+def test_decode_of_none_is_cheap_and_returns_none(kernel, proc):
+    codec = XDRCodec(kernel)
+    out = []
+
+    def body(t):
+        out.append((yield from codec.decode(t, None)))
+
+    kernel.spawn(proc, body)
+    kernel.run()
+    kernel.check()
+    assert out == [None]
+
+
+def test_base_cost_matches_model(kernel, proc):
+    codec = XDRCodec(kernel)
+    elapsed = []
+
+    def body(t):
+        start = t.now()
+        yield from codec.encode(t, 1)
+        elapsed.append(t.now() - start)
+
+    kernel.spawn(proc, body)
+    kernel.run()
+    expected = kernel.costs.XDR_BASE + kernel.machine.cache.copy_ns(
+        1, startup=kernel.costs.MEMCPY_STARTUP)
+    assert elapsed[0] == pytest.approx(expected)

@@ -1,0 +1,143 @@
+"""Tests for processes, fd tables, fork/exec, and memory placement."""
+
+import pytest
+
+from repro import units
+from repro.errors import DeadProcessError, ResourceError
+from repro.kernel import Kernel
+from repro.mem.gvas import GVAS_BASE
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(num_cpus=1)
+
+
+class TestProcessMemory:
+    def test_private_process_has_own_table(self, kernel):
+        a = kernel.spawn_process("a")
+        b = kernel.spawn_process("b")
+        assert a.page_table is not b.page_table
+        assert not a.dipc_enabled
+
+    def test_dipc_processes_share_one_table(self, kernel):
+        a = kernel.spawn_process("a", dipc=True)
+        b = kernel.spawn_process("b", dipc=True)
+        assert a.page_table is b.page_table is kernel.shared_table
+        assert a.default_tag != b.default_tag
+
+    def test_dipc_allocations_land_in_gvas(self, kernel):
+        proc = kernel.spawn_process("p", dipc=True)
+        addr = proc.alloc_pages(2)
+        assert addr >= GVAS_BASE
+        assert kernel.gvas.owner_of(addr) == proc.pid
+
+    def test_private_allocations_below_gvas(self, kernel):
+        proc = kernel.spawn_process("p")
+        addr = proc.alloc_pages(2)
+        assert addr < GVAS_BASE
+
+    def test_dipc_pages_are_tagged_with_default_domain(self, kernel):
+        proc = kernel.spawn_process("p", dipc=True)
+        addr = proc.alloc_pages(1)
+        pte = kernel.shared_table.lookup(addr // units.PAGE_SIZE)
+        assert pte.tag == proc.default_tag
+
+    def test_explicit_tag_overrides_default(self, kernel):
+        proc = kernel.spawn_process("p", dipc=True)
+        other_tag = kernel.tags.alloc()
+        addr = proc.alloc_pages(1, tag=other_tag)
+        pte = kernel.shared_table.lookup(addr // units.PAGE_SIZE)
+        assert pte.tag == other_tag
+
+    def test_alloc_bytes_rounds_to_pages(self, kernel):
+        proc = kernel.spawn_process("p")
+        addr = proc.alloc_bytes(5000)
+        proc.space.write(addr + 4999, b"x")  # second page is mapped
+
+    def test_alloc_on_dead_process(self, kernel):
+        proc = kernel.spawn_process("p")
+        proc.exit(0)
+        with pytest.raises(DeadProcessError):
+            proc.alloc_pages(1)
+
+    def test_writes_in_two_processes_do_not_alias(self, kernel):
+        a = kernel.spawn_process("a")
+        b = kernel.spawn_process("b")
+        addr_a = a.alloc_pages(1)
+        addr_b = b.alloc_pages(1)
+        a.space.write(addr_a, b"AAAA")
+        b.space.write(addr_b, b"BBBB")
+        assert a.space.read(addr_a, 4) == b"AAAA"
+        assert b.space.read(addr_b, 4) == b"BBBB"
+
+
+class TestFDTable:
+    def test_install_get_close(self, kernel):
+        proc = kernel.spawn_process("p")
+        fd = proc.fdtable.install("object")
+        assert fd >= 3
+        assert proc.fdtable.get(fd) == "object"
+        proc.fdtable.close(fd)
+        with pytest.raises(ResourceError):
+            proc.fdtable.get(fd)
+
+    def test_dup(self, kernel):
+        proc = kernel.spawn_process("p")
+        fd = proc.fdtable.install("x")
+        fd2 = proc.fdtable.dup(fd)
+        assert fd2 != fd
+        assert proc.fdtable.get(fd2) == "x"
+
+    def test_lowest_free_fd_reused(self, kernel):
+        proc = kernel.spawn_process("p")
+        fd_a = proc.fdtable.install("a")
+        proc.fdtable.install("b")
+        proc.fdtable.close(fd_a)
+        assert proc.fdtable.install("c") == fd_a
+
+    def test_table_exhaustion(self, kernel):
+        proc = kernel.spawn_process("p")
+        proc.fdtable.max_fds = 5
+        proc.fdtable.install("a")
+        proc.fdtable.install("b")
+        with pytest.raises(ResourceError):
+            proc.fdtable.install("c")
+
+
+class TestForkExec:
+    def test_fork_disables_dipc_in_child(self, kernel):
+        parent = kernel.spawn_process("p", dipc=True)
+        child = kernel.fork(parent)
+        # §6.1.3: "temporarily disables dIPC in new processes"
+        assert not child.dipc_enabled
+        assert not child.uses_shared_table
+
+    def test_fork_is_copy_on_write(self, kernel):
+        parent = kernel.spawn_process("p")
+        addr = parent.alloc_pages(1)
+        parent.space.write(addr, b"orig")
+        child = kernel.fork(parent)
+        child.space.write(addr, b"mine")
+        assert parent.space.read(addr, 4) == b"orig"
+        assert child.space.read(addr, 4) == b"mine"
+
+    def test_fork_inherits_fds(self, kernel):
+        parent = kernel.spawn_process("p")
+        fd = parent.fdtable.install("thing")
+        child = kernel.fork(parent)
+        assert child.fdtable.get(fd) == "thing"
+
+    def test_exec_pic_reenables_dipc(self, kernel):
+        parent = kernel.spawn_process("p", dipc=True)
+        child = kernel.fork(parent)
+        kernel.exec_process(child, "worker", pic=True)
+        assert child.dipc_enabled
+        assert child.uses_shared_table
+        assert child.default_tag is not None
+
+    def test_exec_non_pic_stays_private(self, kernel):
+        parent = kernel.spawn_process("p")
+        child = kernel.fork(parent)
+        kernel.exec_process(child, "legacy", pic=False)
+        assert not child.dipc_enabled

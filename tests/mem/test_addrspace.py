@@ -1,0 +1,99 @@
+"""Tests for byte-level address-space access (translation, COW, caps)."""
+
+import pytest
+
+from repro import units
+from repro.errors import PageFault
+from repro.mem.addrspace import AddressSpace, offset_of, vpn_of
+from repro.mem.pagetable import PageTable
+from repro.mem.phys import PhysicalMemory
+
+
+@pytest.fixture
+def space():
+    table = PageTable(PhysicalMemory())
+    for vpn in range(4):
+        table.map_page(vpn)
+    return AddressSpace(table)
+
+
+def test_vpn_offset_helpers():
+    assert vpn_of(0) == 0
+    assert vpn_of(4096) == 1
+    assert offset_of(4097) == 1
+
+
+def test_write_read_roundtrip(space):
+    space.write(100, b"hello")
+    assert space.read(100, 5) == b"hello"
+
+
+def test_cross_page_write_read(space):
+    data = bytes(range(200)) * 30  # 6000 bytes, crosses a page boundary
+    space.write(2000, data)
+    assert space.read(2000, len(data)) == data
+
+
+def test_read_unmapped_faults(space):
+    with pytest.raises(PageFault):
+        space.read(100 * units.PAGE_SIZE, 1)
+
+
+def test_read_straddling_into_unmapped_faults(space):
+    with pytest.raises(PageFault):
+        space.read(4 * units.PAGE_SIZE - 2, 4)
+
+
+def test_write_readonly_faults(space):
+    space.table.lookup(0).write = False
+    with pytest.raises(PageFault):
+        space.write(10, b"x")
+
+
+def test_read_unreadable_faults(space):
+    space.table.lookup(0).read = False
+    with pytest.raises(PageFault):
+        space.read(10, 1)
+
+
+def test_write_breaks_cow_transparently(space):
+    space.write(10, b"orig")
+    space.table.phys.share(space.table.lookup(0).frame)
+    space.table.mark_cow()
+    space.write(10, b"new!")
+    assert space.read(10, 4) == b"new!"
+    assert space.table.lookup(0).write
+
+
+def test_negative_address_faults(space):
+    with pytest.raises(PageFault):
+        space.read(-1, 1)
+
+
+class TestCapabilityStorage:
+    def test_store_load_roundtrip(self, space):
+        space.store_capability(64, "cap-object")
+        assert space.load_capability(64) == "cap-object"
+
+    def test_unaligned_store_faults(self, space):
+        with pytest.raises(PageFault):
+            space.store_capability(65, "cap")
+
+    def test_unaligned_load_faults(self, space):
+        with pytest.raises(PageFault):
+            space.load_capability(33)
+
+    def test_load_empty_slot_returns_none(self, space):
+        assert space.load_capability(96) is None
+
+    def test_byte_write_destroys_overlapping_capability(self, space):
+        """§4.2: user code cannot tamper with stored capabilities —
+        overwriting the slot with plain bytes invalidates it."""
+        space.store_capability(64, "cap-object")
+        space.write(70, b"\xff")
+        assert space.load_capability(64) is None
+
+    def test_byte_write_elsewhere_preserves_capability(self, space):
+        space.store_capability(64, "cap-object")
+        space.write(128, b"\xff" * 32)
+        assert space.load_capability(64) == "cap-object"

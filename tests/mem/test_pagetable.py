@@ -1,0 +1,115 @@
+"""Tests for CODOMs-extended page tables."""
+
+import pytest
+
+from repro.errors import PageFault
+from repro.mem.pagetable import PageTable
+from repro.mem.phys import PhysicalMemory
+
+
+@pytest.fixture
+def table():
+    return PageTable(PhysicalMemory())
+
+
+def test_map_and_lookup(table):
+    pte = table.map_page(5, tag=7, privileged=True, cap_storage=True)
+    found = table.lookup(5)
+    assert found is pte
+    assert found.tag == 7
+    assert found.privileged and found.cap_storage
+
+
+def test_double_map_rejected(table):
+    table.map_page(5)
+    with pytest.raises(PageFault):
+        table.map_page(5)
+
+
+def test_lookup_unmapped_faults(table):
+    with pytest.raises(PageFault):
+        table.lookup(9)
+
+
+def test_unmap_releases_frame(table):
+    table.map_page(1)
+    assert table.phys.allocated() == 1
+    table.unmap_page(1)
+    assert table.phys.allocated() == 0
+    with pytest.raises(PageFault):
+        table.unmap_page(1)
+
+
+def test_set_tag(table):
+    table.map_page(3)
+    table.set_tag(3, 42)
+    assert table.lookup(3).tag == 42
+
+
+def test_retag_range_moves_domain(table):
+    for vpn in range(10, 14):
+        table.map_page(vpn, tag=1)
+    table.retag_range(10, 4, old_tag=1, new_tag=2)
+    assert all(table.lookup(v).tag == 2 for v in range(10, 14))
+
+
+def test_retag_range_checks_old_tag_atomically(table):
+    table.map_page(10, tag=1)
+    table.map_page(11, tag=99)
+    with pytest.raises(PageFault):
+        table.retag_range(10, 2, old_tag=1, new_tag=2)
+    # nothing was changed: the check happens before any retagging
+    assert table.lookup(10).tag == 1
+
+
+def test_mark_cow_only_hits_writable_pages(table):
+    writable = table.map_page(1)
+    readonly = table.map_page(2, write=False)
+    table.mark_cow()
+    assert writable.cow and not writable.write
+    assert not readonly.cow
+
+
+def test_break_cow_with_shared_frame_copies(table):
+    pte = table.map_page(1)
+    pte.frame.data[0] = 7
+    table.phys.share(pte.frame)  # someone else references it
+    table.mark_cow()
+    old_frame = pte.frame
+    table.break_cow(1)
+    assert pte.frame is not old_frame
+    assert pte.frame.data[0] == 7
+    assert pte.write and not pte.cow
+    assert old_frame.refcount == 1
+
+
+def test_break_cow_with_exclusive_frame_reuses(table):
+    pte = table.map_page(1)
+    table.mark_cow()
+    old_frame = pte.frame
+    table.break_cow(1)
+    assert pte.frame is old_frame
+    assert pte.write
+
+
+def test_break_cow_on_non_cow_page_faults(table):
+    table.map_page(1)
+    with pytest.raises(PageFault):
+        table.break_cow(1)
+
+
+def test_clone_for_fork_shares_frames_cow(table):
+    parent_pte = table.map_page(1, tag=3)
+    parent_pte.frame.data[0] = 9
+    child = table.clone_for_fork()
+    child_pte = child.lookup(1)
+    assert child_pte.frame is parent_pte.frame
+    assert child_pte.frame.refcount == 2
+    assert child_pte.tag == 3
+    assert parent_pte.cow and child_pte.cow
+
+
+def test_pages_iterates_sorted(table):
+    for vpn in (5, 1, 3):
+        table.map_page(vpn)
+    assert [vpn for vpn, _ in table.pages()] == [1, 3, 5]

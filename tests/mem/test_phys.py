@@ -1,0 +1,73 @@
+"""Tests for the physical frame allocator."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.mem.phys import PhysicalMemory
+
+
+def test_alloc_returns_zeroed_frame():
+    phys = PhysicalMemory()
+    frame = phys.alloc()
+    assert bytes(frame.data) == b"\x00" * 4096
+    assert frame.refcount == 1
+
+
+def test_frames_have_unique_numbers():
+    phys = PhysicalMemory()
+    numbers = {phys.alloc().number for _ in range(100)}
+    assert len(numbers) == 100
+
+
+def test_release_frees_and_recycles():
+    phys = PhysicalMemory()
+    frame = phys.alloc()
+    number = frame.number
+    phys.release(frame)
+    assert phys.allocated() == 0
+    again = phys.alloc()
+    assert again.number == number
+
+
+def test_share_and_release_refcounting():
+    phys = PhysicalMemory()
+    frame = phys.alloc()
+    phys.share(frame)
+    assert frame.refcount == 2
+    phys.release(frame)
+    assert phys.allocated() == 1
+    phys.release(frame)
+    assert phys.allocated() == 0
+
+
+def test_double_free_detected():
+    phys = PhysicalMemory()
+    frame = phys.alloc()
+    phys.release(frame)
+    with pytest.raises(ResourceError):
+        phys.release(frame)
+
+
+def test_exhaustion():
+    phys = PhysicalMemory(total_frames=2)
+    phys.alloc()
+    phys.alloc()
+    with pytest.raises(ResourceError):
+        phys.alloc()
+
+
+def test_copy_frame_deep_copies_data_and_caps():
+    phys = PhysicalMemory()
+    frame = phys.alloc()
+    frame.data[0] = 0xAB
+    frame.cap_slots[32] = "sentinel-cap"
+    dup = phys.copy_frame(frame)
+    assert dup.data[0] == 0xAB
+    assert dup.cap_slots[32] == "sentinel-cap"
+    dup.data[0] = 0xCD
+    assert frame.data[0] == 0xAB
+
+
+def test_get_unknown_frame():
+    with pytest.raises(ResourceError):
+        PhysicalMemory().get(12345)

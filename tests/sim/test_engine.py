@@ -1,0 +1,147 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now() == 0.0
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.post(30, lambda: fired.append("c"))
+    engine.post(10, lambda: fired.append("a"))
+    engine.post(20, lambda: fired.append("b"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_posting_order():
+    engine = Engine()
+    fired = []
+    for name in "abcde":
+        engine.post(5, lambda n=name: fired.append(n))
+    engine.run()
+    assert fired == list("abcde")
+
+
+def test_clock_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.post(42.5, lambda: seen.append(engine.now()))
+    engine.run()
+    assert seen == [42.5]
+    assert engine.now() == 42.5
+
+
+def test_post_during_run_is_processed():
+    engine = Engine()
+    fired = []
+
+    def first():
+        fired.append("first")
+        engine.post(5, lambda: fired.append("second"))
+
+    engine.post(10, first)
+    engine.run()
+    assert fired == ["first", "second"]
+    assert engine.now() == 15
+
+
+def test_cancel_prevents_firing():
+    engine = Engine()
+    fired = []
+    event = engine.post(10, lambda: fired.append("x"))
+    engine.post(5, lambda: engine.cancel(event))
+    engine.run()
+    assert fired == []
+
+
+def test_cancel_twice_is_harmless():
+    engine = Engine()
+    event = engine.post(10, lambda: None)
+    engine.cancel(event)
+    engine.cancel(event)
+    engine.run()
+
+
+def test_run_until_stops_and_advances_clock():
+    engine = Engine()
+    fired = []
+    engine.post(10, lambda: fired.append("early"))
+    engine.post(100, lambda: fired.append("late"))
+    engine.run(until_ns=50)
+    assert fired == ["early"]
+    assert engine.now() == 50
+    engine.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_when_queue_drains():
+    engine = Engine()
+    engine.post(10, lambda: None)
+    engine.run(until_ns=1000)
+    assert engine.now() == 1000
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.post(-1, lambda: None)
+
+
+def test_post_at_in_past_rejected():
+    engine = Engine()
+    engine.post(10, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.post_at(5, lambda: None)
+
+
+def test_pending_counts_only_live_events():
+    engine = Engine()
+    keep = engine.post(10, lambda: None)
+    drop = engine.post(20, lambda: None)
+    engine.cancel(drop)
+    assert engine.pending() == 1
+    assert keep is not drop
+
+
+def test_max_events_budget():
+    engine = Engine()
+    fired = []
+    for i in range(5):
+        engine.post(i + 1, lambda i=i: fired.append(i))
+    engine.run(max_events=2)
+    assert fired == [0, 1]
+
+
+def test_step_returns_false_on_empty_queue():
+    assert Engine().step() is False
+
+
+def test_events_processed_counter():
+    engine = Engine()
+    for i in range(3):
+        engine.post(i, lambda: None)
+    engine.run()
+    assert engine.events_processed == 3
+
+
+def test_run_not_reentrant():
+    engine = Engine()
+    errors = []
+
+    def reenter():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.post(1, reenter)
+    engine.run()
+    assert len(errors) == 1

@@ -1,0 +1,97 @@
+"""Tests for the units helpers and the error hierarchy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_time_constants(self):
+        assert units.US == 1_000
+        assert units.MS == 1_000_000
+        assert units.SECOND == 1_000_000_000
+        assert units.MINUTE == 60 * units.SECOND
+
+    def test_conversions(self):
+        assert units.ns_to_ms(2_500_000) == 2.5
+        assert units.ns_to_us(1_500) == 1.5
+
+    def test_pages_for(self):
+        assert units.pages_for(0) == 0
+        assert units.pages_for(1) == 1
+        assert units.pages_for(4096) == 1
+        assert units.pages_for(4097) == 2
+
+    def test_pages_for_negative(self):
+        with pytest.raises(ValueError):
+            units.pages_for(-1)
+
+    def test_align_helpers(self):
+        assert units.align_up(5, 8) == 8
+        assert units.align_up(8, 8) == 8
+        assert units.align_down(15, 8) == 8
+        assert units.is_aligned(64, 64)
+        assert not units.is_aligned(65, 64)
+
+    def test_align_rejects_non_power_of_two(self):
+        for fn in (units.align_up, units.align_down, units.is_aligned):
+            with pytest.raises(ValueError):
+                fn(10, 3)
+
+    def test_human_size(self):
+        assert units.human_size(4) == "4B"
+        assert units.human_size(2048) == "2KB"
+        assert units.human_size(units.MB) == "1MB"
+
+    def test_human_time(self):
+        assert units.human_time(5) == "5.00ns"
+        assert units.human_time(1500) == "1.50us"
+        assert units.human_time(2.5 * units.MS) == "2.50ms"
+        assert units.human_time(1.5 * units.SECOND) == "1.50s"
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.sampled_from([1, 2, 8, 64, 4096]))
+    def test_property_align_up_is_aligned_and_minimal(self, value, align):
+        up = units.align_up(value, align)
+        assert up >= value
+        assert units.is_aligned(up, align)
+        assert up - value < align
+
+
+class TestErrorHierarchy:
+    def test_protection_faults_are_repro_errors(self):
+        for cls in (errors.AccessFault, errors.PrivilegeFault,
+                    errors.CapabilityFault, errors.EntryAlignmentFault,
+                    errors.PageFault):
+            assert issubclass(cls, errors.ProtectionFault)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_dipc_errors(self):
+        for cls in (errors.PermissionDenied, errors.SignatureMismatch,
+                    errors.RemoteFault, errors.CallTimeout,
+                    errors.LoaderError):
+            assert issubclass(cls, errors.DipcError)
+
+    def test_kernel_errors(self):
+        for cls in (errors.InvalidSyscall, errors.ResourceError,
+                    errors.DeadProcessError, errors.WouldBlock):
+            assert issubclass(cls, errors.KernelError)
+
+    def test_access_fault_payload(self):
+        fault = errors.AccessFault("no", address=0x123, domain=7,
+                                   kind="write")
+        assert fault.address == 0x123
+        assert fault.domain == 7
+        assert fault.kind == "write"
+
+    def test_remote_fault_payload(self):
+        fault = errors.RemoteFault("x", origin="db", unwound_frames=2)
+        assert fault.origin == "db"
+        assert fault.unwound_frames == 2
+
+    def test_page_fault_payload(self):
+        fault = errors.PageFault("x", address=4096, write=True)
+        assert fault.address == 4096
+        assert fault.write
