@@ -52,14 +52,29 @@ class AccessEngine:
     """Evaluates CODOMs checks for one shared address space."""
 
     def __init__(self, space: AddressSpace, apls: APLRegistry, *,
-                 entry_align: int = DEFAULT_ENTRY_ALIGN):
+                 entry_align: int = DEFAULT_ENTRY_ALIGN, engine=None):
         self.space = space
         self.apls = apls
         self.entry_align = entry_align
+        #: the owning kernel's event engine, for fault tracing (optional)
+        self.engine = engine
         #: counters for the evaluation's sensitivity analysis (§7.5)
         self.checks = 0
         self.cap_hits = 0
         self.cross_domain_accesses = 0
+
+    def _trace_fault(self, kind: str, addr: int, domain,
+                     thread=None) -> None:
+        """Record an access fault as an instant event + counter."""
+        if self.engine is None:
+            return
+        tracer = self.engine.tracer
+        if not tracer.enabled:
+            return
+        tracer.count("codoms.faults")
+        tracer.instant(f"fault:{kind}", "codoms", thread=thread,
+                       track="codoms",
+                       args={"addr": addr, "domain": domain})
 
     # -- data access ------------------------------------------------------------
 
@@ -72,10 +87,12 @@ class AccessEngine:
             self.space.check_mapped(addr, size)
         # per-page protection bits are always honoured (§4.1)
         if write and not pte.write and not pte.cow:
+            self._trace_fault("write", addr, ctx.current_tag, thread)
             raise AccessFault(f"page at {addr:#x} is read-only",
                               address=addr, domain=ctx.current_tag,
                               kind="write")
         if not write and not pte.read:
+            self._trace_fault("read", addr, ctx.current_tag, thread)
             raise AccessFault(f"page at {addr:#x} is not readable",
                               address=addr, domain=ctx.current_tag,
                               kind="read")
@@ -95,6 +112,7 @@ class AccessEngine:
                 self.cap_hits += 1
                 return
         kind = "write" if write else "read"
+        self._trace_fault(kind, addr, ctx.current_tag, thread)
         raise AccessFault(
             f"domain {ctx.current_tag} may not {kind} {addr:#x} "
             f"(domain {target_tag})",
@@ -149,6 +167,8 @@ class AccessEngine:
                             self.cap_hits += 1
                             break
                 if not granted:
+                    self._trace_fault("call", target, ctx.current_tag,
+                                      thread)
                     raise AccessFault(
                         f"domain {ctx.current_tag} may not call into "
                         f"{target:#x} (domain {target_tag})",

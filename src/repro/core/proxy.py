@@ -105,6 +105,15 @@ class Proxy:
         manager = self.manager
         ctx = thread.codoms
         self.calls += 1
+        tracer = self.kernel.tracer
+        span = None
+        if tracer.enabled:
+            tracer.count("dipc.proxy_calls")
+            span = tracer.begin(
+                f"dipc:{self.descriptor.name or 'entry'}", "dipc",
+                thread=thread,
+                args={"proxy": self.serial,
+                      "cross_process": self.cross_process})
 
         # ---- caller-side stub (isolate_call / user code) ----
         if self.stubs_in_proxy:
@@ -191,6 +200,8 @@ class Proxy:
             yield thread.kwork(costs.PROXY_MIN_RET, Block.USER)
             if self.stubs_in_proxy:
                 yield from self._stub_ret_charges(thread)
+            if span is not None:
+                tracer.end(span)
             return result
 
         except (Exception, CalleeTerminated, _KCSUnwind) as exc:
@@ -201,6 +212,12 @@ class Proxy:
             yield thread.kwork(costs.SYSCALL_HW, Block.SYSCALL)
             yield thread.kwork(costs.KCS_UNWIND_FRAME, Block.KERNEL)
             manager.faults_unwound += 1
+            if span is not None:
+                tracer.count("dipc.kcs_unwinds")
+                tracer.instant("kcs_unwind", "dipc", thread=thread,
+                               args={"proxy": self.serial,
+                                     "error": str(exc)})
+                tracer.end(span, args={"fault": True})
             if isinstance(exc, (_KCSUnwind, RemoteFault)):
                 origin = exc.origin
                 frames = exc.unwound_frames + 1

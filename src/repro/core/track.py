@@ -69,10 +69,15 @@ class ProcessTracker:
         cpu = thread.cpu
         hw_tag = cpu.apl_cache.hw_tag_of(target_tag) if cpu is not None \
             else None
-        if hw_tag is None and cpu is not None:
-            # the OS refills the software-managed APL cache so later calls
-            # hit the hot path (never observed mid-benchmark, §7.1)
-            hw_tag = cpu.apl_cache.fill(target_tag)
+        if cpu is not None:
+            if hw_tag is not None:
+                cpu.apl_cache.hits += 1
+            else:
+                cpu.apl_cache.misses += 1
+                # the OS refills the software-managed APL cache so later
+                # calls hit the hot path (never observed mid-benchmark,
+                # §7.1)
+                hw_tag = cpu.apl_cache.fill(target_tag)
         entry = None
         if hw_tag is not None:
             slot = state.cache_array[hw_tag]

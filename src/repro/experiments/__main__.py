@@ -4,11 +4,17 @@
 
 Names: table1, fig1, fig2, fig5, fig6, fig7, fig8, extras, all.
 ``--quick`` shrinks iteration counts and OLTP windows (for smoke runs).
+
+``python -m repro.experiments trace <name> [--quick] [--out DIR]`` runs
+one experiment with span tracing on and writes ``trace.json`` (Chrome
+trace-event format, loadable at https://ui.perfetto.dev), ``spans.csv``
+and ``meta.json`` into DIR (default: the current directory).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -95,18 +101,70 @@ RUNNERS = {
 DEFAULT_SET = [name for name in RUNNERS if name != "report"]
 
 
+def _normalize(name: str) -> str:
+    """Accept zero-padded figure names: fig05 → fig5, fig08 → fig8."""
+    if name.startswith("fig0") and len(name) == 5:
+        return "fig" + name[4]
+    return name
+
+
+def _run_traced(name: str, quick: bool, out_dir: str) -> int:
+    """Run one experiment under a TraceSession; write the trace artifacts."""
+    from repro.trace.export import (render_counters, write_chrome_trace,
+                                    write_spans_csv)
+    from repro.trace.meta import collect_meta, write_meta
+    from repro.trace.tracer import TraceSession
+
+    runner = RUNNERS.get(name)
+    if runner is None:
+        print(f"unknown experiment '{name}' "
+              f"(choose from {', '.join(RUNNERS)})", file=sys.stderr)
+        return 2
+    os.makedirs(out_dir, exist_ok=True)
+    start = time.time()
+    print(f"\n{'=' * 78}\ntrace {name}\n{'=' * 78}")
+    with TraceSession() as session:
+        output = runner(quick)
+    session.finalize()
+    print(output)
+    trace_path = write_chrome_trace(
+        session, os.path.join(out_dir, "trace.json"))
+    csv_path = write_spans_csv(session, os.path.join(out_dir, "spans.csv"))
+    meta_path = write_meta(
+        os.path.join(out_dir, "meta.json"),
+        collect_meta(experiment=name, quick=quick,
+                     params={"traced_runs": len(session.runs)}))
+    print(f"\ncounters ({len(session.runs)} traced runs, "
+          f"{session.span_count()} spans):")
+    print(render_counters(session))
+    print(f"\nwrote {trace_path} (load at https://ui.perfetto.dev), "
+          f"{csv_path}, {meta_path}")
+    print(f"\n[trace {name} took {time.time() - start:.1f}s]")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the dIPC paper's tables and figures.")
     parser.add_argument("names", nargs="*", default=["all"],
                         help=f"which experiments: {', '.join(RUNNERS)}, "
-                             "or 'all'")
+                             "or 'all'; prefix with 'trace' to record "
+                             "spans (trace fig5)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller iteration counts / windows")
+    parser.add_argument("--out", default=".",
+                        help="directory for trace artifacts "
+                             "(trace.json, spans.csv, meta.json)")
     args = parser.parse_args(argv)
-    names = DEFAULT_SET if (not args.names or "all" in args.names) \
-        else args.names
+    names = [_normalize(name) for name in args.names]
+    if names and names[0] == "trace":
+        if len(names) != 2:
+            print("usage: python -m repro.experiments trace <experiment>",
+                  file=sys.stderr)
+            return 2
+        return _run_traced(names[1], args.quick, args.out)
+    names = DEFAULT_SET if (not names or "all" in names) else names
     for name in names:
         runner = RUNNERS.get(name)
         if runner is None:

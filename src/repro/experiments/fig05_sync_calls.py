@@ -23,6 +23,10 @@ class Fig5Row:
     multiplier_over_func: float
     paper_target_ns: float
     error_pct: float
+    #: tail latency from trace.histogram (per-iteration distribution)
+    p50_ns: float = 0.0
+    p95_ns: float = 0.0
+    p99_ns: float = 0.0
 
 
 def run(iters: int = 40) -> List[Fig5Row]:
@@ -34,7 +38,8 @@ def run(iters: int = 40) -> List[Fig5Row]:
         target = FIG5_TARGETS_NS[label]
         rows.append(Fig5Row(
             label, result.mean_ns, result.mean_ns / func_ns, target,
-            (result.mean_ns - target) / target * 100.0))
+            (result.mean_ns - target) / target * 100.0,
+            result.p50_ns, result.p95_ns, result.p99_ns))
     return rows
 
 
@@ -55,13 +60,16 @@ def render(rows: List[Fig5Row]) -> str:
         "the paper]",
         "",
         f"{'primitive':<16}{'measured':>10}{'x func':>9}"
-        f"{'paper':>10}{'err%':>7}",
-        "-" * 55,
+        f"{'paper':>10}{'err%':>7}"
+        f"{'p50':>10}{'p95':>10}{'p99':>10}",
+        "-" * 85,
     ]
     for row in rows:
         lines.append(f"{row.label:<16}{row.measured_ns:>10.1f}"
                      f"{row.multiplier_over_func:>8.0f}x"
-                     f"{row.paper_target_ns:>10.1f}{row.error_pct:>+6.1f}%")
+                     f"{row.paper_target_ns:>10.1f}{row.error_pct:>+6.1f}%"
+                     f"{row.p50_ns:>10.1f}{row.p95_ns:>10.1f}"
+                     f"{row.p99_ns:>10.1f}")
     ratios = headline_ratios(rows)
     lines += [
         "",

@@ -10,12 +10,13 @@ populate copy; dIPC passes capabilities by reference and stays flat.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
-from repro.experiments.microbench import (bench_dipc, bench_dipc_user_rpc,
-                                          bench_func, bench_pipe, bench_rpc,
-                                          bench_sem, bench_syscall)
+from repro.experiments.microbench import (BenchResult, bench_dipc,
+                                          bench_dipc_user_rpc, bench_func,
+                                          bench_pipe, bench_rpc, bench_sem,
+                                          bench_syscall)
 
 #: the x axis: powers of two, 1B .. 1MB (paper: 2^0 .. 2^20)
 DEFAULT_SIZES = tuple(4 ** i for i in range(0, 11))  # 1B .. 1MB, sparser
@@ -29,29 +30,32 @@ SERIES = ("syscall", "sem_cross_cpu", "pipe_cross_cpu", "rpc_cross_cpu",
 class Fig6Series:
     label: str
     added_ns: Dict[int, float]
+    #: (p50, p95, p99) absolute latency per size, from trace.histogram
+    tail_ns: Dict[int, Tuple[float, float, float]] = field(
+        default_factory=dict)
 
 
-def _measure(label: str, size: int, iters: int) -> float:
+def _measure(label: str, size: int, iters: int) -> BenchResult:
     if label == "syscall":
-        return bench_syscall(iters=iters).mean_ns
+        return bench_syscall(iters=iters)
     if label == "sem_cross_cpu":
-        return bench_sem(same_cpu=False, size=size, iters=iters).mean_ns
+        return bench_sem(same_cpu=False, size=size, iters=iters)
     if label == "pipe_cross_cpu":
-        return bench_pipe(same_cpu=False, size=size, iters=iters).mean_ns
+        return bench_pipe(same_cpu=False, size=size, iters=iters)
     if label == "rpc_cross_cpu":
-        return bench_rpc(same_cpu=False, size=size, iters=iters).mean_ns
+        return bench_rpc(same_cpu=False, size=size, iters=iters)
     if label == "dipc_low":
-        return bench_dipc(policy="low", size=size, iters=iters).mean_ns
+        return bench_dipc(policy="low", size=size, iters=iters)
     if label == "dipc_high":
-        return bench_dipc(policy="high", size=size, iters=iters).mean_ns
+        return bench_dipc(policy="high", size=size, iters=iters)
     if label == "dipc_proc_low":
         return bench_dipc(policy="low", cross_process=True, size=size,
-                          iters=iters).mean_ns
+                          iters=iters)
     if label == "dipc_proc_high":
         return bench_dipc(policy="high", cross_process=True, size=size,
-                          iters=iters).mean_ns
+                          iters=iters)
     if label == "dipc_user_rpc":
-        return bench_dipc_user_rpc(size=size, iters=iters).mean_ns
+        return bench_dipc_user_rpc(size=size, iters=iters)
     raise ValueError(label)
 
 
@@ -61,10 +65,12 @@ def run(sizes=DEFAULT_SIZES, iters: int = 20) -> List[Fig6Series]:
     series = []
     for label in SERIES:
         added = {}
+        tail = {}
         for size in sizes:
-            added[size] = max(_measure(label, size, iters)
-                              - baseline[size], 0.0)
-        series.append(Fig6Series(label, added))
+            result = _measure(label, size, iters)
+            added[size] = max(result.mean_ns - baseline[size], 0.0)
+            tail[size] = (result.p50_ns, result.p95_ns, result.p99_ns)
+        series.append(Fig6Series(label, added, tail))
     return series
 
 
@@ -82,6 +88,20 @@ def render(series: List[Fig6Series]) -> str:
     for size in sizes:
         cells = " ".join(f"{s.added_ns[size]:>15.0f}" for s in series)
         lines.append(f"{units.human_size(size):>8} | {cells}")
+    largest = sizes[-1]
+    if any(s.tail_ns for s in series):
+        lines += [
+            "",
+            f"tail latency at {units.human_size(largest)} "
+            "[ns, from trace.histogram; p* are absolute, 'added' is "
+            "over the baseline call]:",
+            f"{'series':<16}{'added':>12}{'p50':>12}"
+            f"{'p95':>12}{'p99':>12}",
+        ]
+        for s in series:
+            p50, p95, p99 = s.tail_ns.get(largest, (0.0, 0.0, 0.0))
+            lines.append(f"{s.label:<16}{s.added_ns[largest]:>12.0f}"
+                         f"{p50:>12.0f}{p95:>12.0f}{p99:>12.0f}")
     lines += [
         "",
         "expected shape: dIPC flat (capabilities, pass-by-reference); "

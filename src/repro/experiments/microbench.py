@@ -12,7 +12,7 @@ and replies with a one-byte acknowledgement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.core.api import DipcManager
@@ -26,6 +26,7 @@ from repro.ipc.shm import SharedBuffer
 from repro.ipc.unixsocket import SocketNamespace
 from repro.kernel import Futex, Kernel
 from repro.sim.stats import Block, Breakdown, RunningStats
+from repro.trace.histogram import LatencyHistogram
 
 DEFAULT_WARMUP = 5
 DEFAULT_ITERS = 60
@@ -41,10 +42,24 @@ class BenchResult:
     stddev_ns: float
     breakdown: Breakdown
     iterations: int
+    #: per-iteration latency distribution (trace.histogram)
+    hist: Optional[LatencyHistogram] = field(default=None, repr=False)
 
     @property
     def relative_stddev(self) -> float:
         return self.stddev_ns / self.mean_ns if self.mean_ns else 0.0
+
+    @property
+    def p50_ns(self) -> float:
+        return self.hist.p50 if self.hist is not None else self.mean_ns
+
+    @property
+    def p95_ns(self) -> float:
+        return self.hist.p95 if self.hist is not None else self.mean_ns
+
+    @property
+    def p99_ns(self) -> float:
+        return self.hist.p99 if self.hist is not None else self.mean_ns
 
     def __repr__(self) -> str:
         return f"<{self.label}: {self.mean_ns:.1f}ns ±{self.stddev_ns:.2f}>"
@@ -60,22 +75,35 @@ class _Harness:
         self.warmup = warmup
         self.iters = iters
         self.stats = RunningStats()
+        self.hist = LatencyHistogram()
         self.total_span = 0.0
+        # inside a TraceSession the kernel carries a generic runN label;
+        # name the traced run after the benchmark instead
+        if kernel.tracer.enabled:
+            kernel.tracer.label = label
 
     def caller_body(self, iteration: Callable):
         """Build the caller thread body around ``iteration(t)``."""
         harness = self
 
         def body(t):
+            tracer = harness.kernel.tracer
             for _ in range(harness.warmup):
                 yield from iteration(t)
             harness.kernel.machine.flush_idle()
             harness.kernel.machine.reset_accounts()
             span_start = t.now()
-            for _ in range(harness.iters):
+            for index in range(harness.iters):
+                iter_span = tracer.begin(
+                    f"{harness.label}#{index}", "bench", thread=t) \
+                    if tracer.enabled else None
                 start = t.now()
                 yield from iteration(t)
-                harness.stats.add(t.now() - start)
+                latency = t.now() - start
+                harness.stats.add(latency)
+                harness.hist.add(latency)
+                if iter_span is not None:
+                    tracer.end(iter_span)
             harness.total_span = t.now() - span_start
 
         return body
@@ -93,7 +121,7 @@ class _Harness:
             per_iter.ns[Block.IDLE] = max(0.0, min(
                 per_iter.ns[Block.IDLE], span * 2 - busy))
         return BenchResult(self.label, self.stats.mean, self.stats.stddev,
-                           per_iter, self.iters)
+                           per_iter, self.iters, hist=self.hist)
 
 
 def _fresh_kernel(num_cpus: int = 2, costs=None) -> Kernel:

@@ -46,6 +46,9 @@ class L4Endpoint:
 
     def call(self, thread: Thread, message=None):
         """Sub-generator: l4_ipc_call — send and wait for the reply."""
+        tracer = self.kernel.tracer
+        span = tracer.begin("l4.call", "ipc", thread=thread) \
+            if tracer.enabled else None
         yield from self._entry(thread)
         self.calls += 1
         server = self._server
@@ -53,6 +56,8 @@ class L4Endpoint:
             self._server = None
             yield from self._switch_cost(thread)
             reply = yield Handoff(server, (thread, message))
+            if span is not None:
+                tracer.end(span)
             return reply
         # server not yet waiting, or on another CPU: queue + block
         self._pending.append((thread, message))
@@ -61,6 +66,8 @@ class L4Endpoint:
             self.kernel.wake(server, self._pending.popleft(),
                              from_thread=thread)
         reply = yield thread.block("l4-call")
+        if span is not None:
+            tracer.end(span)
         return reply
 
     # -- server side -----------------------------------------------------------------

@@ -70,6 +70,10 @@ class Pipe:
         if size <= 0:
             raise ValueError("write of non-positive size")
         costs = self.kernel.costs
+        tracer = self.kernel.tracer
+        span = tracer.begin("pipe.write", "ipc", thread=thread,
+                            args={"size": size}) \
+            if tracer.enabled else None
         yield from thread.syscall(0)
         yield thread.kwork(costs.PIPE_WRITE_WORK, Block.KERNEL)
         message = _Message(size, payload)
@@ -93,6 +97,8 @@ class Pipe:
                 first_chunk = False
             self._wake_one(self._readers, thread)
         message.done_writing = True
+        if span is not None:
+            tracer.end(span)
 
     # -- read -----------------------------------------------------------------------
 
@@ -100,10 +106,15 @@ class Pipe:
         """Sub-generator: read one framed message; returns its payload,
         or None at EOF."""
         costs = self.kernel.costs
+        tracer = self.kernel.tracer
+        span = tracer.begin("pipe.read", "ipc", thread=thread) \
+            if tracer.enabled else None
         yield from thread.syscall(0)
         yield thread.kwork(costs.PIPE_READ_WORK, Block.KERNEL)
         while not self._messages:
             if self.closed:
+                if span is not None:
+                    tracer.end(span, args={"eof": True})
                 return None
             self._readers.append(thread)
             yield thread.block("pipe-empty")
@@ -118,6 +129,8 @@ class Pipe:
                 self._wake_one(self._writers, thread)
             if message.done_writing and message.read >= message.total:
                 self._messages.popleft()
+                if span is not None:
+                    tracer.end(span, args={"size": message.total})
                 return message.payload
             self._readers.append(thread)
             yield thread.block("pipe-partial")

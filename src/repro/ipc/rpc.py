@@ -54,6 +54,9 @@ class RpcServer:
             if request is None:
                 return
             # svc_getreq: poll bookkeeping + request demultiplexing
+            tracer = self.kernel.tracer
+            span = tracer.begin("rpc.serve", "ipc", thread=thread) \
+                if tracer.enabled else None
             yield thread.kwork(costs.RPC_SERVER_USER, Block.USER)
             body = yield from self.codec.decode(thread, request)
             name = body["proc"]
@@ -72,6 +75,8 @@ class RpcServer:
             yield from self.sock.sendto(thread, body["reply_to"],
                                         reply_size, wire)
             self.requests_served += 1
+            if span is not None:
+                tracer.end(span, args={"proc": name})
 
     def stop(self) -> None:
         self._stopping = True
@@ -97,6 +102,10 @@ class RpcClient:
         """Sub-generator: clnt_call — returns the handler's reply payload."""
         costs = self.kernel.costs
         xid = next(_xid)
+        tracer = self.kernel.tracer
+        span = tracer.begin("rpc.call", "ipc", thread=thread,
+                            args={"proc": proc, "size": size}) \
+            if tracer.enabled else None
         # clnt_call bookkeeping: xid management, timeout setup, retransmit
         yield thread.kwork(costs.RPC_CLIENT_USER, Block.USER)
         wire = yield from self.codec.encode(
@@ -109,6 +118,8 @@ class RpcClient:
         if body["xid"] != xid:
             raise KernelError("RPC reply xid mismatch")
         self.calls += 1
+        if span is not None:
+            tracer.end(span)
         result = body["result"]
         if isinstance(result, Exception):
             raise result

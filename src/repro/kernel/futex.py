@@ -28,24 +28,34 @@ class Futex:
         """Sub-generator: FUTEX_WAIT — block while the value is zero,
         then atomically consume one unit."""
         costs = self.kernel.costs
+        tracer = self.kernel.tracer
+        span = tracer.begin("futex.wait", "ipc", thread=thread) \
+            if tracer.enabled else None
         while True:
             yield from thread.syscall(0)
             yield thread.kwork(costs.FUTEX_WAIT_WORK, Block.KERNEL)
             self.wait_count += 1
             if self.value > 0:
                 self.value -= 1
+                if span is not None:
+                    tracer.end(span)
                 return
             self._waiters.append(thread)
             yield thread.block("futex")
             yield thread.kwork(costs.FUTEX_RESUME, Block.KERNEL)
             if self.value > 0:
                 self.value -= 1
+                if span is not None:
+                    tracer.end(span)
                 return
             # lost a race with another waiter: go around again
 
     def wake(self, thread: Thread, count: int = 1):
         """Sub-generator: FUTEX_WAKE — add a unit and wake waiters."""
         costs = self.kernel.costs
+        tracer = self.kernel.tracer
+        span = tracer.begin("futex.wake", "ipc", thread=thread) \
+            if tracer.enabled else None
         yield from thread.syscall(0)
         yield thread.kwork(costs.FUTEX_WAKE_WORK, Block.KERNEL)
         self.value += count
@@ -57,6 +67,8 @@ class Futex:
                 continue
             self.kernel.wake(waiter, from_thread=thread)
             woken += 1
+        if span is not None:
+            tracer.end(span, args={"woken": woken})
 
     def wake_from_event(self, count: int = 1) -> None:
         """Wake from interrupt/event context (no syscall, no waker CPU)."""

@@ -25,6 +25,7 @@ from repro.mem.addrspace import AddressSpace
 from repro.mem.gvas import GlobalVAS
 from repro.mem.pagetable import PageTable
 from repro.mem.phys import PhysicalMemory
+from repro.trace.tracer import TraceSession
 
 
 class Kernel:
@@ -35,6 +36,8 @@ class Kernel:
         self.machine = machine if machine is not None else Machine(num_cpus)
         self.costs = self.machine.costs
         self.engine = self.machine.engine
+        # inside an active TraceSession, every kernel records spans
+        TraceSession.maybe_attach(self)
         self.phys = PhysicalMemory(total_frames=256 * units.MB
                                    // units.PAGE_SIZE)
         self.scheduler = Scheduler(self)
@@ -46,7 +49,8 @@ class Kernel:
         self.shared_table = PageTable(self.phys)
         self.shared_space = AddressSpace(self.shared_table)
         self.apls = APLRegistry()
-        self.access = AccessEngine(self.shared_space, self.apls)
+        self.access = AccessEngine(self.shared_space, self.apls,
+                                   engine=self.engine)
         self.gvas = GlobalVAS()
         for cpu in self.machine.cpus:
             cpu.apl_cache = APLCache()
@@ -54,6 +58,11 @@ class Kernel:
         self.dipc = None
         #: shared libraries with per-process virtual copies (§6.1.3)
         self.libraries = LibraryRegistry(self)
+
+    @property
+    def tracer(self):
+        """The engine's span/counter recorder (NULL_TRACER when off)."""
+        return self.engine.tracer
 
     # -- process / thread management -----------------------------------------------
 

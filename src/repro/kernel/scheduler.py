@@ -44,6 +44,7 @@ class Scheduler:
         self.preemptions = 0
         self.ipi_wakes = 0
         self.steals = 0
+        self.pt_switches = 0
         #: seeded timing-noise source (JITTER=0 keeps runs exact)
         self._jitter_rng = random.Random(self.costs.JITTER_SEED) \
             if self.costs.JITTER > 0 else None
@@ -71,6 +72,11 @@ class Scheduler:
             if waker_cpu is not None and waker_cpu is not cpu:
                 # cross-CPU wake of an idle CPU: the IPI path
                 self.ipi_wakes += 1
+                tracer = self.engine.tracer
+                if tracer.enabled:
+                    tracer.instant(f"ipi:{thread.name}", "sched",
+                                   track=f"cpu{waker_cpu.index}",
+                                   args={"target_cpu": cpu.index})
                 self.machine.send_ipi(
                     waker_cpu, cpu,
                     lambda: self._claimed_start(cpu, thread))
@@ -141,8 +147,21 @@ class Scheduler:
             if cpu.percpu.get("page_table") is not None:
                 cpu.charge(Block.PTSW, self.costs.PT_SWITCH)
                 total += self.costs.PT_SWITCH
+                self.pt_switches += 1
             cpu.percpu["page_table"] = page_table
+        tracer = self.engine.tracer
+        if tracer.enabled:
+            thread.run_span = tracer.begin(
+                thread.name, "oncpu", track=f"cpu{cpu.index}",
+                args={"tid": thread.tid})
         self.engine.post(total, lambda: self._advance(cpu, thread))
+
+    def _end_run_span(self, thread: Thread) -> None:
+        """Close the thread's on-CPU span when it leaves its CPU."""
+        span = thread.run_span
+        if span is not None:
+            self.engine.tracer.end(span)
+            thread.run_span = None
 
     def _dispatch(self, cpu) -> None:
         """The CPU is free: run the next queued thread or go idle."""
@@ -218,6 +237,7 @@ class Scheduler:
             thread.state = thread_mod.BLOCKED
             thread.cpu = None
             thread.last_ran = self.engine.now()
+            self._end_run_span(thread)
             self._dispatch(cpu)
         elif isinstance(effect, Handoff):
             target = effect.to
@@ -232,6 +252,7 @@ class Scheduler:
             thread.state = thread_mod.BLOCKED
             thread.cpu = None
             thread.last_ran = self.engine.now()
+            self._end_run_span(thread)
             target.next_send_value = effect.value
             self._begin_run(cpu, target, 0.0)
         elif isinstance(effect, YieldCPU):
@@ -288,6 +309,7 @@ class Scheduler:
         thread.slice_used = 0.0
         thread.cpu = None
         thread.last_ran = self.engine.now()
+        self._end_run_span(thread)
         self.runqueues[cpu.index].append(thread)
         self._dispatch(cpu)
 
@@ -295,6 +317,7 @@ class Scheduler:
                 exc: Optional[BaseException]) -> None:
         thread.state = thread_mod.DONE
         thread.cpu = None
+        self._end_run_span(thread)
         thread.exception = exc
         if exc is not None:
             self.kernel.crashed_threads.append(thread)

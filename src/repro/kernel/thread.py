@@ -61,6 +61,8 @@ class Thread:
         self.kcs = None
         #: dIPC per-(thread, process) identifier map (§5.2.1)
         self.per_process_tids = {}
+        #: open on-CPU tracing span, owned by the scheduler
+        self.run_span = None
         #: dIPC track_process cache-array + tree (§6.1.2), set by repro.core
         self.track_state = None
         self.result = None

@@ -15,18 +15,20 @@ import heapq
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
+from repro.trace.tracer import NULL_TRACER
 
 
 class Event:
     """A scheduled callback. Returned by :meth:`Engine.post` for cancelling."""
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    __slots__ = ("time", "seq", "fn", "cancelled", "popped")
 
     def __init__(self, time: float, seq: int, fn: Callable[[], None]):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.popped = False
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -44,7 +46,12 @@ class Engine:
         self._now = 0.0
         self._seq = 0
         self._running = False
+        #: cancelled events still sitting in the heap (pruned lazily)
+        self._cancelled_in_queue = 0
         self.events_processed = 0
+        #: span/counter recorder; NULL_TRACER unless a TraceSession (or a
+        #: caller) installs a live repro.trace.Tracer
+        self.tracer = NULL_TRACER
 
     # -- clock --------------------------------------------------------------
 
@@ -72,15 +79,40 @@ class Engine:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Cancel a pending event; cancelling twice is harmless."""
+        """Cancel a pending event; cancelling twice is harmless.
+
+        Cancelled events stay in the heap until popped, but once they
+        outnumber half the queue the heap is rebuilt without them — long
+        runs that cancel heavily (timeouts that rarely fire) would
+        otherwise grow the queue without bound.
+        """
+        if event.cancelled or event.popped:
+            return
         event.cancelled = True
+        self._cancelled_in_queue += 1
+        if self._cancelled_in_queue > len(self._queue) // 2 \
+                and len(self._queue) >= 64:
+            self._prune()
+
+    def _prune(self) -> None:
+        """Rebuild the heap without cancelled events."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+
+    def _pop(self) -> Event:
+        event = heapq.heappop(self._queue)
+        event.popped = True
+        if event.cancelled:
+            self._cancelled_in_queue -= 1
+        return event
 
     # -- running -------------------------------------------------------------
 
     def step(self) -> bool:
         """Run the next pending event. Returns False if the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
+            event = self._pop()
             if event.cancelled:
                 continue
             self._now = event.time
@@ -93,9 +125,12 @@ class Engine:
             max_events: Optional[int] = None) -> None:
         """Drain the queue, optionally stopping at a time or event budget.
 
-        When ``until_ns`` is given, the clock is advanced to exactly that
-        time on return (even if the queue drained earlier), so utilization
-        accounting over a fixed window is well defined.
+        When ``until_ns`` is given, the clock is advanced toward that
+        time on return (even if the queue drained earlier), so
+        utilization accounting over a fixed window is well defined. If
+        ``max_events`` stops the run first, the clock only advances to
+        the next still-pending event — never past work that has yet to
+        execute — keeping time monotonic across resumed runs.
         """
         if self._running:
             raise SimulationError("engine.run() is not reentrant")
@@ -104,23 +139,38 @@ class Engine:
             processed = 0
             while self._queue:
                 if max_events is not None and processed >= max_events:
-                    return
+                    break
                 head = self._queue[0]
                 if head.cancelled:
-                    heapq.heappop(self._queue)
+                    self._pop()
                     continue
                 if until_ns is not None and head.time > until_ns:
                     break
                 self.step()
                 processed += 1
             if until_ns is not None and self._now < until_ns:
-                self._now = until_ns
+                target = until_ns
+                head = self._next_live_time()
+                if head is not None:
+                    target = min(target, head)
+                if target > self._now:
+                    self._now = target
         finally:
             self._running = False
 
+    def _next_live_time(self) -> Optional[float]:
+        """Timestamp of the earliest non-cancelled queued event."""
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                self._pop()
+                continue
+            return head.time
+        return None
+
     def pending(self) -> int:
         """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled_in_queue
 
     def __repr__(self) -> str:
         return f"<Engine now={self._now:.1f} pending={self.pending()}>"

@@ -1,0 +1,34 @@
+"""``repro.trace``: the simulator's observability subsystem.
+
+Four concerns, one package:
+
+* :mod:`repro.trace.tracer` — nanosecond begin/end spans and instant
+  events keyed to *simulated* time, recorded per engine by a
+  :class:`~repro.trace.tracer.Tracer` (a no-op
+  :class:`~repro.trace.tracer.NullTracer` is installed by default, so
+  untraced runs pay nothing and stay byte-identical);
+* :mod:`repro.trace.histogram` — fixed-bucket log-scale latency
+  histograms with p50/p95/p99/p999 and mergeable state;
+* :mod:`repro.trace.counters` — named monotonic counters (APL-cache
+  hits/misses, proxy invocations, page-table switches, IPIs, ...);
+* :mod:`repro.trace.export` / :mod:`repro.trace.meta` — Chrome
+  trace-event JSON (Perfetto-loadable), a flat CSV of spans, and the
+  ``meta.json`` run-metadata record written next to every report.
+
+Turn it on for a whole experiment with::
+
+    with TraceSession() as session:
+        ...  # every Kernel built here gets a live Tracer
+    session.finalize()
+    write_chrome_trace(session, "trace.json")
+"""
+
+from repro.trace.counters import CounterSet, harvest_kernel_counters
+from repro.trace.histogram import LatencyHistogram
+from repro.trace.tracer import (NULL_TRACER, NullTracer, Span, TraceSession,
+                                Tracer)
+
+__all__ = [
+    "CounterSet", "harvest_kernel_counters", "LatencyHistogram",
+    "NULL_TRACER", "NullTracer", "Span", "TraceSession", "Tracer",
+]

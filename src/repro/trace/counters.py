@@ -1,0 +1,109 @@
+"""Named monotonic counters and the end-of-run kernel harvest.
+
+Two sources feed a run's counter summary:
+
+* *live* counters bumped by instrumented layers as events happen
+  (``tracer.count("dipc.faults_unwound")`` on an unwind, IPI sends, ...);
+* *harvested* counters: aggregate statistics the simulated objects
+  already keep (APL-cache hit/miss totals, scheduler context switches,
+  access-engine check counts), swept into the same
+  :class:`CounterSet` once the simulation is done.
+
+Names are dotted, ``layer.metric`` — e.g. ``apl_cache.hits``,
+``sched.pt_switches``, ``dipc.proxy_calls``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+
+class CounterSet:
+    """A bag of named monotonic counters."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self):
+        self._counts: Dict[str, float] = {}
+
+    def add(self, name: str, delta: float = 1) -> None:
+        if delta < 0:
+            raise ValueError(f"counter {name} is monotonic, got {delta}")
+        self._counts[name] = self._counts.get(name, 0) + delta
+
+    def set_max(self, name: str, value: float) -> None:
+        """Record a high-water mark (still monotonic per run)."""
+        if value > self._counts.get(name, 0):
+            self._counts[name] = value
+
+    def get(self, name: str) -> float:
+        return self._counts.get(name, 0)
+
+    def merge(self, other: "CounterSet") -> None:
+        for name, value in other._counts.items():
+            self._counts[name] = self._counts.get(name, 0) + value
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(sorted(self._counts.items()))
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counts.items()))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in list(self.items())[:6])
+        more = "..." if len(self._counts) > 6 else ""
+        return f"<CounterSet {inner}{more}>"
+
+
+def harvest_kernel_counters(kernel, counters: CounterSet) -> CounterSet:
+    """Sweep a finished kernel's aggregate statistics into ``counters``.
+
+    Safe to call on any kernel (dIPC attached or not); only layers that
+    exist contribute. Uses ``set_max`` so harvesting twice (e.g. a
+    session finalize after an explicit harvest) does not double-count.
+    """
+    scheduler = kernel.scheduler
+    counters.set_max("sched.context_switches", scheduler.context_switches)
+    counters.set_max("sched.preemptions", scheduler.preemptions)
+    counters.set_max("sched.ipi_wakes", scheduler.ipi_wakes)
+    counters.set_max("sched.steals", scheduler.steals)
+    counters.set_max("sched.pt_switches", scheduler.pt_switches)
+    counters.set_max("engine.events_processed", kernel.engine.events_processed)
+
+    apl_hits = apl_misses = 0
+    for cpu in kernel.machine.cpus:
+        if cpu.apl_cache is not None:
+            apl_hits += cpu.apl_cache.hits
+            apl_misses += cpu.apl_cache.misses
+    counters.set_max("apl_cache.hits", apl_hits)
+    counters.set_max("apl_cache.misses", apl_misses)
+
+    access = kernel.access
+    counters.set_max("codoms.checks", access.checks)
+    counters.set_max("codoms.cap_hits", access.cap_hits)
+    counters.set_max("codoms.cross_domain_accesses",
+                     access.cross_domain_accesses)
+
+    if kernel.dipc is not None:
+        counters.set_max("dipc.proxies_created", kernel.dipc.proxies_created)
+        counters.set_max("dipc.faults_unwound", kernel.dipc.faults_unwound)
+        counters.set_max("dipc.track_upcalls", kernel.dipc.track.upcalls)
+        hot = warm = cold = 0
+        for process in kernel.processes:
+            for thread in process.threads:
+                state = thread.track_state
+                if state is None:
+                    continue
+                hot += state.hot_hits
+                warm += state.warm_hits
+                cold += state.cold_misses
+        counters.set_max("dipc.track_hot_hits", hot)
+        counters.set_max("dipc.track_warm_hits", warm)
+        counters.set_max("dipc.track_cold_misses", cold)
+    return counters

@@ -1,0 +1,128 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto) and flat CSV.
+
+The JSON follows the Chrome trace-event format (``traceEvents`` array of
+``X``/``i``/``C``/``M`` phases), which https://ui.perfetto.dev loads
+directly. Timestamps are simulated nanoseconds converted to the format's
+microsecond unit, so 1 us on the Perfetto timeline is 1 simulated us.
+
+Track mapping: each traced run (= one benchmark's kernel) gets a block
+of process ids; within a run, every simulated process/domain or CPU
+track is its own "process", named ``<run label>/<track>``, and simulated
+threads keep their thread ids.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List
+
+from repro.trace.tracer import TraceSession, Tracer
+
+#: process-id block reserved per traced run, so runs never collide
+_PID_STRIDE = 1000
+
+
+def _events_for(tracer: Tracer, base_pid: int) -> List[dict]:
+    pids: Dict[str, int] = {}
+    events: List[dict] = []
+
+    def pid_of(track: str) -> int:
+        pid = pids.get(track)
+        if pid is None:
+            pid = base_pid + len(pids)
+            pids[track] = pid
+            label = f"{tracer.label}/{track}" if tracer.label else track
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": label}})
+        return pid
+
+    for span in tracer.spans:
+        if span.open:
+            continue
+        event = {
+            "ph": "X", "name": span.name, "cat": span.category or "span",
+            "pid": pid_of(span.track), "tid": span.tid,
+            "ts": span.start_ns / 1000.0,
+            "dur": span.duration_ns / 1000.0,
+        }
+        if span.args:
+            event["args"] = span.args
+        events.append(event)
+    for instant in tracer.instants:
+        event = {
+            "ph": "i", "name": instant.name,
+            "cat": instant.category or "event", "s": "t",
+            "pid": pid_of(instant.track), "tid": instant.tid,
+            "ts": instant.ts_ns / 1000.0,
+        }
+        if instant.args:
+            event["args"] = instant.args
+        events.append(event)
+    if len(tracer.counters):
+        pid = pid_of("counters")
+        for name, value in tracer.counters.items():
+            events.append({"ph": "C", "name": name, "pid": pid, "tid": 0,
+                           "ts": 0.0, "args": {"value": value}})
+    return events
+
+
+def chrome_trace_dict(session: TraceSession) -> dict:
+    """The full trace as a JSON-serializable dict."""
+    session.finalize()
+    events: List[dict] = []
+    for index, tracer in enumerate(session.tracers()):
+        events.extend(_events_for(tracer, (index + 1) * _PID_STRIDE))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {"clock": "simulated-ns",
+                      "runs": [t.label for t in session.tracers()]},
+    }
+
+
+def write_chrome_trace(session: TraceSession, path: str) -> str:
+    """Write ``trace.json``; load it at https://ui.perfetto.dev."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_dict(session), handle)
+        handle.write("\n")
+    return path
+
+
+SPAN_CSV_COLUMNS = ("run", "track", "tid", "category", "name",
+                    "start_ns", "end_ns", "duration_ns")
+
+
+def write_spans_csv(session: TraceSession, path: str) -> str:
+    """Flat CSV of every closed span, one row per span."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SPAN_CSV_COLUMNS)
+        for tracer in session.tracers():
+            for span in tracer.spans:
+                if span.open:
+                    continue
+                writer.writerow([
+                    tracer.label, span.track, span.tid, span.category,
+                    span.name, f"{span.start_ns:.3f}",
+                    f"{span.end_ns:.3f}", f"{span.duration_ns:.3f}",
+                ])
+    return path
+
+
+def render_counters(session: TraceSession, *, per_run: bool = False) -> str:
+    """Human-readable per-run counter summary."""
+    session.finalize()
+    lines: List[str] = []
+    if per_run:
+        for label, counters in session.counters_by_label().items():
+            if not len(counters):
+                continue
+            lines.append(f"[{label}]")
+            lines.extend(f"  {name:<28} {value:>12g}"
+                         for name, value in counters.items())
+    else:
+        merged = session.merged_counters()
+        lines.extend(f"  {name:<28} {value:>12g}"
+                     for name, value in merged.items())
+    return "\n".join(lines) if lines else "  (no counters recorded)"

@@ -1,0 +1,100 @@
+"""Run-metadata capture: make every report comparable across PRs.
+
+A latency number without its provenance is noise: the commit, the cost
+model and the experiment parameters all move the figures. ``meta.json``
+records everything needed to (a) reproduce a run bit-for-bit and (b)
+decide whether two reports are comparable at all — in particular
+``constants_hash``, a digest of every cost-model constant, which changes
+whenever calibration does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Optional
+
+#: bump when the meta.json layout changes incompatibly
+META_VERSION = 1
+
+
+def git_sha(cwd: Optional[str] = None) -> str:
+    """Current commit SHA (with ``-dirty`` suffix), or ``unknown``.
+
+    Defaults to the checkout containing this package (not the process
+    cwd), so reports generated from any directory are stamped.
+    """
+    if cwd is None:
+        cwd = os.path.dirname(os.path.abspath(__file__))
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=5, check=True).stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"], cwd=cwd, capture_output=True,
+            text=True, timeout=5, check=True).stdout.strip()
+        return f"{sha}-dirty" if dirty else sha
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def cost_constants(costs=None) -> dict:
+    """Every cost-model constant as a plain name→value dict."""
+    if costs is None:
+        from repro.hw.costs import CostModel
+        costs = CostModel.default()
+    return {field.name: getattr(costs, field.name)
+            for field in dataclasses.fields(costs)}
+
+
+def constants_hash(costs=None) -> str:
+    """Short stable digest of the cost model (calibration fingerprint)."""
+    payload = json.dumps(cost_constants(costs), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def collect_meta(*, experiment: str = "", quick: Optional[bool] = None,
+                 params: Optional[dict] = None, costs=None,
+                 argv: Optional[list] = None) -> dict:
+    """Assemble the full metadata record for one run."""
+    constants = cost_constants(costs)
+    meta = {
+        "meta_version": META_VERSION,
+        "experiment": experiment,
+        "mode": None if quick is None else ("quick" if quick else "full"),
+        "params": params or {},
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "argv": list(argv) if argv is not None else sys.argv,
+        "timestamp_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "seed": constants.get("JITTER_SEED"),
+        "constants_hash": constants_hash(costs),
+        "cost_constants": constants,
+    }
+    return meta
+
+
+def write_meta(path: str, meta: dict) -> str:
+    with open(path, "w") as handle:
+        json.dump(meta, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def summary_line(meta: dict) -> str:
+    """One-line digest for embedding in report headers."""
+    sha = meta.get("git_sha", "unknown")
+    if sha not in ("", "unknown"):
+        dirty = sha.endswith("-dirty")
+        sha = sha.split("-", 1)[0][:12] + ("-dirty" if dirty else "")
+    return (f"commit {sha} · costs {meta.get('constants_hash', '?')} · "
+            f"{meta.get('mode') or 'default'} mode · "
+            f"python {meta.get('python', '?')} · "
+            f"{meta.get('timestamp_utc', '?')}")

@@ -33,3 +33,43 @@ def test_cli_runs_fig5_quick(capsys):
     out = capsys.readouterr().out
     assert "64.12x" in out
     assert "dipc_proc_high" in out
+
+
+def test_cli_accepts_zero_padded_names(capsys):
+    assert main(["fig05", "--quick"]) == 0
+    assert "dipc_proc_high" in capsys.readouterr().out
+
+
+def test_cli_trace_requires_experiment_name(capsys):
+    assert main(["trace"]) == 2
+    assert "usage" in capsys.readouterr().err
+
+
+def test_cli_trace_fig5_writes_artifacts(tmp_path, capsys):
+    import csv
+    import json
+
+    assert main(["trace", "fig05", "--quick", "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "perfetto" in out
+    assert "dipc.proxy_calls" in out
+
+    with open(tmp_path / "trace.json") as handle:
+        trace = json.load(handle)
+    events = trace["traceEvents"]
+    assert events
+    span_names = {e["name"] for e in events if e["ph"] == "X"}
+    # at least one span per IPC primitive family exercised by fig5
+    for expected in ("futex.wait", "pipe.write", "rpc.call", "l4.call"):
+        assert expected in span_names, expected
+    assert any(name.startswith("dipc:") for name in span_names)
+
+    with open(tmp_path / "spans.csv", newline="") as handle:
+        rows = list(csv.reader(handle))
+    assert len(rows) > 1
+
+    with open(tmp_path / "meta.json") as handle:
+        meta = json.load(handle)
+    assert meta["experiment"] == "fig5"
+    assert meta["mode"] == "quick"
+    assert meta["params"]["traced_runs"] > 0

@@ -69,6 +69,12 @@ class TestFig5:
         text = fig05_sync_calls.render(rows)
         assert "64.12x" in text
 
+    def test_tail_latency_columns(self, rows):
+        for row in rows:
+            assert row.p50_ns > 0, row
+            assert row.p50_ns <= row.p95_ns <= row.p99_ns, row
+        assert "p95" in fig05_sync_calls.render(rows)
+
 
 class TestFig6:
     @pytest.fixture(scope="class")
@@ -99,6 +105,13 @@ class TestFig6:
         gap_big = (series["pipe_cross_cpu"].added_ns[262144]
                    - series["dipc_proc_high"].added_ns[262144])
         assert gap_big > 5 * gap_small
+
+    def test_tail_latency_table(self, series):
+        for s in series.values():
+            p50, p95, p99 = s.tail_ns[262144]
+            assert 0 < p50 <= p95 <= p99, s.label
+        text = fig06_argsize.render(list(series.values()))
+        assert "tail latency at" in text
 
 
 class TestFig7:

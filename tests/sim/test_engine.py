@@ -145,3 +145,73 @@ def test_run_not_reentrant():
     engine.post(1, reenter)
     engine.run()
     assert len(errors) == 1
+
+
+def test_max_events_does_not_skip_clock_past_pending_work():
+    # A max_events stop must not advance the clock to until_ns when
+    # events before until_ns are still queued — resuming would otherwise
+    # fire them "in the past".
+    engine = Engine()
+    fired = []
+    for i in range(4):
+        engine.post(10 * (i + 1), lambda i=i: fired.append(i))
+    engine.run(until_ns=100, max_events=2)
+    assert fired == [0, 1]
+    assert engine.now() == 30  # clamped to the next pending event (t=30)
+    engine.run(until_ns=100)
+    assert fired == [0, 1, 2, 3]
+    assert engine.now() == 100
+
+
+def test_max_events_with_until_advances_when_queue_drains():
+    engine = Engine()
+    engine.post(10, lambda: None)
+    engine.run(until_ns=500, max_events=5)
+    assert engine.now() == 500
+
+
+def test_run_until_skips_cancelled_head_when_advancing():
+    engine = Engine()
+    dead = engine.post(20, lambda: None)
+    engine.post(80, lambda: None)
+    engine.cancel(dead)
+    engine.run(until_ns=50, max_events=0)
+    # the cancelled event at t=20 must not pin the clock
+    assert engine.now() == 50
+
+
+def test_cancel_after_fire_is_harmless():
+    engine = Engine()
+    fired = []
+    event = engine.post(5, lambda: fired.append("x"))
+    engine.run()
+    engine.cancel(event)  # too late; must not corrupt bookkeeping
+    assert fired == ["x"]
+    assert engine.pending() == 0
+    engine.post(1, lambda: None)
+    assert engine.pending() == 1
+
+
+def test_pending_is_exact_under_heavy_cancellation():
+    engine = Engine()
+    events = [engine.post(i + 1, lambda: None) for i in range(200)]
+    for event in events[::2]:
+        engine.cancel(event)
+    assert engine.pending() == 100
+    engine.run()
+    assert engine.events_processed == 100
+
+
+def test_prune_shrinks_internal_queue():
+    engine = Engine()
+    events = [engine.post(i + 1, lambda: None) for i in range(128)]
+    for event in events[:100]:
+        engine.cancel(event)
+    # >half cancelled on a >=64-entry queue triggers the lazy prune
+    assert len(engine._queue) < 128
+    assert engine.pending() == 28
+    fired = []
+    engine.post(1000, lambda: fired.append("tail"))
+    engine.run()
+    assert fired == ["tail"]
+    assert engine.events_processed == 29

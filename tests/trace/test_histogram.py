@@ -1,0 +1,152 @@
+"""Percentile math of the log-scale latency histogram against known
+distributions, plus geometry and merge semantics."""
+
+import random
+
+import pytest
+
+from repro.trace.histogram import LatencyHistogram
+
+
+def test_empty_histogram():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.percentile(50) == 0.0
+    assert hist.summary()["max_ns"] == 0.0
+
+
+def test_single_value_all_percentiles_equal():
+    hist = LatencyHistogram.from_values([1234.5])
+    for p in (0, 50, 95, 99, 99.9, 100):
+        assert hist.percentile(p) == pytest.approx(1234.5)
+    assert hist.mean == pytest.approx(1234.5)
+
+
+def test_mean_min_max_are_exact():
+    values = [3.0, 17.0, 17.0, 9000.0, 123456.0]
+    hist = LatencyHistogram.from_values(values)
+    assert hist.count == 5
+    assert hist.mean == pytest.approx(sum(values) / len(values))
+    assert hist.minimum == 3.0
+    assert hist.maximum == 123456.0
+
+
+def test_percentiles_of_uniform_distribution():
+    # 1..10000 uniformly: pXX must land within one bucket's relative
+    # error of the exact order statistic.
+    hist = LatencyHistogram()
+    for value in range(1, 10001):
+        hist.add(float(value))
+    tolerance = hist.relative_error
+    for p, exact in ((50, 5000.0), (95, 9500.0), (99, 9900.0)):
+        measured = hist.percentile(p)
+        assert abs(measured - exact) / exact <= tolerance + 0.01, \
+            f"p{p}: {measured} vs {exact}"
+
+
+def test_percentiles_of_bimodal_distribution():
+    # 90% fast (100ns), 10% slow (1ms): p50 sees the fast mode, p99 the
+    # slow one — exactly the mean-hides-the-tail case histograms exist for.
+    hist = LatencyHistogram()
+    for _ in range(900):
+        hist.add(100.0)
+    for _ in range(100):
+        hist.add(1_000_000.0)
+    assert hist.p50 == pytest.approx(100.0, rel=hist.relative_error + 0.01)
+    assert hist.p99 == pytest.approx(1_000_000.0,
+                                     rel=hist.relative_error + 0.01)
+    assert hist.p50 < 200.0 < 500_000.0 < hist.p99
+
+
+def test_percentile_clamped_to_observed_range():
+    hist = LatencyHistogram.from_values([500.0, 600.0, 700.0])
+    assert hist.percentile(0) >= 500.0
+    assert hist.percentile(100) <= 700.0
+
+
+def test_relative_error_bound_holds_on_random_samples():
+    rng = random.Random(42)
+    values = sorted(rng.uniform(10.0, 1e7) for _ in range(5000))
+    hist = LatencyHistogram.from_values(values)
+    for p in (50, 90, 99):
+        exact = values[int(p / 100 * len(values)) - 1]
+        measured = hist.percentile(p)
+        assert abs(measured - exact) / exact <= hist.relative_error + 0.02
+
+
+def test_values_below_min_go_to_bucket_zero():
+    hist = LatencyHistogram(min_ns=10.0)
+    hist.add(0.0)
+    hist.add(5.0)
+    hist.add(10.0)
+    assert hist.counts[0] == 3
+    assert hist.count == 3
+
+
+def test_values_above_range_clamp_to_last_bucket():
+    hist = LatencyHistogram(decades=2, min_ns=1.0)  # covers 1..100ns
+    hist.add(1e9)
+    assert hist.counts[-1] == 1
+    assert hist.maximum == 1e9
+    assert hist.percentile(100) == 1e9  # clamped to observed max
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ValueError):
+        LatencyHistogram().add(-1.0)
+
+
+def test_percentile_out_of_range_rejected():
+    hist = LatencyHistogram.from_values([1.0])
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    with pytest.raises(ValueError):
+        hist.percentile(-1)
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        LatencyHistogram(buckets_per_decade=0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(min_ns=0.0)
+
+
+def test_merge_equals_union():
+    rng = random.Random(7)
+    left_values = [rng.uniform(1, 1e6) for _ in range(300)]
+    right_values = [rng.uniform(1, 1e6) for _ in range(500)]
+    left = LatencyHistogram.from_values(left_values)
+    right = LatencyHistogram.from_values(right_values)
+    union = LatencyHistogram.from_values(left_values + right_values)
+    left.merge(right)
+    assert left.count == union.count
+    assert left.sum_ns == pytest.approx(union.sum_ns)
+    assert left.minimum == union.minimum
+    assert left.maximum == union.maximum
+    assert left.counts == union.counts
+    for p in (50, 95, 99):
+        assert left.percentile(p) == pytest.approx(union.percentile(p))
+
+
+def test_merge_rejects_different_geometry():
+    with pytest.raises(ValueError):
+        LatencyHistogram().merge(LatencyHistogram(buckets_per_decade=10))
+
+
+def test_bucket_bounds_tile_the_axis():
+    hist = LatencyHistogram()
+    previous_high = hist.bucket_bounds(0)[1]
+    for index in range(1, 50):
+        low, high = hist.bucket_bounds(index)
+        assert low == pytest.approx(previous_high)
+        assert high > low
+        previous_high = high
+
+
+def test_nonzero_buckets_roundtrip():
+    hist = LatencyHistogram.from_values([10.0, 10.0, 5000.0])
+    populated = hist.nonzero_buckets()
+    assert sum(count for _low, _high, count in populated) == 3
+    for low, high, _count in populated:
+        assert low < high
