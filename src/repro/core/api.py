@@ -46,6 +46,10 @@ class DipcManager:
             = {}
         self.faults_unwound = 0
         self.proxies_created = 0
+        #: every GrantHandle ever issued — the fault injector picks
+        #: revocation victims here and the invariant auditor verifies
+        #: that revoked grants really left the APLs (P1)
+        self.grants: List[GrantHandle] = []
         kernel.dipc = self
 
     # -- internal helpers --------------------------------------------------------
@@ -117,7 +121,9 @@ class DipcManager:
         hw_perm = dst.perm.hardware()
         self.apls.apl_of(src.tag).grant(dst.tag, hw_perm)
         self._prefill_apl_caches(src.tag, dst.tag)
-        return GrantHandle(src.tag, dst.tag, hw_perm)
+        grant = GrantHandle(src.tag, dst.tag, hw_perm)
+        self.grants.append(grant)
+        return grant
 
     def grant_revoke(self, grant: GrantHandle) -> None:
         if grant.revoked:

@@ -75,10 +75,13 @@ class KernelControlStack:
         return None
 
     def processes_in_chain(self) -> List[object]:
-        """Every process with a frame on this KCS (callers and callees)."""
-        seen: List[object] = []
+        """Every process with a frame on this KCS (callers and callees),
+        in first-appearance order from the stack base."""
+        seen_ids = set()
+        chain: List[object] = []
         for frame in self._frames:
             for process in (frame.caller_process, frame.callee_process):
-                if process is not None and process not in seen:
-                    seen.append(process)
-        return seen
+                if process is not None and id(process) not in seen_ids:
+                    seen_ids.add(id(process))
+                    chain.append(process)
+        return chain

@@ -129,6 +129,15 @@ class Proxy:
 
         # ---- trusted proxy entry ----
         yield thread.kwork(costs.PROXY_MIN_CALL, Block.USER)
+        if self.cross_process and not self.callee_process.alive:
+            # a call into a killed process fails errno-style at the proxy
+            # instead of executing dead code: nothing was pushed yet, so
+            # there is no frame to unwind (§5.2.1)
+            if span is not None:
+                tracer.end(span, args={"fault": True, "dead_callee": True})
+            raise RemoteFault(
+                f"callee process {self.callee_process.name} is dead",
+                origin=self.callee_process.name, unwound_frames=0)
         caller_stack = manager.stacks.stack_for(
             thread, getattr(thread, "current_process", thread.process))
         if not caller_stack.contains(caller_stack.sp):
@@ -145,6 +154,11 @@ class Proxy:
             saved_stack=caller_stack,
             callee_process=self.callee_process,
         )
+        if self.cross_process:
+            # time-slice donation bookkeeping (§5.2.1): the remainder of
+            # the caller's slice travels with the frame so the auditor can
+            # verify donations are restored after faults
+            frame.donated_slice = thread.slice_used
         kcs = self.kcs_of(thread)
         kcs.push(frame)
 

@@ -75,6 +75,9 @@ def call_with_timeout(thread, proxy, args, timeout_ns: float):
 
     split = kernel.spawn(thread.process, split_half,
                          name=f"{thread.name}:split", pin=pin)
+    #: flags the pre-materialized split half so the post-run invariant
+    #: auditor can verify every split was reaped (§5.4)
+    split.is_split_half = True
 
     def expire():
         if not outcome.done and not outcome.timed_out:
@@ -82,7 +85,16 @@ def call_with_timeout(thread, proxy, args, timeout_ns: float):
             kernel.wake(outcome.caller)
 
     timer = kernel.engine.post(timeout_ns, expire)
-    yield thread.block("dipc-timeout-call")
+    try:
+        # re-block on spurious wakes: only the split's completion or the
+        # timer may resume the caller with a decided outcome
+        while not outcome.done and not outcome.timed_out:
+            yield thread.block("dipc-timeout-call")
+    except BaseException:
+        # the caller itself was unwound (e.g. its process was killed)
+        # while waiting: the timer must not outlive the call
+        kernel.engine.cancel(timer)
+        raise
     if outcome.done and not outcome.timed_out:
         kernel.engine.cancel(timer)
         if outcome.error is not None:

@@ -76,6 +76,19 @@ class WouldBlock(KernelError):
     """Non-blocking operation could not complete immediately."""
 
 
+class PipeBrokenError(KernelError):
+    """EPIPE-style: the read side of a pipe died with the writer active."""
+
+
+class PeerResetError(KernelError):
+    """ECONNRESET-style: the far end of a connection died with bytes in
+    flight (or before replying)."""
+
+
+class SocketTimeout(KernelError):
+    """A timed receive expired before a datagram arrived."""
+
+
 # ---------------------------------------------------------------------------
 # dIPC-level errors
 # ---------------------------------------------------------------------------
@@ -123,3 +136,13 @@ class LoaderError(DipcError):
 
 class SimulationError(ReproError):
     """The discrete-event engine was used incorrectly."""
+
+
+class InvariantViolation(ReproError):
+    """A post-run kernel sweep found a conservation property broken.
+
+    Raised by :class:`repro.fault.InvariantAuditor` when a chaos run
+    leaves the kernel in a state the paper's P1-P5 model forbids (an
+    unbalanced KCS, a runnable thread of a dead process, a usable
+    revoked grant, ...).
+    """

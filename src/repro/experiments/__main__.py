@@ -9,6 +9,12 @@ Names: table1, fig1, fig2, fig5, fig6, fig7, fig8, extras, all.
 one experiment with span tracing on and writes ``trace.json`` (Chrome
 trace-event format, loadable at https://ui.perfetto.dev), ``spans.csv``
 and ``meta.json`` into DIR (default: the current directory).
+
+``python -m repro.experiments chaos --seed N --storms K [--quick]
+[--out DIR]`` runs K deterministic fault-injection storms (see
+``repro.fault``), writes the injection log to DIR/chaos.log, re-runs the
+whole set to verify the log is byte-identical for the same seed, and
+exits non-zero on any invariant violation or determinism failure.
 """
 
 from __future__ import annotations
@@ -84,6 +90,12 @@ def _run_report(quick: bool) -> str:
     return f"report written to {path}"
 
 
+def _run_chaos(quick: bool) -> str:
+    from repro.fault import chaos
+    report = chaos.run_chaos(7, 2 if quick else 5, quick=quick)
+    return chaos.render(report)
+
+
 RUNNERS = {
     "table1": _run_table1,
     "fig1": _run_fig1,
@@ -95,10 +107,13 @@ RUNNERS = {
     "extras": _run_extras,
     "ablation": _run_ablation,
     "report": _run_report,
+    "chaos": _run_chaos,
 }
 
-#: "all" runs every figure/table but not the aggregate report
-DEFAULT_SET = [name for name in RUNNERS if name != "report"]
+#: "all" runs every figure/table but not the aggregate report or the
+#: chaos smoke (those have their own invocations)
+DEFAULT_SET = [name for name in RUNNERS
+               if name not in ("report", "chaos")]
 
 
 def _normalize(name: str) -> str:
@@ -143,6 +158,24 @@ def _run_traced(name: str, quick: bool, out_dir: str) -> int:
     return 0
 
 
+def _run_chaos_cli(seed: int, storms: int, quick: bool,
+                   out_dir: str) -> int:
+    """Run fault storms; write the injection log; non-zero on failure."""
+    from repro.fault import chaos
+
+    os.makedirs(out_dir, exist_ok=True)
+    start = time.time()
+    print(f"\n{'=' * 78}\nchaos seed={seed} storms={storms}\n{'=' * 78}")
+    report = chaos.run_chaos(seed, storms, quick=quick, verify=True)
+    print(chaos.render(report))
+    log_path = os.path.join(out_dir, "chaos.log")
+    with open(log_path, "w") as fh:
+        fh.write(report.log_text)
+    print(f"\nwrote {log_path} ({report.total_injections} injections)")
+    print(f"\n[chaos took {time.time() - start:.1f}s]")
+    return 0 if report.ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
@@ -150,14 +183,22 @@ def main(argv=None) -> int:
     parser.add_argument("names", nargs="*", default=["all"],
                         help=f"which experiments: {', '.join(RUNNERS)}, "
                              "or 'all'; prefix with 'trace' to record "
-                             "spans (trace fig5)")
+                             "spans (trace fig5); 'chaos' runs fault "
+                             "storms (--seed/--storms)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller iteration counts / windows")
     parser.add_argument("--out", default=".",
                         help="directory for trace artifacts "
-                             "(trace.json, spans.csv, meta.json)")
+                             "(trace.json, spans.csv, meta.json) and "
+                             "the chaos injection log (chaos.log)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="chaos: base RNG seed (default 7)")
+    parser.add_argument("--storms", type=int, default=25,
+                        help="chaos: number of fault storms (default 25)")
     args = parser.parse_args(argv)
     names = [_normalize(name) for name in args.names]
+    if names and names[0] == "chaos" and len(names) == 1:
+        return _run_chaos_cli(args.seed, args.storms, args.quick, args.out)
     if names and names[0] == "trace":
         if len(names) != 2:
             print("usage: python -m repro.experiments trace <experiment>",

@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the dIPC reproduction.
+
+The subsystem has four pieces, all driven through the discrete-event
+engine so runs are exactly reproducible:
+
+* :mod:`repro.fault.plan` — :class:`FaultPlan`: a seeded RNG samples a
+  declarative list of :class:`FaultRule`\\ s (what to break, when);
+  :class:`InjectionRecord` is the stable-format log of what happened.
+* :mod:`repro.fault.injector` — :class:`FaultInjector`: arms the rules
+  as simulated-time or event-count triggers and performs the injections
+  (process kills, thread crashes, capability revocations, message
+  drops/delays), recording each as a trace instant.
+* :mod:`repro.fault.auditor` — :class:`InvariantAuditor`: post-run sweep
+  asserting the kernel conserved its P1-P5 properties through the chaos
+  (balanced KCSes, no runnable threads of dead processes, reaped splits,
+  restored donations, revoked grants really gone).
+* :mod:`repro.fault.chaos` — storm harness: fig5/fig8-style workloads
+  run under fault storms, with built-in same-seed log verification.
+"""
+
+from repro.fault.auditor import InvariantAuditor
+from repro.fault.injector import FaultInjector
+from repro.fault.plan import (ACTIONS, FaultPlan, FaultRule,
+                              InjectionRecord, render_log)
+
+__all__ = [
+    "ACTIONS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "InjectionRecord",
+    "InvariantAuditor",
+    "render_log",
+]

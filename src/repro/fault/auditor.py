@@ -1,0 +1,136 @@
+"""Post-run kernel sweep: did the system conserve its invariants?
+
+After a chaos run drains, the auditor walks every process, thread, KCS,
+runqueue and grant, and collects violations of the properties the
+paper's fault model promises survive any kill (§5.2.1, P1-P5):
+
+* **A1 drained** — the engine has no pending events (nothing wedged).
+* **A2 dead-quiet** — a dead process has no live threads.
+* **A3 KCS balance** — every thread's KCS is empty: balanced by normal
+  returns or fully unwound by the kill machinery.
+* **A4 runqueue hygiene** — no DONE thread, and no thread of a dead
+  process, sits in a runqueue.
+* **A5 splits reaped** — every §5.4 split half ran to completion and was
+  deleted at its proxy.
+* **A6 donation restored** — a live thread outside any dIPC call is
+  accounted to its own process again (time-slice donation returned).
+* **A7 revocation sticks** — a revoked grant's APL edge is gone unless a
+  different live grant legitimately re-established the same edge (P1).
+* **A8 sanctioned crashes** — every crashed thread died of an exception
+  class the caller declared survivable (kill unwinds, injected faults).
+
+``audit()`` returns the violations as strings; ``assert_clean()`` wraps
+them in a single :class:`InvariantViolation`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.codoms.apl import Permission
+from repro.errors import InvariantViolation
+
+
+class InvariantAuditor:
+    """Sweeps one kernel after its event queue drains."""
+
+    def __init__(self, kernel, *,
+                 allowed_crashes: Sequence[type] = ()):
+        self.kernel = kernel
+        self.allowed_crashes: Tuple[type, ...] = tuple(allowed_crashes)
+
+    # -- the sweep -------------------------------------------------------------
+
+    def audit(self) -> List[str]:
+        violations: List[str] = []
+        self._check_drained(violations)
+        self._check_processes(violations)
+        self._check_runqueues(violations)
+        self._check_threads(violations)
+        self._check_grants(violations)
+        self._check_crashes(violations)
+        return violations
+
+    def assert_clean(self) -> None:
+        violations = self.audit()
+        if violations:
+            raise InvariantViolation(
+                f"{len(violations)} invariant violation(s):\n  "
+                + "\n  ".join(violations))
+
+    # -- individual checks ------------------------------------------------------
+
+    def _check_drained(self, out: List[str]) -> None:
+        pending = self.kernel.engine.pending()
+        if pending:
+            out.append(f"A1: engine not drained ({pending} events pending)")
+
+    def _check_processes(self, out: List[str]) -> None:
+        for process in self.kernel.processes:
+            if process.alive:
+                continue
+            for thread in process.threads:
+                if not thread.is_done:
+                    out.append(
+                        f"A2: dead process {process.name} has live "
+                        f"thread {thread.name} ({thread.state})")
+
+    def _check_runqueues(self, out: List[str]) -> None:
+        for index, runqueue in enumerate(self.kernel.scheduler.runqueues):
+            for thread in runqueue:
+                if thread.is_done:
+                    out.append(f"A4: DONE thread {thread.name} in "
+                               f"runqueue {index}")
+                elif not thread.process.alive:
+                    out.append(
+                        f"A4: thread {thread.name} of dead process "
+                        f"{thread.process.name} in runqueue {index}")
+
+    def _check_threads(self, out: List[str]) -> None:
+        for process in self.kernel.processes:
+            for thread in process.threads:
+                if thread.kcs is not None and thread.kcs.depth != 0:
+                    out.append(
+                        f"A3: {thread.name} KCS depth "
+                        f"{thread.kcs.depth} != 0 (neither balanced "
+                        f"nor unwound)")
+                if thread.is_split_half and not thread.is_done:
+                    out.append(
+                        f"A5: split half {thread.name} not reaped "
+                        f"({thread.state})")
+                if (not thread.is_done
+                        and (thread.kcs is None or thread.kcs.depth == 0)
+                        and thread.current_process is not thread.process):
+                    out.append(
+                        f"A6: {thread.name} outside any call but still "
+                        f"accounted to {thread.current_process.name} "
+                        f"(donation not restored)")
+
+    def _check_grants(self, out: List[str]) -> None:
+        dipc = self.kernel.dipc
+        if dipc is None:
+            return
+        live_pairs = {(g.src_tag, g.dst_tag)
+                      for g in dipc.grants if not g.revoked}
+        for grant in dipc.grants:
+            if not grant.revoked:
+                continue
+            if (grant.src_tag, grant.dst_tag) in live_pairs:
+                continue  # legitimately re-granted by another handle
+            perm = self.kernel.apls.apl_of(
+                grant.src_tag).permission_to(grant.dst_tag)
+            if perm is not Permission.NIL:
+                out.append(
+                    f"A7: revoked grant {grant.src_tag}->"
+                    f"{grant.dst_tag} still usable ({perm.name})")
+
+    def _check_crashes(self, out: List[str]) -> None:
+        for thread in self.kernel.crashed_threads:
+            exc = thread.exception
+            if exc is None:
+                continue
+            if isinstance(exc, self.allowed_crashes):
+                continue
+            out.append(
+                f"A8: {thread.name} crashed with unsanctioned "
+                f"{type(exc).__name__}: {exc}")

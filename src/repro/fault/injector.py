@@ -1,0 +1,154 @@
+"""The fault injector: arms a :class:`FaultPlan` against a live kernel.
+
+Each rule becomes one engine trigger (``post_at`` for simulated-time
+rules, ``at_event_count`` for event-order rules). When a trigger fires,
+the injector performs the action against the *current* kernel state,
+appends an :class:`InjectionRecord` with the observed outcome, and — when
+tracing is on — drops a trace instant on the ``faults`` track so storms
+are visible in Perfetto next to the work they disrupt.
+
+Injection decisions never consult wall-clock time or object identity:
+victims are selected by name/prefix in deterministic kernel iteration
+order, indexed by the rule's ``param``. Same plan + same workload =
+same injections, byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import AccessFault, SimulationError
+from repro.fault.plan import FaultPlan, FaultRule, InjectionRecord
+
+
+class FaultInjector:
+    """Performs a plan's injections against one kernel."""
+
+    def __init__(self, kernel, plan: FaultPlan, *, storm: int = 0):
+        self.kernel = kernel
+        self.plan = plan
+        self.storm = storm
+        self.records: List[InjectionRecord] = []
+        #: name -> UnixSocket, for drop/delay targets
+        self._channels: Dict[str, object] = {}
+        self._armed = False
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register_channel(self, name: str, sock) -> None:
+        """Expose a :class:`UnixSocket` to drop/delay rules as ``name``."""
+        self._channels[name] = sock
+
+    def arm(self) -> None:
+        """Schedule every rule on the engine. Idempotent-hostile on
+        purpose: arming twice would double-inject, so it raises."""
+        if self._armed:
+            raise SimulationError("fault plan already armed")
+        self._armed = True
+        for rule in self.plan:
+            self._arm_rule(rule)
+
+    def _arm_rule(self, rule: FaultRule) -> None:
+        def fire():
+            self._fire(rule)
+        if rule.at_event is not None:
+            try:
+                self.kernel.engine.at_event_count(rule.at_event, fire)
+            except SimulationError:
+                # the count already passed before arming: record the miss
+                # (deterministically) rather than dying
+                self._record(rule, "trigger-in-past")
+        else:
+            self.kernel.engine.post_at(rule.at_ns, fire)
+
+    # -- firing ----------------------------------------------------------------
+
+    def _record(self, rule: FaultRule, outcome: str) -> None:
+        engine = self.kernel.engine
+        record = InjectionRecord(
+            storm=self.storm, time_ns=engine.now(),
+            event_index=engine.events_processed,
+            action=rule.action, target=rule.target, outcome=outcome)
+        self.records.append(record)
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant(f"fault:{rule.action}", "fault", track="faults",
+                           args={"target": rule.target, "outcome": outcome})
+            tracer.count("fault.injections")
+
+    def _fire(self, rule: FaultRule) -> None:
+        handler = getattr(self, f"_do_{rule.action}")
+        self._record(rule, handler(rule))
+
+    # -- actions ----------------------------------------------------------------
+
+    def _do_kill_process(self, rule: FaultRule) -> str:
+        for process in self.kernel.processes:
+            if process.name == rule.target:
+                if not process.alive:
+                    return "already-dead"
+                self.kernel.kill_process(process)
+                return "killed"
+        return "no-such-process"
+
+    def _do_crash_thread(self, rule: FaultRule) -> str:
+        matches = []
+        for process in self.kernel.processes:
+            if not process.alive:
+                continue
+            for thread in process.threads:
+                if thread.is_done:
+                    continue
+                if thread.name.startswith(rule.target):
+                    matches.append(thread)
+        if not matches:
+            return "no-match"
+        victim = matches[rule.param % len(matches)]
+        victim.pending_exception = AccessFault(
+            "injected wild access", kind="fault-injection")
+        self.kernel.wake(victim)
+        return f"faulted {victim.name}"
+
+    def _do_revoke_grant(self, rule: FaultRule) -> str:
+        dipc = self.kernel.dipc
+        if dipc is None:
+            return "no-dipc"
+        live = [g for g in dipc.grants if not g.revoked]
+        if not live:
+            return "no-live-grant"
+        grant = live[rule.param % len(live)]
+        dipc.grant_revoke(grant)
+        return f"revoked {grant.src_tag}->{grant.dst_tag}"
+
+    def _do_drop_message(self, rule: FaultRule) -> str:
+        sock = self._channels.get(rule.target)
+        if sock is None:
+            return "no-such-channel"
+        if not sock._queue:
+            return "empty"
+        dgram = sock._queue.popleft()
+        sock._bytes -= dgram.size
+        return f"dropped {dgram.size}B"
+
+    def _do_delay_message(self, rule: FaultRule) -> str:
+        sock = self._channels.get(rule.target)
+        if sock is None:
+            return "no-such-channel"
+        if not sock._queue:
+            return "empty"
+        dgram = sock._queue.popleft()
+        sock._bytes -= dgram.size
+
+        def redeliver():
+            if sock.closed or sock.reset:
+                return  # the socket died while the datagram was in limbo
+            sock._queue.appendleft(dgram)
+            sock._bytes += dgram.size
+            while sock._receivers:
+                receiver = sock._receivers.popleft()
+                if not receiver.is_done:
+                    self.kernel.wake(receiver)
+                    break
+
+        self.kernel.engine.post(float(rule.param), redeliver)
+        return f"delayed {dgram.size}B by {rule.param}ns"

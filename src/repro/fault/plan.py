@@ -1,0 +1,155 @@
+"""Seeded, declarative fault plans and the injection log they produce.
+
+A :class:`FaultPlan` is data, not behaviour: a list of :class:`FaultRule`
+rows saying *what* to break and *when*. Plans are sampled by
+:meth:`FaultPlan.storm` from a caller-provided :class:`random.Random`
+and a menu of targets, so the same seed always yields the same plan.
+
+Triggers come in two deterministic flavours:
+
+* ``at_ns`` — an absolute simulated-time trigger (``Engine.post_at``);
+* ``at_event`` — a position in the engine's event order
+  (``Engine.at_event_count``), which is invariant under cost-model
+  changes and therefore survives recalibration.
+
+:class:`InjectionRecord` rows render to a stable text format — no object
+ids, no wall-clock, fixed float formatting — so two runs with the same
+seed produce **byte-identical** logs (asserted by the chaos harness and
+the CI smoke job).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+#: every action the injector knows how to perform
+ACTIONS = (
+    "kill_process",   # SIGKILL a process mid-flight (multi-frame unwinds)
+    "crash_thread",   # inject a ProtectionFault at the next yield point
+    "revoke_grant",   # revoke a dIPC capability grant in flight (P1)
+    "drop_message",   # lose a queued datagram (exercises RPC retransmit)
+    "delay_message",  # hold a queued datagram back for param nanoseconds
+)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One planned injection: action + target + trigger."""
+
+    action: str
+    #: process name, thread-name prefix, or registered channel name
+    target: str
+    #: simulated-time trigger (exclusive with ``at_event``)
+    at_ns: Optional[float] = None
+    #: event-count trigger; never fires if the run drains earlier
+    at_event: Optional[int] = None
+    #: action-specific selector: victim index for crash/revoke, delay
+    #: nanoseconds for delay_message
+    param: int = 0
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if (self.at_ns is None) == (self.at_event is None):
+            raise ValueError(
+                "exactly one of at_ns / at_event must be set")
+
+    def trigger_desc(self) -> str:
+        if self.at_event is not None:
+            return f"ev={self.at_event}"
+        return f"t={self.at_ns:.1f}"
+
+
+@dataclass
+class InjectionRecord:
+    """What one fired rule actually did, at the moment it fired."""
+
+    storm: int
+    time_ns: float
+    event_index: int
+    action: str
+    target: str
+    outcome: str
+
+    def render(self) -> str:
+        return (f"[storm {self.storm:03d}] t={self.time_ns:12.1f} "
+                f"ev={self.event_index:8d} {self.action:<14} "
+                f"{self.target:<18} -> {self.outcome}")
+
+
+def render_log(records: Iterable[InjectionRecord]) -> str:
+    """The canonical injection-log text: one stable line per record."""
+    return "".join(record.render() + "\n" for record in records)
+
+
+class FaultPlan:
+    """An ordered list of fault rules, optionally sampled from a seed."""
+
+    def __init__(self, rules: Sequence[FaultRule]):
+        self.rules: List[FaultRule] = list(rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    #: sampling weights: kills and crashes dominate (they exercise the
+    #: §5.2.1 unwind machinery), the rest keep the other paths honest
+    _WEIGHTS = (
+        ("kill_process", 30),
+        ("crash_thread", 25),
+        ("revoke_grant", 15),
+        ("drop_message", 15),
+        ("delay_message", 15),
+    )
+
+    @classmethod
+    def storm(cls, rng: random.Random, *,
+              processes: Sequence[str],
+              thread_prefixes: Sequence[str],
+              channels: Sequence[str],
+              horizon_ns: float,
+              min_rules: int = 2,
+              max_rules: int = 5) -> "FaultPlan":
+        """Sample a storm plan from ``rng`` and a target menu.
+
+        All decisions flow from ``rng`` and the (ordered) menus — no
+        wall-clock, no object identity — so a given seed reproduces the
+        identical plan every time.
+        """
+        actions = [name for name, _w in cls._WEIGHTS]
+        weights = [w for _name, w in cls._WEIGHTS]
+        rules: List[FaultRule] = []
+        for _ in range(rng.randint(min_rules, max_rules)):
+            action = rng.choices(actions, weights=weights)[0]
+            if action == "kill_process":
+                target = rng.choice(list(processes))
+            elif action == "crash_thread":
+                target = rng.choice(list(thread_prefixes))
+            elif action == "revoke_grant":
+                target = "grant"
+            else:
+                if not channels:
+                    action, target = "kill_process", \
+                        rng.choice(list(processes))
+                else:
+                    target = rng.choice(list(channels))
+            param = rng.randint(0, 7) if action != "delay_message" \
+                else rng.randint(5_000, 60_000)
+            if rng.random() < 0.7:
+                at_ns = rng.uniform(0.02, 0.85) * horizon_ns
+                rule = FaultRule(action, target, at_ns=at_ns, param=param)
+            else:
+                rule = FaultRule(action, target,
+                                 at_event=rng.randint(500, 20_000),
+                                 param=param)
+            rules.append(rule)
+        return cls(rules)
+
+    def describe(self) -> str:
+        lines = [f"  {r.action:<14} {r.target:<18} {r.trigger_desc()}"
+                 for r in self.rules]
+        return "\n".join(lines)

@@ -105,6 +105,11 @@ class CostModel:
     RPC_CLIENT_USER: float = 1200.0
     #: svc loop on the server: poll, xprt handling, request demultiplex
     RPC_SERVER_USER: float = 1300.0
+    #: re-arming the retransmit path on a timed-out clnt_call attempt
+    RPC_RETRY_WORK: float = 400.0
+    #: base of the exponential retransmit backoff (doubles per attempt);
+    #: only charged when a client opts into retries
+    RPC_RETRY_BACKOFF: float = 50.0 * units.US
 
     # -- L4-style synchronous IPC -----------------------------------------------
     #: block 4: L4 short-IPC kernel path (rendezvous, register transfer)

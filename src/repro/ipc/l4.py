@@ -13,10 +13,13 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Tuple
 
-from repro.errors import KernelError
+from repro.errors import KernelError, PeerResetError
 from repro.kernel.effects import Handoff
 from repro.kernel.thread import Thread
 from repro.sim.stats import Block
+
+#: wake value delivered to callers when the endpoint's owner dies
+_HANGUP = object()
 
 
 class L4Endpoint:
@@ -27,6 +30,35 @@ class L4Endpoint:
         self._server: Optional[Thread] = None
         self._pending: Deque[Tuple[Thread, object]] = deque()
         self.calls = 0
+        #: callers currently waiting for a reply (list, not set: wake
+        #: order on hangup must be deterministic)
+        self._outstanding: list = []
+        self.hung_up = False
+        self._owner = None
+        self._kill_hook_installed = False
+
+    def bind_owner(self, process) -> None:
+        """Tie the endpoint to its server's process: if that process is
+        killed, queued and in-flight callers get :class:`PeerResetError`
+        instead of blocking forever."""
+        self._owner = process
+        if not self._kill_hook_installed:
+            self._kill_hook_installed = True
+            self.kernel.on_process_kill(self._on_process_kill)
+
+    def _on_process_kill(self, process) -> None:
+        if process is not self._owner or self.hung_up:
+            return
+        self.hung_up = True
+        self._server = None
+        for caller, _message in list(self._pending):
+            if not caller.is_done:
+                self.kernel.wake(caller, _HANGUP)
+        self._pending.clear()
+        for caller in list(self._outstanding):
+            if not caller.is_done:
+                self.kernel.wake(caller, _HANGUP)
+        self._outstanding.clear()
 
     # -- cost fragments ---------------------------------------------------------
 
@@ -50,22 +82,40 @@ class L4Endpoint:
         span = tracer.begin("l4.call", "ipc", thread=thread) \
             if tracer.enabled else None
         yield from self._entry(thread)
+        if self.hung_up:
+            if span is not None:
+                tracer.end(span, args={"fault": "hangup"})
+            raise PeerResetError("l4 endpoint owner is dead")
         self.calls += 1
         server = self._server
         if server is not None and self._same_cpu(thread, server):
             self._server = None
+            self._outstanding.append(thread)
             yield from self._switch_cost(thread)
             reply = yield Handoff(server, (thread, message))
+            if thread in self._outstanding:
+                self._outstanding.remove(thread)
+            if reply is _HANGUP:
+                if span is not None:
+                    tracer.end(span, args={"fault": "hangup"})
+                raise PeerResetError("l4 server died before replying")
             if span is not None:
                 tracer.end(span)
             return reply
         # server not yet waiting, or on another CPU: queue + block
         self._pending.append((thread, message))
+        self._outstanding.append(thread)
         if server is not None:
             self._server = None
             self.kernel.wake(server, self._pending.popleft(),
                              from_thread=thread)
         reply = yield thread.block("l4-call")
+        if thread in self._outstanding:
+            self._outstanding.remove(thread)
+        if reply is _HANGUP:
+            if span is not None:
+                tracer.end(span, args={"fault": "hangup"})
+            raise PeerResetError("l4 server died before replying")
         if span is not None:
             tracer.end(span)
         return reply

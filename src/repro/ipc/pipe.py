@@ -13,6 +13,7 @@ from collections import deque
 from typing import Deque
 
 from repro import units
+from repro.errors import PeerResetError, PipeBrokenError
 from repro.kernel.thread import Thread
 from repro.sim.stats import Block
 
@@ -43,6 +44,48 @@ class Pipe:
         self._readers: Deque[Thread] = deque()
         self._writers: Deque[Thread] = deque()
         self.closed = False
+        #: process owning each end, declared via :meth:`bind_endpoints`
+        self._writer_proc = None
+        self._reader_proc = None
+        self.reader_gone = False
+        self.writer_gone = False
+        self._kill_hook_installed = False
+
+    # -- peer-death semantics (POSIX EPIPE / partial-read reset) -------------
+
+    def bind_endpoints(self, *, writer=None, reader=None) -> None:
+        """Declare which process owns each end of the pipe.
+
+        Once bound, killing the reader's process makes further writes
+        raise :class:`PipeBrokenError` (EPIPE), and killing the writer's
+        process makes a read that would otherwise wait forever return
+        EOF — or raise :class:`PeerResetError` if the writer died with a
+        message partially in flight.
+        """
+        if writer is not None:
+            self._writer_proc = writer
+        if reader is not None:
+            self._reader_proc = reader
+        if not self._kill_hook_installed:
+            self._kill_hook_installed = True
+            self.kernel.on_process_kill(self._on_process_kill)
+
+    def _on_process_kill(self, process) -> None:
+        if process is self._reader_proc and not self.reader_gone:
+            self.reader_gone = True
+            # writers blocked on a full buffer must see EPIPE, not hang
+            waiters = list(self._writers)
+            self._writers.clear()
+            for waiter in waiters:
+                if not waiter.is_done:
+                    self.kernel.wake(waiter)
+        if process is self._writer_proc and not self.writer_gone:
+            self.writer_gone = True
+            waiters = list(self._readers)
+            self._readers.clear()
+            for waiter in waiters:
+                if not waiter.is_done:
+                    self.kernel.wake(waiter)
 
     def _kernel_copy_ns(self, size: int) -> float:
         """One kernel-side copy: bandwidth capped by the pipe-buffer
@@ -76,11 +119,21 @@ class Pipe:
             if tracer.enabled else None
         yield from thread.syscall(0)
         yield thread.kwork(costs.PIPE_WRITE_WORK, Block.KERNEL)
+        if self.reader_gone:
+            if span is not None:
+                tracer.end(span, args={"fault": "EPIPE"})
+            raise PipeBrokenError(
+                "write to a pipe whose read end's process is dead")
         message = _Message(size, payload)
         self._messages.append(message)
         remaining = size
         first_chunk = True
         while remaining > 0:
+            if self.reader_gone:
+                if span is not None:
+                    tracer.end(span, args={"fault": "EPIPE"})
+                raise PipeBrokenError(
+                    "reader process died mid-write (EPIPE)")
             space = self.capacity - self._bytes
             if space <= 0:
                 self._writers.append(thread)
@@ -112,7 +165,7 @@ class Pipe:
         yield from thread.syscall(0)
         yield thread.kwork(costs.PIPE_READ_WORK, Block.KERNEL)
         while not self._messages:
-            if self.closed:
+            if self.closed or self.writer_gone:
                 if span is not None:
                     tracer.end(span, args={"eof": True})
                 return None
@@ -127,11 +180,23 @@ class Pipe:
                 self._bytes -= available
                 message.read += available
                 self._wake_one(self._writers, thread)
+                # the writer may have streamed more bytes in while the
+                # copy charged time — re-check before deciding to block,
+                # otherwise its wake (sent while we were RUNNING) is lost
+                continue
             if message.done_writing and message.read >= message.total:
                 self._messages.popleft()
                 if span is not None:
                     tracer.end(span, args={"size": message.total})
                 return message.payload
+            if self.writer_gone:
+                # writer's process died with this message partially in
+                # flight: the remaining bytes will never arrive
+                if span is not None:
+                    tracer.end(span, args={"fault": "reset"})
+                raise PeerResetError(
+                    f"pipe writer died mid-message "
+                    f"({message.read}/{message.total} bytes delivered)")
             self._readers.append(thread)
             yield thread.block("pipe-partial")
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict
 
-from repro.errors import KernelError
+from repro.errors import KernelError, PeerResetError, SocketTimeout
 from repro.ipc.unixsocket import SocketNamespace, UnixSocket
 from repro.ipc.xdr import XDRCodec
 from repro.kernel.process import Process
@@ -36,6 +36,8 @@ class RpcServer:
         self.sock = namespace.socket(kernel) if bufsize is None \
             else namespace.socket(kernel, bufsize=bufsize)
         self.sock.bind(path)
+        # peer death => ECONNRESET for clients, not an infinite wait
+        self.sock.bind_owner(process)
         self.path = path
         self._handlers: Dict[str, Callable] = {}
         self.requests_served = 0
@@ -87,7 +89,9 @@ class RpcClient:
     """An rpcgen-style client handle (clnt_create + clnt_call)."""
 
     def __init__(self, kernel, process: Process, namespace: SocketNamespace,
-                 server_path: str, *, bufsize: int = None):
+                 server_path: str, *, bufsize: int = None,
+                 retries: int = 0,
+                 reply_timeout_ns: float = None):
         self.kernel = kernel
         self.process = process
         self.codec = XDRCodec(kernel)
@@ -96,10 +100,24 @@ class RpcClient:
         self.sock = namespace.socket(kernel) if bufsize is None \
             else namespace.socket(kernel, bufsize=bufsize)
         self.sock.bind(f"{server_path}#client-{id(self)}")
+        self.sock.bind_owner(process)
         self.calls = 0
+        #: retransmit budget per call; 0 (the default) keeps the classic
+        #: block-forever clnt_call so benchmark timings are unchanged
+        self.retries = retries
+        #: per-attempt reply deadline; required for retries to trigger
+        self.reply_timeout_ns = reply_timeout_ns
+        self.retransmits = 0
 
     def call(self, thread: Thread, proc: str, size: int, args=None):
-        """Sub-generator: clnt_call — returns the handler's reply payload."""
+        """Sub-generator: clnt_call — returns the handler's reply payload.
+
+        With ``reply_timeout_ns`` set, each attempt waits that long for
+        the reply; on expiry the same request (same xid, rpcgen-style) is
+        retransmitted up to ``retries`` times with exponential backoff,
+        after which :class:`SocketTimeout` propagates. Replies to earlier
+        timed-out attempts are recognized by their stale xid and dropped.
+        """
         costs = self.kernel.costs
         xid = next(_xid)
         tracer = self.kernel.tracer
@@ -112,11 +130,38 @@ class RpcClient:
             thread, size,
             {"xid": xid, "proc": proc, "args": args,
              "reply_to": self.sock.path})
-        yield from self.sock.sendto(thread, self.server_path, size, wire)
-        reply_wire, _sender = yield from self.sock.recvfrom(thread)
-        body = yield from self.codec.decode(thread, reply_wire)
-        if body["xid"] != xid:
-            raise KernelError("RPC reply xid mismatch")
+        attempt = 0
+        while True:
+            try:
+                yield from self.sock.sendto(thread, self.server_path,
+                                            size, wire)
+                while True:
+                    reply_wire, _sender = yield from self.sock.recvfrom(
+                        thread, timeout_ns=self.reply_timeout_ns)
+                    if reply_wire is None:
+                        raise PeerResetError(
+                            f"RPC server {self.server_path} hung up")
+                    body = yield from self.codec.decode(thread, reply_wire)
+                    if body["xid"] == xid:
+                        break
+                    # a straggler reply to an attempt we already gave up
+                    # on: drop it and keep waiting for ours
+                break
+            except SocketTimeout:
+                if attempt >= self.retries:
+                    if span is not None:
+                        tracer.end(span, args={"fault": "timeout",
+                                               "attempts": attempt + 1})
+                    raise
+                backoff = costs.RPC_RETRY_BACKOFF * (2 ** attempt)
+                attempt += 1
+                self.retransmits += 1
+                yield thread.kwork(costs.RPC_RETRY_WORK, Block.USER)
+                yield from thread.sleep(backoff)
+            except (PeerResetError, KernelError):
+                if span is not None:
+                    tracer.end(span, args={"fault": "reset"})
+                raise
         self.calls += 1
         if span is not None:
             tracer.end(span)

@@ -10,7 +10,8 @@ from collections import deque
 from typing import Deque, Dict, Optional, Tuple
 
 from repro import units
-from repro.errors import KernelError, ResourceError
+from repro.errors import (KernelError, PeerResetError, ResourceError,
+                          SocketTimeout)
 from repro.kernel.thread import Thread
 from repro.sim.stats import Block
 
@@ -41,12 +42,44 @@ class UnixSocket:
         self._bytes = 0
         self._receivers: Deque[Thread] = deque()
         self.closed = False
+        #: set when the owning process died: the binding becomes a
+        #: tombstone and peers see ECONNRESET instead of "refused"
+        self.reset = False
+        self._owner = None
+        self._kill_hook_installed = False
 
     # -- naming -------------------------------------------------------------------
 
     def bind(self, path: str) -> None:
         self.namespace.bind(path, self)
         self.path = path
+
+    def bind_owner(self, process) -> None:
+        """Tie the socket's lifetime to ``process``.
+
+        When the owner is killed the socket is reset in place: the name
+        stays bound as a tombstone, so senders get
+        :class:`PeerResetError` (ECONNRESET) rather than the
+        "connection refused" a never-bound path gives, and blocked
+        receivers from other processes are woken with the same error.
+        """
+        self._owner = process
+        if not self._kill_hook_installed:
+            self._kill_hook_installed = True
+            self.kernel.on_process_kill(self._on_process_kill)
+
+    def _on_process_kill(self, process) -> None:
+        if process is not self._owner or self.reset:
+            return
+        self.reset = True
+        self.closed = True
+        # deliberately NOT unbound: the tombstone distinguishes a dead
+        # peer (reset) from a name nobody ever bound (refused)
+        waiters = list(self._receivers)
+        self._receivers.clear()
+        for waiter in waiters:
+            if not waiter.is_done:
+                self.kernel.wake(waiter)
 
     # -- copy cost ----------------------------------------------------------------
 
@@ -68,6 +101,9 @@ class UnixSocket:
         yield from thread.syscall(0)
         yield thread.kwork(costs.SOCK_SEND_WORK, Block.KERNEL)
         peer = self.namespace.lookup(path)
+        if peer is not None and peer.reset:
+            raise PeerResetError(
+                f"peer process behind {path} is dead (ECONNRESET)")
         if peer is None or peer.closed:
             raise KernelError(f"connection refused: {path}")
         if peer._bytes + size > peer.bufsize:
@@ -81,17 +117,52 @@ class UnixSocket:
                 self.kernel.wake(receiver, from_thread=thread)
                 break
 
-    def recvfrom(self, thread: Thread):
+    def recvfrom(self, thread: Thread, *,
+                 timeout_ns: Optional[float] = None):
         """Sub-generator: recvfrom(2) — blocks while empty; returns
-        (payload, sender_socket)."""
+        (payload, sender_socket).
+
+        With ``timeout_ns`` (SO_RCVTIMEO-style) the wait is bounded:
+        :class:`SocketTimeout` is raised if no datagram arrives in time.
+        The expiry removes the thread from the receiver queue before
+        waking it, so a timed-out receiver never eats a later wake.
+        """
         costs = self.kernel.costs
         yield from thread.syscall(0)
         yield thread.kwork(costs.SOCK_RECV_WORK, Block.KERNEL)
-        while not self._queue:
-            if self.closed:
-                return None, None
-            self._receivers.append(thread)
-            yield thread.block("sock-recv")
+        timer = None
+        expired = [False]
+        if timeout_ns is not None:
+            def _expire():
+                expired[0] = True
+                try:
+                    self._receivers.remove(thread)
+                except ValueError:
+                    pass
+                self.kernel.wake(thread)
+            timer = self.kernel.engine.post(timeout_ns, _expire)
+        try:
+            while not self._queue:
+                if self.reset:
+                    raise PeerResetError(
+                        f"socket {self.path or '?'} reset: owner died")
+                if self.closed:
+                    if timer is not None:
+                        self.kernel.engine.cancel(timer)
+                        timer = None
+                    return None, None
+                if expired[0]:
+                    raise SocketTimeout(
+                        f"recvfrom on {self.path or '?'} expired after "
+                        f"{timeout_ns:.0f}ns")
+                self._receivers.append(thread)
+                yield thread.block("sock-recv")
+        except BaseException:
+            if timer is not None:
+                self.kernel.engine.cancel(timer)
+            raise
+        if timer is not None:
+            self.kernel.engine.cancel(timer)
         dgram = self._queue.popleft()
         self._bytes -= dgram.size
         yield thread.kwork(self._kernel_copy_ns(dgram.size), Block.KERNEL)

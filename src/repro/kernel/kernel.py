@@ -43,6 +43,9 @@ class Kernel:
         self.scheduler = Scheduler(self)
         self.processes: List[Process] = []
         self.crashed_threads: List[Thread] = []
+        #: callbacks run after a process is killed (IPC peer-death
+        #: notification: pipes flag EPIPE, sockets reset, L4 hangs up)
+        self._kill_hooks: List[Callable[[Process], None]] = []
 
         # -- CODOMs / dIPC shared infrastructure (§5.2, §6.1.3) ------------
         self.tags = TagAllocator()
@@ -95,14 +98,25 @@ class Kernel:
              from_thread: Optional[Thread] = None) -> None:
         self.scheduler.wake(thread, value, from_thread)
 
+    def on_process_kill(self,
+                        hook: Callable[[Process], None]) -> None:
+        """Register a peer-death notification, run after every
+        ``kill_process`` (used by the IPC layers for EPIPE/ECONNRESET
+        semantics and by the fault injector for bookkeeping)."""
+        self._kill_hooks.append(hook)
+
     def kill_process(self, process: Process, *,
                      exit_code: int = -9) -> None:
         """Terminate a process and all its threads (SIGKILL-style).
 
         Threads currently executing *in another process* through dIPC are
         unwound by the dIPC fault machinery rather than destroyed
-        (§5.2.1); plain threads are cancelled outright.
+        (§5.2.1); plain threads are cancelled outright. Killing an
+        already-dead process is a no-op, so kills arriving in any order
+        (caller first, callee first, twice) never unwind a thread twice.
         """
+        if not process.alive:
+            return
         process.exit(exit_code)
         for thread in list(process.threads):
             if thread.is_done:
@@ -114,20 +128,21 @@ class Kernel:
         if self.dipc is not None:
             # threads from *other* processes currently executing inside the
             # victim (or with it on their call chain) are unwound, not
-            # destroyed: their callers may still be alive (§5.2.1)
+            # destroyed: their callers may still be alive (§5.2.1); a
+            # thread of the victim itself is never in this set, so it
+            # cannot be unwound a second time
             for thread in self.dipc.threads_visiting(process):
                 self.dipc.unwind_on_kill(thread, process)
+        for hook in list(self._kill_hooks):
+            hook(process)
 
     # -- fork / exec (§6.1.3 backwards compatibility) ----------------------------------
 
     def fork(self, parent: Process) -> Process:
         """POSIX fork: COW copy; dIPC is disabled in the child until exec."""
-        if parent.uses_shared_table:
-            # the child gets a private COW copy of the parent's pages and
-            # leaves the global address space until it execs
-            table = parent.page_table.clone_for_fork()
-        else:
-            table = parent.page_table.clone_for_fork()
+        # the child gets a private COW copy of the parent's pages; a dIPC
+        # parent's child leaves the global address space until it execs
+        table = parent.page_table.clone_for_fork()
         child = Process(self, f"{parent.name}-child", page_table=table,
                         shared_table=False, default_tag=None)
         child.fdtable = parent.fdtable.clone()

@@ -341,6 +341,20 @@ class Scheduler:
                     continue
                 break
         thread.killed = True
+        # unwind the suspended generator so its cleanup handlers run
+        # (cancelling posted timers, releasing wait-queue slots): a
+        # thread abandoned mid-block must not leak pending events
+        try:
+            thread.gen.throw(_ThreadKilled(f"{thread.name} killed"))
+        except (StopIteration, _ThreadKilled):
+            pass
+        except BaseException as exc:  # noqa: BLE001 — a crash in cleanup
+            thread.exception = exc
+            self.kernel.crashed_threads.append(thread)
+        else:
+            # the body swallowed the kill and yielded another effect;
+            # drop it — the thread is dead regardless
+            thread.gen.close()
         thread.state = thread_mod.DONE
         thread._notify_exit()
 

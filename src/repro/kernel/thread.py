@@ -57,6 +57,9 @@ class Thread:
         self.pending_exception = None
         #: set when the scheduler must destroy the thread outright
         self.killed = False
+        #: True for the callee half of a §5.4 timeout split; the
+        #: invariant auditor checks every split half was reaped
+        self.is_split_half = False
         #: dIPC kernel control stack, installed by repro.core on first use
         self.kcs = None
         #: dIPC per-(thread, process) identifier map (§5.2.1)

@@ -49,6 +49,8 @@ class Engine:
         #: cancelled events still sitting in the heap (pruned lazily)
         self._cancelled_in_queue = 0
         self.events_processed = 0
+        #: (count, seq, fn) heap fired when events_processed reaches count
+        self._count_triggers: list = []
         #: span/counter recorder; NULL_TRACER unless a TraceSession (or a
         #: caller) installs a live repro.trace.Tracer
         self.tracer = NULL_TRACER
@@ -77,6 +79,22 @@ class Engine:
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
+
+    def at_event_count(self, count: int, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` right after the ``count``-th event executes.
+
+        Used by the fault injector for event-count triggers: unlike a
+        timestamped post, the firing point is a position in the
+        deterministic event order, so it is invariant under cost-model
+        changes. Triggers whose count is never reached simply never fire;
+        they do not keep :meth:`run` alive.
+        """
+        if count <= self.events_processed:
+            raise SimulationError(
+                f"event-count trigger at {count} already passed "
+                f"({self.events_processed} processed)")
+        heapq.heappush(self._count_triggers, (count, self._seq, fn))
+        self._seq += 1
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event; cancelling twice is harmless.
@@ -118,6 +136,10 @@ class Engine:
             self._now = event.time
             self.events_processed += 1
             event.fn()
+            while self._count_triggers and \
+                    self._count_triggers[0][0] <= self.events_processed:
+                _count, _seq, fn = heapq.heappop(self._count_triggers)
+                fn()
             return True
         return False
 

@@ -1,0 +1,109 @@
+"""Kill re-entrancy: kills arriving twice or in any order never unwind a
+thread twice, and kill hooks observe each death exactly once (§5.2.1)."""
+
+from repro.errors import RemoteFault
+
+from tests.core.conftest import wire_up_call
+
+
+def _stuck(t, key):
+    yield t.block("never-returns")
+
+
+def test_double_kill_is_idempotent(kernel, manager, web, database):
+    address, _ = wire_up_call(manager, web, database, func=_stuck)
+    caught = []
+
+    def body(t):
+        try:
+            yield from t.kernel.dipc.call(t, address, "k")
+        except RemoteFault as fault:
+            caught.append(fault)
+
+    thread = kernel.spawn(web, body, pin=0)
+    kernel.engine.post(5_000, lambda: kernel.kill_process(database))
+    kernel.engine.post(5_000, lambda: kernel.kill_process(database))
+    kernel.engine.post(6_000, lambda: kernel.kill_process(database))
+    kernel.run()
+    kernel.check()
+    # exactly one unwind reached the caller, not one per kill
+    assert len(caught) == 1
+    assert thread.is_done
+    assert thread.kcs.depth == 0
+
+
+def test_callee_then_caller_kill(kernel, manager, web, database):
+    address, _ = wire_up_call(manager, web, database, func=_stuck)
+
+    def body(t):
+        yield from t.kernel.dipc.call(t, address, "k")
+
+    thread = kernel.spawn(web, body, pin=0)
+    kernel.engine.post(5_000, lambda: kernel.kill_process(database))
+    kernel.engine.post(6_000, lambda: kernel.kill_process(web))
+    kernel.run()
+    assert thread.is_done
+    assert thread.kcs.depth == 0
+    assert not web.alive and not database.alive
+
+
+def test_caller_then_callee_kill(kernel, manager, web, database):
+    address, _ = wire_up_call(manager, web, database, func=_stuck)
+
+    def body(t):
+        yield from t.kernel.dipc.call(t, address, "k")
+
+    thread = kernel.spawn(web, body, pin=0)
+    kernel.engine.post(5_000, lambda: kernel.kill_process(web))
+    kernel.engine.post(6_000, lambda: kernel.kill_process(database))
+    kernel.run()
+    assert thread.is_done
+    assert thread.kcs.depth == 0
+    assert not web.alive and not database.alive
+
+
+def test_simultaneous_kill_same_instant(kernel, manager, web, database):
+    """Both processes die at the same sim time: whichever kill runs
+    first, the shared thread is unwound exactly once."""
+    address, _ = wire_up_call(manager, web, database, func=_stuck)
+
+    def body(t):
+        yield from t.kernel.dipc.call(t, address, "k")
+
+    thread = kernel.spawn(web, body, pin=0)
+
+    def kill_both():
+        kernel.kill_process(web)
+        kernel.kill_process(database)
+
+    kernel.engine.post(5_000, kill_both)
+    kernel.run()
+    assert thread.is_done
+    assert thread.kcs.depth == 0
+
+
+def test_kill_hooks_fire_once_per_death(kernel, manager, web, database):
+    deaths = []
+    kernel.on_process_kill(lambda p: deaths.append(p.name))
+    kernel.kill_process(database)
+    kernel.kill_process(database)  # no-op: already dead
+    kernel.kill_process(web)
+    kernel.run()
+    assert deaths == ["database", "web"]
+
+
+def test_kill_hook_may_kill_another_process(kernel, manager, web, database):
+    """A hook cascading the kill (as the chaos pipe teardown does) must
+    not recurse forever or double-unwind."""
+    deaths = []
+
+    def cascade(process):
+        deaths.append(process.name)
+        if process is database:
+            kernel.kill_process(web)
+
+    kernel.on_process_kill(cascade)
+    kernel.kill_process(database)
+    kernel.run()
+    assert deaths == ["database", "web"]
+    assert not web.alive and not database.alive

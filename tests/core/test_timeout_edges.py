@@ -1,0 +1,138 @@
+"""call_with_timeout edge cases (§5.4): late-callee errors, split
+reaping, and timer hygiene on every exit path."""
+
+import pytest
+
+from repro.core.policies import IsolationPolicy
+from repro.core.timeouts import call_with_timeout
+from repro.errors import CallTimeout
+
+from tests.core.conftest import wire_up_call
+
+
+def _wire(manager, web, database, func):
+    return wire_up_call(manager, web, database,
+                        caller_policy=IsolationPolicy.high(),
+                        callee_policy=IsolationPolicy.high(), func=func)
+
+
+def _find_split(kernel):
+    splits = [t for p in kernel.processes for t in p.threads
+              if t.is_split_half]
+    assert len(splits) == 1
+    return splits[0]
+
+
+def test_fast_path_cancels_timer(kernel, manager, web, database):
+    """When the callee beats the clock the timer must not keep the
+    engine alive: the run drains long before the timeout would fire."""
+    def quick(t, key):
+        yield from t.sleep(1_000)
+        return ("row", key)
+
+    _, proxy = _wire(manager, web, database, quick)
+    results = []
+
+    def body(t):
+        results.append((yield from call_with_timeout(
+            t, proxy, ("k",), timeout_ns=50_000_000)))
+
+    kernel.spawn(web, body, pin=0)
+    kernel.run()
+    kernel.check()
+    assert results == [("row", "k")]
+    assert kernel.engine.pending() == 0
+    assert kernel.engine.now() < 50_000_000  # did not wait out the timer
+    assert _find_split(kernel).is_done
+
+
+def test_callee_error_after_timeout_is_swallowed(kernel, manager, web,
+                                                 database):
+    """The caller already took CallTimeout; the split half's late crash
+    is deleted with it at the proxy, never delivered anywhere."""
+    def slow_bomb(t, key):
+        yield from t.sleep(500_000)
+        raise ValueError("exploded after the caller gave up")
+
+    _, proxy = _wire(manager, web, database, slow_bomb)
+    caught = []
+
+    def body(t):
+        try:
+            yield from call_with_timeout(t, proxy, ("k",),
+                                         timeout_ns=10_000)
+        except CallTimeout as exc:
+            caught.append(exc)
+
+    thread = kernel.spawn(web, body, pin=0)
+    kernel.run()
+    kernel.check()  # the late ValueError crashed no thread
+    assert len(caught) == 1
+    assert thread.is_done and thread.exception is None
+    split = _find_split(kernel)
+    assert split.is_done
+    assert split.kcs.depth == 0  # unwound before deletion
+    assert kernel.engine.pending() == 0
+
+
+def test_caller_killed_while_waiting_cancels_timer(kernel, manager, web,
+                                                   database):
+    def stuck(t, key):
+        yield t.block("never-returns")
+
+    _, proxy = _wire(manager, web, database, stuck)
+
+    def body(t):
+        yield from call_with_timeout(t, proxy, ("k",),
+                                     timeout_ns=10_000_000)
+
+    thread = kernel.spawn(web, body, pin=0)
+    kernel.engine.post(5_000, lambda: kernel.kill_process(web))
+    kernel.engine.post(6_000, lambda: kernel.kill_process(database))
+    kernel.run()
+    assert thread.is_done
+    # the 10ms timer was cancelled by the unwind, not left to fire
+    assert kernel.engine.pending() == 0
+    assert kernel.engine.now() < 10_000_000
+
+
+def test_nonpositive_timeout_rejected(kernel, manager, web, database):
+    _, proxy = _wire(manager, web, database, None)
+
+    def body(t):
+        with pytest.raises(ValueError):
+            yield from call_with_timeout(t, proxy, ("k",), timeout_ns=0)
+        with pytest.raises(ValueError):
+            yield from call_with_timeout(t, proxy, ("k",), timeout_ns=-5.0)
+
+    kernel.spawn(web, body, pin=0)
+    kernel.run()
+    kernel.check()
+
+
+def test_back_to_back_timeouts_reap_every_split(kernel, manager, web,
+                                                database):
+    def slow(t, key):
+        yield from t.sleep(200_000)
+        return ("late", key)
+
+    _, proxy = _wire(manager, web, database, slow)
+    timeouts = []
+
+    def body(t):
+        for _ in range(3):
+            try:
+                yield from call_with_timeout(t, proxy, ("k",),
+                                             timeout_ns=10_000)
+            except CallTimeout as exc:
+                timeouts.append(exc)
+
+    kernel.spawn(web, body, pin=0)
+    kernel.run()
+    kernel.check()
+    assert len(timeouts) == 3
+    splits = [t for p in kernel.processes for t in p.threads
+              if t.is_split_half]
+    assert len(splits) == 3
+    assert all(s.is_done for s in splits)
+    assert kernel.engine.pending() == 0

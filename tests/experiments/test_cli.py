@@ -7,11 +7,12 @@ from repro.experiments.__main__ import DEFAULT_SET, RUNNERS, main
 
 def test_runner_registry_covers_every_artifact():
     assert {"table1", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8",
-            "extras", "ablation", "report"} == set(RUNNERS)
+            "extras", "ablation", "report", "chaos"} == set(RUNNERS)
 
 
-def test_default_set_excludes_report():
+def test_default_set_excludes_report_and_chaos():
     assert "report" not in DEFAULT_SET
+    assert "chaos" not in DEFAULT_SET
     assert "fig5" in DEFAULT_SET
 
 
@@ -38,6 +39,16 @@ def test_cli_runs_fig5_quick(capsys):
 def test_cli_accepts_zero_padded_names(capsys):
     assert main(["fig05", "--quick"]) == 0
     assert "dipc_proc_high" in capsys.readouterr().out
+
+
+def test_cli_chaos_writes_log_and_verifies(tmp_path, capsys):
+    assert main(["chaos", "--seed", "3", "--storms", "1", "--quick",
+                 "--out", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "byte-identical injection logs" in out
+    assert "all invariants held" in out
+    log = (tmp_path / "chaos.log").read_text()
+    assert log.startswith("# chaos seed=3 storms=1 quick=1\n")
 
 
 def test_cli_trace_requires_experiment_name(capsys):

@@ -1,0 +1,67 @@
+"""FaultPlan sampling and injection-log rendering: pure determinism."""
+
+import random
+
+import pytest
+
+from repro.fault.plan import (ACTIONS, FaultPlan, FaultRule,
+                              InjectionRecord, render_log)
+
+MENU = dict(processes=("a", "b"), thread_prefixes=("a/",),
+            channels=("chan",), horizon_ns=100_000.0)
+
+
+def test_rule_requires_exactly_one_trigger():
+    with pytest.raises(ValueError):
+        FaultRule("kill_process", "a")
+    with pytest.raises(ValueError):
+        FaultRule("kill_process", "a", at_ns=1.0, at_event=2)
+    FaultRule("kill_process", "a", at_ns=1.0)
+    FaultRule("kill_process", "a", at_event=2)
+
+
+def test_rule_rejects_unknown_action():
+    with pytest.raises(ValueError):
+        FaultRule("set_on_fire", "a", at_ns=1.0)
+
+
+def test_storm_sampling_is_deterministic():
+    plans = [FaultPlan.storm(random.Random(42), **MENU)
+             for _ in range(2)]
+    assert plans[0].rules == plans[1].rules
+    assert len(plans[0]) >= 2
+
+
+def test_different_seeds_differ():
+    samples = {tuple(FaultPlan.storm(random.Random(seed), **MENU).rules)
+               for seed in range(20)}
+    assert len(samples) > 1
+
+
+def test_sampled_rules_are_well_formed():
+    for seed in range(30):
+        for rule in FaultPlan.storm(random.Random(seed), **MENU):
+            assert rule.action in ACTIONS
+            if rule.at_ns is not None:
+                assert 0 < rule.at_ns < MENU["horizon_ns"]
+            else:
+                assert rule.at_event > 0
+
+
+def test_render_log_is_stable_text():
+    records = [
+        InjectionRecord(storm=3, time_ns=1234.5, event_index=42,
+                        action="kill_process", target="web",
+                        outcome="killed"),
+        InjectionRecord(storm=3, time_ns=99999.0, event_index=777,
+                        action="revoke_grant", target="grant",
+                        outcome="revoked 1->5"),
+    ]
+    text = render_log(records)
+    assert text == (
+        "[storm 003] t=      1234.5 ev=      42 kill_process   "
+        "web                -> killed\n"
+        "[storm 003] t=     99999.0 ev=     777 revoke_grant   "
+        "grant              -> revoked 1->5\n")
+    # rendering twice yields identical bytes
+    assert render_log(records) == text
