@@ -1,9 +1,22 @@
 """Command-line entry point regenerating the paper's tables and figures.
 
-``python -m repro.experiments [names...] [--quick]``
+``python -m repro.experiments [names...] [--quick] [--jobs N]``
 
 Names: table1, fig1, fig2, fig5, fig6, fig7, fig8, extras, all.
 ``--quick`` shrinks iteration counts and OLTP windows (for smoke runs).
+
+``--jobs N`` routes each experiment through the sharded point runner
+(``repro.runner``): the figure is decomposed into independent
+simulation points, fanned out across N worker processes, and merged
+back in spec order — the rendered output is byte-identical to the
+default serial path. Any ``--jobs`` value (including 1) also enables
+the content-addressed result cache under ``--cache-dir`` (default
+``.repro-cache/``); pass ``--no-cache`` to disable it. Without
+``--jobs`` the original in-process code path runs, untouched.
+
+``python -m repro.experiments bench [--quick] [--jobs N] [--out DIR]``
+times the quick suite cold-serial, cold-parallel and warm-cached, plus
+an engine micro-benchmark, and writes ``DIR/BENCH_PR3.json``.
 
 ``python -m repro.experiments trace <name> [--quick] [--out DIR]`` runs
 one experiment with span tracing on and writes ``trace.json`` (Chrome
@@ -96,6 +109,24 @@ def _run_chaos(quick: bool) -> str:
     return chaos.render(report)
 
 
+def _make_cache(args):
+    """The shared result cache, or None when ``--no-cache`` is given."""
+    if args.no_cache:
+        return None
+    from repro.runner.cache import ResultCache
+    return ResultCache(args.cache_dir)
+
+
+def _run_sharded(name: str, quick: bool, jobs: int, cache) -> str:
+    """Run one experiment through the point runner (see repro.runner)."""
+    from repro.runner import registry
+    from repro.runner.pool import run_points, summary
+    specs = registry.specs_for(name, quick)
+    results, stats = run_points(specs, jobs=jobs, cache=cache)
+    print(summary(stats))
+    return registry.assemble(name, specs, results)
+
+
 RUNNERS = {
     "table1": _run_table1,
     "fig1": _run_fig1,
@@ -158,15 +189,98 @@ def _run_traced(name: str, quick: bool, out_dir: str) -> int:
     return 0
 
 
+def _engine_events_per_sec(n: int = 200_000) -> float:
+    """Post-and-fire throughput of the bare event loop (events/sec)."""
+    from repro.sim.engine import Engine
+    engine = Engine()
+
+    def tick():
+        if engine.events_processed < n:
+            engine.post(1.0, tick)
+
+    engine.post(0.0, tick)
+    start = time.perf_counter()
+    engine.run()
+    return engine.events_processed / (time.perf_counter() - start)
+
+
+def _run_bench_cli(quick: bool, jobs: int, out_dir: str) -> int:
+    """Time the suite cold-serial / cold-parallel / warm-cached and the
+    engine micro-loop; write ``BENCH_PR3.json``."""
+    import json
+    import platform
+    import tempfile
+
+    from repro.runner import registry
+    from repro.runner.cache import ResultCache
+    from repro.runner.pool import run_points, summary
+
+    jobs = jobs if jobs > 1 else 4
+    specs = [spec for name in registry.SUPPORTED
+             for spec in registry.specs_for(name, quick)]
+    print(f"\n{'=' * 78}\nbench: {len(specs)} points, jobs={jobs}, "
+          f"{'quick' if quick else 'full'} mode\n{'=' * 78}")
+
+    def timed(run_jobs: int, cache, label: str):
+        start = time.perf_counter()
+        results, stats = run_points(specs, jobs=run_jobs, cache=cache)
+        elapsed = time.perf_counter() - start
+        print(f"{label}: {elapsed:.1f}s  ({summary(stats)})")
+        return elapsed, results, stats
+
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_cache = ResultCache(os.path.join(tmp, "serial"))
+        parallel_cache = ResultCache(os.path.join(tmp, "parallel"))
+        cold_serial_s, serial_results, _ = timed(1, serial_cache,
+                                                 "cold serial")
+        cold_parallel_s, parallel_results, _ = timed(jobs, parallel_cache,
+                                                     "cold parallel")
+        warm_cached_s, warm_results, warm_stats = timed(1, serial_cache,
+                                                        "warm cached")
+    identical = serial_results == parallel_results == warm_results
+    events_per_sec = _engine_events_per_sec()
+    print(f"engine micro-loop: {events_per_sec:,.0f} events/sec")
+
+    payload = {
+        "bench_version": 1,
+        "mode": "quick" if quick else "full",
+        "jobs": jobs,
+        "points": len(specs),
+        "cold_serial_s": round(cold_serial_s, 3),
+        "cold_parallel_s": round(cold_parallel_s, 3),
+        "warm_cached_s": round(warm_cached_s, 3),
+        "parallel_speedup": round(cold_serial_s / cold_parallel_s, 3)
+        if cold_parallel_s else None,
+        "warm_skipped_fraction": round(warm_stats.skipped_fraction, 4),
+        "engine_events_per_sec": round(events_per_sec),
+        "results_identical": identical,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, "BENCH_PR3.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwrote {path}")
+    if not identical:
+        print("ERROR: serial/parallel/cached results diverged",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_chaos_cli(seed: int, storms: int, quick: bool,
-                   out_dir: str) -> int:
+                   out_dir: str, jobs: int = 0) -> int:
     """Run fault storms; write the injection log; non-zero on failure."""
     from repro.fault import chaos
 
     os.makedirs(out_dir, exist_ok=True)
     start = time.time()
     print(f"\n{'=' * 78}\nchaos seed={seed} storms={storms}\n{'=' * 78}")
-    report = chaos.run_chaos(seed, storms, quick=quick, verify=True)
+    report = chaos.run_chaos(seed, storms, quick=quick, verify=True,
+                             jobs=jobs)
     print(chaos.render(report))
     log_path = os.path.join(out_dir, "chaos.log")
     with open(log_path, "w") as fh:
@@ -187,6 +301,17 @@ def main(argv=None) -> int:
                              "storms (--seed/--storms)")
     parser.add_argument("--quick", action="store_true",
                         help="smaller iteration counts / windows")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="shard experiments into simulation points "
+                             "and compute them on N worker processes "
+                             "(also enables the result cache); "
+                             "0 = original serial path (default)")
+    parser.add_argument("--cache-dir", default=".repro-cache",
+                        help="result-cache directory used with --jobs "
+                             "(default .repro-cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="with --jobs: recompute every point, "
+                             "skipping the result cache")
     parser.add_argument("--out", default=".",
                         help="directory for trace artifacts "
                              "(trace.json, spans.csv, meta.json) and "
@@ -197,8 +322,11 @@ def main(argv=None) -> int:
                         help="chaos: number of fault storms (default 25)")
     args = parser.parse_args(argv)
     names = [_normalize(name) for name in args.names]
+    if names and names[0] == "bench" and len(names) == 1:
+        return _run_bench_cli(args.quick, args.jobs, args.out)
     if names and names[0] == "chaos" and len(names) == 1:
-        return _run_chaos_cli(args.seed, args.storms, args.quick, args.out)
+        return _run_chaos_cli(args.seed, args.storms, args.quick,
+                              args.out, jobs=args.jobs)
     if names and names[0] == "trace":
         if len(names) != 2:
             print("usage: python -m repro.experiments trace <experiment>",
@@ -206,6 +334,10 @@ def main(argv=None) -> int:
             return 2
         return _run_traced(names[1], args.quick, args.out)
     names = DEFAULT_SET if (not names or "all" in names) else names
+    use_runner = args.jobs > 0
+    cache = _make_cache(args) if use_runner else None
+    if use_runner:
+        from repro.runner.registry import SUPPORTED as _sharded
     for name in names:
         runner = RUNNERS.get(name)
         if runner is None:
@@ -214,7 +346,15 @@ def main(argv=None) -> int:
             return 2
         start = time.time()
         print(f"\n{'=' * 78}\n{name}\n{'=' * 78}")
-        print(runner(args.quick))
+        if use_runner and name in _sharded:
+            print(_run_sharded(name, args.quick, args.jobs, cache))
+        elif use_runner and name == "report":
+            from repro.experiments import report
+            path = report.generate(quick=args.quick, jobs=args.jobs,
+                                   cache=cache)
+            print(f"report written to {path}")
+        else:
+            print(runner(args.quick))
         print(f"\n[{name} took {time.time() - start:.1f}s]")
     return 0
 

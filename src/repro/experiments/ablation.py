@@ -84,6 +84,39 @@ def run(iters: int = 25) -> List[AblationRow]:
     return rows
 
 
+# -- parallel-runner decomposition (one point per ablation family) ----------
+
+#: spec order must match run()'s row order
+PARTS = ("tls", "policy", "stubs", "tracking")
+
+
+def points(*, iters: int = 25) -> list:
+    from repro.runner.points import PointSpec
+    return [PointSpec("ablation", __name__, {"part": part, "iters": iters})
+            for part in PARTS]
+
+
+def compute_point(*, part: str, iters: int) -> list:
+    if part == "tls":
+        rows = tls_ablation(iters)
+    elif part == "policy":
+        rows = [policy_ablation(iters)]
+    elif part == "stubs":
+        rows = [stub_ablation()]
+    elif part == "tracking":
+        rows = tracking_ablation()
+    else:
+        raise ValueError(part)
+    return [{"name": row.name, "baseline_ns": row.baseline_ns,
+             "variant_ns": row.variant_ns, "note": row.note}
+            for row in rows]
+
+
+def assemble(specs, results) -> str:
+    rows = [AblationRow(**row) for part in results for row in part]
+    return render(rows)
+
+
 def render(rows: List[AblationRow]) -> str:
     lines = [
         "Ablations over dIPC design choices",

@@ -112,6 +112,21 @@ def capability_load_overhead(*, access_fraction: float = 0.02,
                               overhead, residual)
 
 
+# -- parallel-runner decomposition (analytic: a single point) ---------------
+
+def points() -> list:
+    from repro.runner.points import PointSpec
+    return [PointSpec("extras", __name__, {})]
+
+
+def compute_point() -> dict:
+    return {"text": render()}
+
+
+def assemble(specs, results) -> str:
+    return results[0]["text"]
+
+
 def render() -> str:
     coopt = stub_coopt()
     sens = crossing_cost_sensitivity()

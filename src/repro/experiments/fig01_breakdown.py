@@ -53,6 +53,26 @@ def run(concurrency: int = 256, scale: float = 1.0) -> Fig1Result:
                       ideal=_row(IDEAL, concurrency, scale))
 
 
+# -- parallel-runner decomposition (one OLTP run per config) ----------------
+
+def points(*, concurrency: int = 256, scale: float = 1.0) -> list:
+    from repro.runner.points import PointSpec
+    return [PointSpec("fig1", __name__,
+                      {"config": config, "concurrency": concurrency,
+                       "scale": scale})
+            for config in (LINUX, IDEAL)]
+
+
+def compute_point(*, config: str, concurrency: int, scale: float) -> dict:
+    import dataclasses
+    return dataclasses.asdict(_row(config, concurrency, scale))
+
+
+def assemble(specs, results) -> str:
+    rows = {row["config"]: Fig1Row(**row) for row in results}
+    return render(Fig1Result(linux=rows[LINUX], ideal=rows[IDEAL]))
+
+
 def render(result: Fig1Result) -> str:
     lines = [
         "Figure 1: Time breakdown of the OLTP web application stack",

@@ -27,21 +27,46 @@ class Fig2Row:
     blocks: Dict[Block, float]
 
 
+def _bench(label: str, iters: int) -> BenchResult:
+    family, where = label.rsplit("_", 2)[0], label.endswith("same_cpu")
+    if family == "sem":
+        return bench_sem(same_cpu=where, iters=iters)
+    if family == "l4":
+        return bench_l4(same_cpu=where, iters=iters)
+    if family == "rpc":
+        return bench_rpc(same_cpu=where, iters=iters)
+    raise ValueError(label)
+
+
 def run(iters: int = 40) -> List[Fig2Row]:
     results: Dict[str, BenchResult] = {
-        "sem_same_cpu": bench_sem(same_cpu=True, iters=iters),
-        "sem_cross_cpu": bench_sem(same_cpu=False, iters=iters),
-        "l4_same_cpu": bench_l4(same_cpu=True, iters=iters),
-        "l4_cross_cpu": bench_l4(same_cpu=False, iters=iters),
-        "rpc_same_cpu": bench_rpc(same_cpu=True, iters=iters),
-        "rpc_cross_cpu": bench_rpc(same_cpu=False, iters=iters),
-    }
+        label: _bench(label, iters) for label in BARS}
     rows = []
     for label in BARS:
         result = results[label]
         rows.append(Fig2Row(label, result.mean_ns,
                             dict(result.breakdown.ns)))
     return rows
+
+
+# -- parallel-runner decomposition (one point per bar) ----------------------
+
+def points(*, iters: int = 40) -> list:
+    from repro.runner.points import PointSpec
+    return [PointSpec("fig2", __name__, {"label": label, "iters": iters})
+            for label in BARS]
+
+
+def compute_point(*, label: str, iters: int) -> dict:
+    return _bench(label, iters).as_point()
+
+
+def assemble(specs, results) -> str:
+    rows = [Fig2Row(spec.kwargs["label"], result["mean_ns"],
+                    {Block[name]: ns
+                     for name, ns in result["blocks"].items()})
+            for spec, result in zip(specs, results)]
+    return render(rows)
 
 
 def render(rows: List[Fig2Row]) -> str:

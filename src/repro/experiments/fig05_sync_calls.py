@@ -43,6 +43,34 @@ def run(iters: int = 40) -> List[Fig5Row]:
     return rows
 
 
+# -- parallel-runner decomposition (one point per bar) ----------------------
+
+def points(*, iters: int = 40) -> list:
+    from repro.runner.points import PointSpec
+    return [PointSpec("fig5", __name__, {"label": label, "iters": iters})
+            for label in ORDER]
+
+
+def compute_point(*, label: str, iters: int) -> dict:
+    from repro.experiments.microbench import fig5_bench
+    return fig5_bench(label, iters=iters).as_point()
+
+
+def assemble(specs, results) -> str:
+    by = {spec.kwargs["label"]: result
+          for spec, result in zip(specs, results)}
+    func_ns = by["func"]["mean_ns"]
+    rows = []
+    for label in ORDER:
+        result = by[label]
+        target = FIG5_TARGETS_NS[label]
+        rows.append(Fig5Row(
+            label, result["mean_ns"], result["mean_ns"] / func_ns, target,
+            (result["mean_ns"] - target) / target * 100.0,
+            result["p50_ns"], result["p95_ns"], result["p99_ns"]))
+    return render(rows)
+
+
 def headline_ratios(rows: List[Fig5Row]) -> Dict[str, float]:
     by = {row.label: row.measured_ns for row in rows}
     return {

@@ -74,6 +74,52 @@ def run(sizes=DEFAULT_SIZES, iters: int = 20) -> List[Fig6Series]:
     return series
 
 
+# -- parallel-runner decomposition ------------------------------------------
+# One baseline point per size plus one point per (series, size) cell.
+
+def points(*, sizes=DEFAULT_SIZES, iters: int = 20) -> list:
+    from repro.runner.points import PointSpec
+    specs = [PointSpec("fig6", __name__,
+                       {"kind": "baseline", "size": size, "iters": iters})
+             for size in sizes]
+    specs += [PointSpec("fig6", __name__,
+                        {"kind": "measure", "label": label, "size": size,
+                         "iters": iters})
+              for label in SERIES for size in sizes]
+    return specs
+
+
+def compute_point(*, kind: str, size: int, iters: int,
+                  label: str = "") -> dict:
+    if kind == "baseline":
+        return bench_func(size=size, iters=iters).as_point()
+    return _measure(label, size, iters).as_point()
+
+
+def assemble(specs, results) -> str:
+    baseline = {}
+    measured = {}
+    sizes = []
+    for spec, result in zip(specs, results):
+        kwargs = spec.kwargs
+        if kwargs["kind"] == "baseline":
+            baseline[kwargs["size"]] = result["mean_ns"]
+            sizes.append(kwargs["size"])
+        else:
+            measured[(kwargs["label"], kwargs["size"])] = result
+    series = []
+    for label in SERIES:
+        added = {}
+        tail = {}
+        for size in sizes:
+            result = measured[(label, size)]
+            added[size] = max(result["mean_ns"] - baseline[size], 0.0)
+            tail[size] = (result["p50_ns"], result["p95_ns"],
+                          result["p99_ns"])
+        series.append(Fig6Series(label, added, tail))
+    return render(series)
+
+
 def render(series: List[Fig6Series]) -> str:
     sizes = sorted(next(iter(series)).added_ns)
     from repro import units

@@ -48,8 +48,13 @@ class Fig7Row:
 
 
 def run(sizes=DEFAULT_SIZES, iters: int = 30) -> List[Fig7Row]:
-    nic = NICModel()
     costs = measure_per_call_costs(iters=iters)
+    return _rows_from_costs(costs, sizes)
+
+
+def _rows_from_costs(costs: Dict[str, float], sizes) -> List[Fig7Row]:
+    """The analytic netpipe sweep on top of measured per-call costs."""
+    nic = NICModel()
     baseline = run_netpipe(nic, IsolatedDriver(CONFIG_INLINE,
                                                costs[CONFIG_INLINE]),
                            sizes)
@@ -63,6 +68,47 @@ def run(sizes=DEFAULT_SIZES, iters: int = 30) -> List[Fig7Row]:
                             series.latency_overhead_pct(baseline),
                             series.bandwidth_overhead_pct(baseline)))
     return rows
+
+
+# -- parallel-runner decomposition ------------------------------------------
+# Only the four simulated per-call costs are points; the inline/kernel
+# costs and the netpipe sweep itself are analytic and stay in assemble.
+
+_BENCH_CONFIGS = (CONFIG_DIPC, CONFIG_DIPC_PROC, CONFIG_SEM, CONFIG_PIPE)
+
+
+def points(*, iters: int = 30) -> list:
+    from repro.runner.points import PointSpec
+    return [PointSpec("fig7", __name__, {"config": config, "iters": iters})
+            for config in _BENCH_CONFIGS]
+
+
+def compute_point(*, config: str, iters: int) -> dict:
+    if config == CONFIG_DIPC:
+        result = bench_dipc(policy="low", iters=iters)
+    elif config == CONFIG_DIPC_PROC:
+        result = bench_dipc(policy="low", cross_process=True, iters=iters)
+    elif config == CONFIG_SEM:
+        result = bench_sem(same_cpu=True, iters=iters)
+    elif config == CONFIG_PIPE:
+        result = bench_pipe(same_cpu=True, iters=iters)
+    else:
+        raise ValueError(config)
+    return {"per_call_ns": result.mean_ns}
+
+
+def assemble(specs, results, *, sizes=DEFAULT_SIZES) -> str:
+    measured = {spec.kwargs["config"]: result["per_call_ns"]
+                for spec, result in zip(specs, results)}
+    costs = {
+        CONFIG_INLINE: inline_per_call_ns(),
+        CONFIG_DIPC: measured[CONFIG_DIPC],
+        CONFIG_DIPC_PROC: measured[CONFIG_DIPC_PROC],
+        CONFIG_KERNEL: kernel_per_call_ns(),
+        CONFIG_SEM: measured[CONFIG_SEM],
+        CONFIG_PIPE: measured[CONFIG_PIPE],
+    }
+    return render(_rows_from_costs(costs, sizes))
 
 
 def render(rows: List[Fig7Row]) -> str:

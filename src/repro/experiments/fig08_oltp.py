@@ -59,6 +59,43 @@ def run_both(concurrencies=DEFAULT_CONCURRENCIES,
             run(IN_MEMORY, concurrencies, scale))
 
 
+# -- parallel-runner decomposition ------------------------------------------
+# One OLTP simulation per (storage, config, concurrency) triple: the
+# dominant cost of a full sweep, and embarrassingly parallel.
+
+def points(*, concurrencies=DEFAULT_CONCURRENCIES, scale: float = 1.0,
+           storages=(ON_DISK, IN_MEMORY)) -> list:
+    from repro.runner.points import PointSpec
+    return [PointSpec("fig8", __name__,
+                      {"storage": storage, "config": config,
+                       "concurrency": concurrency, "scale": scale})
+            for storage in storages
+            for config in CONFIGS
+            for concurrency in concurrencies]
+
+
+def compute_point(*, storage: str, config: str, concurrency: int,
+                  scale: float) -> dict:
+    result = run_oltp(params_for(config, storage, concurrency,
+                                 scale=scale))
+    return {"throughput_ops_min": result.throughput_ops_min}
+
+
+def assemble(specs, results) -> str:
+    by_storage: Dict[str, Fig8Result] = {}
+    order = []
+    for spec, result in zip(specs, results):
+        kwargs = spec.kwargs
+        storage = kwargs["storage"]
+        if storage not in by_storage:
+            by_storage[storage] = Fig8Result(storage)
+            order.append(storage)
+        table = by_storage[storage].throughput.setdefault(
+            kwargs["config"], {})
+        table[kwargs["concurrency"]] = result["throughput_ops_min"]
+    return "\n\n".join(render(by_storage[storage]) for storage in order)
+
+
 def render(result: Fig8Result) -> str:
     concurrencies = sorted(result.throughput[LINUX])
     title = ("With on-disk DB" if result.storage == ON_DISK

@@ -61,6 +61,24 @@ class BenchResult:
     def p99_ns(self) -> float:
         return self.hist.p99 if self.hist is not None else self.mean_ns
 
+    def as_point(self) -> dict:
+        """JSON-serializable form for the parallel runner / result cache.
+
+        Floats survive a JSON round trip bit-for-bit, so figures
+        assembled from cached points render byte-identically.
+        """
+        return {
+            "label": self.label,
+            "mean_ns": self.mean_ns,
+            "stddev_ns": self.stddev_ns,
+            "iterations": self.iterations,
+            "p50_ns": self.p50_ns,
+            "p95_ns": self.p95_ns,
+            "p99_ns": self.p99_ns,
+            "blocks": {block.name: ns
+                       for block, ns in self.breakdown.ns.items()},
+        }
+
     def __repr__(self) -> str:
         return f"<{self.label}: {self.mean_ns:.1f}ns ±{self.stddev_ns:.2f}>"
 
@@ -442,23 +460,41 @@ def bench_dipc_user_rpc(*, size: int = 1, iters: int = DEFAULT_ITERS,
 # suite helpers
 # ---------------------------------------------------------------------------
 
+#: label -> zero-argument-style builder for every bar of Figure 5; the
+#: parallel runner schedules these one label at a time
+_FIG5_BENCHES = {
+    "func": lambda iters: bench_func(iters=iters),
+    "syscall": lambda iters: bench_syscall(iters=iters),
+    "dipc_low": lambda iters: bench_dipc(policy="low", iters=iters),
+    "dipc_high": lambda iters: bench_dipc(policy="high", iters=iters),
+    "sem_same_cpu": lambda iters: bench_sem(same_cpu=True, iters=iters),
+    "sem_cross_cpu": lambda iters: bench_sem(same_cpu=False, iters=iters),
+    "pipe_same_cpu": lambda iters: bench_pipe(same_cpu=True, iters=iters),
+    "pipe_cross_cpu": lambda iters: bench_pipe(same_cpu=False,
+                                               iters=iters),
+    "dipc_proc_low": lambda iters: bench_dipc(policy="low",
+                                              cross_process=True,
+                                              iters=iters),
+    "dipc_proc_high": lambda iters: bench_dipc(policy="high",
+                                               cross_process=True,
+                                               iters=iters),
+    "rpc_same_cpu": lambda iters: bench_rpc(same_cpu=True, iters=iters),
+    "rpc_cross_cpu": lambda iters: bench_rpc(same_cpu=False, iters=iters),
+    "dipc_user_rpc": lambda iters: bench_dipc_user_rpc(iters=iters),
+    "l4_same_cpu": lambda iters: bench_l4(same_cpu=True, iters=iters),
+}
+
+
+def fig5_bench(label: str, *, iters: int = DEFAULT_ITERS) -> BenchResult:
+    """One bar of Figure 5 by label (one simulation point)."""
+    try:
+        builder = _FIG5_BENCHES[label]
+    except KeyError:
+        raise ValueError(f"unknown fig5 bench {label!r}") from None
+    return builder(iters)
+
+
 def fig5_suite(*, iters: int = DEFAULT_ITERS) -> Dict[str, BenchResult]:
     """Every bar of Figure 5, keyed like hw.costs.FIG5_TARGETS_NS."""
-    return {
-        "func": bench_func(iters=iters),
-        "syscall": bench_syscall(iters=iters),
-        "dipc_low": bench_dipc(policy="low", iters=iters),
-        "dipc_high": bench_dipc(policy="high", iters=iters),
-        "sem_same_cpu": bench_sem(same_cpu=True, iters=iters),
-        "sem_cross_cpu": bench_sem(same_cpu=False, iters=iters),
-        "pipe_same_cpu": bench_pipe(same_cpu=True, iters=iters),
-        "pipe_cross_cpu": bench_pipe(same_cpu=False, iters=iters),
-        "dipc_proc_low": bench_dipc(policy="low", cross_process=True,
-                                    iters=iters),
-        "dipc_proc_high": bench_dipc(policy="high", cross_process=True,
-                                     iters=iters),
-        "rpc_same_cpu": bench_rpc(same_cpu=True, iters=iters),
-        "rpc_cross_cpu": bench_rpc(same_cpu=False, iters=iters),
-        "dipc_user_rpc": bench_dipc_user_rpc(iters=iters),
-        "l4_same_cpu": bench_l4(same_cpu=True, iters=iters),
-    }
+    return {label: fig5_bench(label, iters=iters)
+            for label in _FIG5_BENCHES}

@@ -12,6 +12,22 @@ def run(data_size: int = 1024) -> List[ArchResult]:
     return table1(data_size=data_size)
 
 
+# -- parallel-runner decomposition (analytic: a single point) ---------------
+
+def points(*, data_size: int = 1024) -> list:
+    from repro.runner.points import PointSpec
+    return [PointSpec("table1", __name__, {"data_size": data_size})]
+
+
+def compute_point(*, data_size: int) -> list:
+    import dataclasses
+    return [dataclasses.asdict(row) for row in run(data_size)]
+
+
+def assemble(specs, results) -> str:
+    return render([ArchResult(**row) for row in results[0]])
+
+
 def render(rows: List[ArchResult]) -> str:
     lines = [
         "Table 1: best-case round-trip domain switch (S) and bulk data "

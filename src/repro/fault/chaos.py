@@ -72,6 +72,15 @@ class StormResult:
     records: list
     violations: List[str]
     stats: Dict[str, int]
+    #: set instead of ``records`` when the storm ran in a pool worker
+    #: (injection records are not picklable; only their rendered log and
+    #: count cross the process boundary)
+    n_records: Optional[int] = None
+
+    @property
+    def injection_count(self) -> int:
+        return len(self.records) if self.n_records is None \
+            else self.n_records
 
 
 @dataclass
@@ -85,7 +94,7 @@ class ChaosReport:
 
     @property
     def total_injections(self) -> int:
-        return sum(len(r.records) for r in self.results)
+        return sum(r.injection_count for r in self.results)
 
     @property
     def total_violations(self) -> int:
@@ -335,18 +344,55 @@ def _log_header(seed: int, storms: int, quick: bool) -> str:
     return f"# chaos seed={seed} storms={storms} quick={int(quick)}\n"
 
 
+# -- parallel-runner decomposition (one point per storm) --------------------
+# Storms are never cached: their whole purpose is to *prove* determinism
+# by recomputation, and a cached replay would be circular.
+
+def points(*, seed: int, storms: int, quick: bool = False) -> list:
+    from repro.runner.points import PointSpec
+    return [PointSpec("chaos", __name__,
+                      {"seed": seed, "storm": storm, "quick": quick},
+                      cacheable=False)
+            for storm in range(storms)]
+
+
+def compute_point(*, seed: int, storm: int, quick: bool) -> dict:
+    result = run_storm(seed, storm, quick=quick)
+    return {"storm": result.storm, "log": render_log(result.records),
+            "n_records": len(result.records),
+            "violations": list(result.violations),
+            "stats": result.stats}
+
+
 def run_chaos(seed: int, storms: int, *, quick: bool = False,
-              verify: bool = True) -> ChaosReport:
+              verify: bool = True, jobs: int = 0) -> ChaosReport:
     """Run ``storms`` storms; with ``verify`` the whole set is run twice
-    and the injection logs byte-compared (same seed => same log)."""
+    and the injection logs byte-compared (same seed => same log).
+
+    ``jobs > 0`` shards storms across a worker pool via the parallel
+    runner; the log is still merged in storm order, so it stays
+    byte-identical to a serial run.
+    """
 
     def one_pass() -> ChaosReport:
         report = ChaosReport(seed=seed, storms=storms)
         parts = [_log_header(seed, storms, quick)]
-        for storm in range(storms):
-            result = run_storm(seed, storm, quick=quick)
-            report.results.append(result)
-            parts.append(render_log(result.records))
+        if jobs > 0:
+            from repro.runner import run_points
+            specs = points(seed=seed, storms=storms, quick=quick)
+            results, _stats = run_points(specs, jobs=jobs, cache=None)
+            for point in results:
+                report.results.append(StormResult(
+                    storm=point["storm"], records=[],
+                    violations=list(point["violations"]),
+                    stats=dict(point["stats"]),
+                    n_records=point["n_records"]))
+                parts.append(point["log"])
+        else:
+            for storm in range(storms):
+                result = run_storm(seed, storm, quick=quick)
+                report.results.append(result)
+                parts.append(render_log(result.records))
         report.log_text = "".join(parts)
         return report
 
@@ -362,7 +408,7 @@ def render(report: ChaosReport) -> str:
     for result in report.results:
         digest = " ".join(f"{k}={v}" for k, v in result.stats.items())
         lines.append(f"  storm {result.storm:03d}: "
-                     f"{len(result.records)} injection(s), "
+                     f"{result.injection_count} injection(s), "
                      f"{len(result.violations)} violation(s)  [{digest}]")
         for violation in result.violations:
             lines.append(f"    VIOLATION: {violation}")

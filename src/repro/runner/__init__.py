@@ -1,0 +1,21 @@
+"""Parallel sharded experiment runner with content-addressed caching.
+
+Every figure driver decomposes into self-contained simulation *points*
+(:class:`PointSpec`: a picklable module/function/kwargs triple). The
+runner fans points out across a ``multiprocessing`` pool (``--jobs N``
+on ``python -m repro.experiments``), merges the results back in spec
+order — so a parallel run renders byte-identically to a serial one —
+and memoizes each point's result on disk (``.repro-cache/``) keyed by
+the point spec, the cost-model constants and a fingerprint of the
+package sources, so warm re-runs never recompute an unchanged point.
+"""
+
+from repro.runner.cache import ResultCache, package_fingerprint
+from repro.runner.points import PointSpec, execute_spec
+from repro.runner.pool import RunStats, run_points, summary
+
+__all__ = [
+    "PointSpec", "execute_spec",
+    "ResultCache", "package_fingerprint",
+    "RunStats", "run_points", "summary",
+]

@@ -1,0 +1,113 @@
+"""Content-addressed on-disk cache for simulation point results.
+
+Cache key recipe (see DESIGN.md): ``sha256`` of
+
+* the point spec's canonical JSON (driver, module, function, kwargs),
+* the cost-model constants digest (``repro.trace.meta.constants_hash``)
+  — recalibration invalidates every cached figure, and
+* a fingerprint of every ``repro`` source file — any code change
+  invalidates the whole cache. Aggressive, but simulations are cheap
+  relative to a wrong cached number, and it makes staleness impossible.
+
+Entries are single JSON files under ``.repro-cache/`` written with an
+atomic rename, so concurrent runs sharing a cache directory never
+observe a torn entry. Results must round-trip through JSON exactly;
+Python's ``json`` preserves floats bit-for-bit (repr round-trip), which
+is what keeps warm-cache renders byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Optional, Tuple
+
+from repro.runner.points import PointSpec
+
+#: bump to invalidate every existing cache entry on a layout change
+CACHE_VERSION = 1
+
+#: default cache directory, relative to the invoking working directory
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_fingerprint_cache: Optional[str] = None
+
+
+def package_fingerprint() -> str:
+    """Digest of every ``repro`` source file (name + contents).
+
+    Computed once per process: the sources cannot change under a
+    running simulation, and hashing ~150 small files costs only a few
+    milliseconds.
+    """
+    global _fingerprint_cache
+    if _fingerprint_cache is not None:
+        return _fingerprint_cache
+    import repro
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256()
+    paths = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                paths.append(os.path.join(dirpath, name))
+    for path in sorted(paths):
+        digest.update(os.path.relpath(path, root).encode())
+        with open(path, "rb") as handle:
+            digest.update(handle.read())
+    _fingerprint_cache = digest.hexdigest()[:16]
+    return _fingerprint_cache
+
+
+class ResultCache:
+    """Maps :class:`PointSpec` -> previously computed JSON result."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR, *,
+                 costs=None):
+        from repro.trace.meta import constants_hash
+        self.root = root
+        self.constants_hash = constants_hash(costs)
+        self.fingerprint = package_fingerprint()
+
+    def key(self, spec: PointSpec) -> str:
+        payload = "\n".join([
+            f"v{CACHE_VERSION}", self.constants_hash, self.fingerprint,
+            spec.payload(),
+        ])
+        return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+    def _path(self, spec: PointSpec) -> str:
+        return os.path.join(self.root, self.key(spec) + ".json")
+
+    def lookup(self, spec: PointSpec) -> Tuple[bool, Any]:
+        """Returns ``(hit, result)``; a corrupt entry counts as a miss."""
+        if not spec.cacheable:
+            return False, None
+        try:
+            with open(self._path(spec)) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return False, None
+        return True, entry["result"]
+
+    def store(self, spec: PointSpec, result: Any) -> None:
+        if not spec.cacheable:
+            return
+        os.makedirs(self.root, exist_ok=True)
+        entry = {"version": CACHE_VERSION, "driver": spec.driver,
+                 "module": spec.module, "func": spec.func,
+                 "kwargs": spec.kwargs, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, self._path(spec))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

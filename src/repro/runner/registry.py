@@ -1,0 +1,77 @@
+"""Experiment registry: name -> (point list, assemble) for the runner.
+
+The parameter choices here mirror ``repro.experiments.__main__``'s
+direct ``_run_*`` paths exactly — that equivalence is what makes
+``--jobs N`` output byte-identical to a serial run, and it is pinned by
+``tests/runner/test_parallel_determinism.py``. ``REPORT.md`` uses its
+own parameterization (see ``repro.experiments.report``).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import List
+
+from repro.runner.points import PointSpec
+
+#: experiments the point runner can shard (everything in the CLI's
+#: DEFAULT_SET; ``report`` and ``chaos`` have their own plumbing)
+SUPPORTED = ("table1", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8",
+             "extras", "ablation")
+
+_MODULES = {
+    "table1": "repro.experiments.table01_arch",
+    "fig1": "repro.experiments.fig01_breakdown",
+    "fig2": "repro.experiments.fig02_ipc_breakdown",
+    "fig5": "repro.experiments.fig05_sync_calls",
+    "fig6": "repro.experiments.fig06_argsize",
+    "fig7": "repro.experiments.fig07_driver",
+    "fig8": "repro.experiments.fig08_oltp",
+    "extras": "repro.experiments.extras",
+    "ablation": "repro.experiments.ablation",
+}
+
+
+def _module(name: str):
+    return importlib.import_module(_MODULES[name])
+
+
+def _cli_params(name: str, quick: bool) -> dict:
+    """The exact parameters the serial CLI path uses for ``name``."""
+    if name == "table1":
+        return {}
+    if name == "fig1":
+        return {"concurrency": 64 if quick else 256,
+                "scale": 0.3 if quick else 1.0}
+    if name == "fig2":
+        return {"iters": 15 if quick else 40}
+    if name == "fig5":
+        return {"iters": 15 if quick else 40}
+    if name == "fig6":
+        from repro.experiments import fig06_argsize
+        sizes = tuple(16 ** i for i in range(0, 6)) if quick else \
+            fig06_argsize.DEFAULT_SIZES
+        return {"sizes": sizes, "iters": 8 if quick else 20}
+    if name == "fig7":
+        return {"iters": 10 if quick else 30}
+    if name == "fig8":
+        from repro.experiments import fig08_oltp
+        concurrencies = (4, 16, 64) if quick else \
+            fig08_oltp.DEFAULT_CONCURRENCIES
+        return {"concurrencies": concurrencies,
+                "scale": 0.25 if quick else 1.0}
+    if name == "extras":
+        return {}
+    if name == "ablation":
+        return {"iters": 10 if quick else 25}
+    raise KeyError(name)
+
+
+def specs_for(name: str, quick: bool) -> List[PointSpec]:
+    """Decompose experiment ``name`` with the CLI's parameterization."""
+    return _module(name).points(**_cli_params(name, quick))
+
+
+def assemble(name: str, specs: List[PointSpec], results: list) -> str:
+    """Merge per-point results (in spec order) into the rendered text."""
+    return _module(name).assemble(specs, results)

@@ -7,15 +7,31 @@ scheduler, IPC blocking, disk I/O — is expressed as events posted here.
 Determinism: events at equal timestamps fire in posting order (a
 monotonically increasing sequence number breaks ties), so simulations are
 fully reproducible.
+
+Hot-path notes (``benchmarks/test_engine_micro.py`` keeps the floor):
+
+* :meth:`Event.__lt__` compares fields directly instead of building two
+  tuples per heap comparison;
+* :meth:`Engine.run` inlines the pop/fire loop (no per-event
+  :meth:`step` call) and skips the count-trigger heap peek entirely
+  while no triggers are armed;
+* popped events are recycled through a freelist when — and only when —
+  no outside reference to the handle survives (checked via
+  ``sys.getrefcount``), cutting allocator churn in long OLTP runs
+  without ever letting a stale handle cancel a recycled event.
 """
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Callable, Optional
 
 from repro.errors import SimulationError
 from repro.trace.tracer import NULL_TRACER
+
+#: recycled-Event pool cap; beyond this, retired events go to the GC
+_FREELIST_MAX = 512
 
 
 class Event:
@@ -31,7 +47,11 @@ class Event:
         self.popped = False
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # heapq calls this O(log n) times per push/pop; comparing fields
+        # directly avoids allocating two tuples per comparison
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else "pending"
@@ -51,6 +71,8 @@ class Engine:
         self.events_processed = 0
         #: (count, seq, fn) heap fired when events_processed reaches count
         self._count_triggers: list = []
+        #: retired Event objects awaiting reuse (see :meth:`_retire`)
+        self._freelist: list[Event] = []
         #: span/counter recorder; NULL_TRACER unless a TraceSession (or a
         #: caller) installs a live repro.trace.Tracer
         self.tracer = NULL_TRACER
@@ -75,7 +97,15 @@ class Engine:
             raise SimulationError(
                 f"cannot post event at {time_ns} before now ({self._now})"
             )
-        event = Event(time_ns, self._seq, fn)
+        if self._freelist:
+            event = self._freelist.pop()
+            event.time = time_ns
+            event.seq = self._seq
+            event.fn = fn
+            event.cancelled = False
+            event.popped = False
+        else:
+            event = Event(time_ns, self._seq, fn)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
@@ -113,10 +143,31 @@ class Engine:
             self._prune()
 
     def _prune(self) -> None:
-        """Rebuild the heap without cancelled events."""
-        self._queue = [e for e in self._queue if not e.cancelled]
+        """Rebuild the heap without cancelled events.
+
+        The rebuild is in place (slice assignment): ``run()`` holds a
+        local alias of the queue list across callbacks, and a callback
+        is allowed to cancel enough events to trigger this prune —
+        rebinding ``self._queue`` would silently split the two views.
+        Pruned events are not recycled: their handles are typically
+        still referenced by whoever cancelled them.
+        """
+        self._queue[:] = [e for e in self._queue if not e.cancelled]
         heapq.heapify(self._queue)
         self._cancelled_in_queue = 0
+
+    def _retire(self, event: Event) -> None:
+        """Drop a popped event; recycle it when provably unreferenced.
+
+        Reusing an Event whose handle somebody still holds would let a
+        stale ``cancel()`` kill an unrelated future event, so an event
+        only enters the freelist when the caller's local variable, this
+        parameter and ``getrefcount``'s own argument are the only
+        references left (CPython refcounting makes that check exact).
+        """
+        event.fn = None
+        if len(self._freelist) < _FREELIST_MAX and getrefcount(event) <= 3:
+            self._freelist.append(event)
 
     def _pop(self) -> Event:
         event = heapq.heappop(self._queue)
@@ -132,14 +183,18 @@ class Engine:
         while self._queue:
             event = self._pop()
             if event.cancelled:
+                self._retire(event)
                 continue
             self._now = event.time
             self.events_processed += 1
-            event.fn()
+            fn = event.fn
+            self._retire(event)
+            fn()
             while self._count_triggers and \
                     self._count_triggers[0][0] <= self.events_processed:
-                _count, _seq, fn = heapq.heappop(self._count_triggers)
-                fn()
+                _count, _seq, trigger_fn = heapq.heappop(
+                    self._count_triggers)
+                trigger_fn()
             return True
         return False
 
@@ -158,18 +213,37 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         try:
+            # local aliases for the hot loop; _prune() and
+            # at_event_count() mutate these lists in place, never rebind
+            queue = self._queue
+            triggers = self._count_triggers
+            heappop = heapq.heappop
             processed = 0
-            while self._queue:
+            while queue:
                 if max_events is not None and processed >= max_events:
                     break
-                head = self._queue[0]
-                if head.cancelled:
-                    self._pop()
+                event = queue[0]
+                if event.cancelled:
+                    heappop(queue)
+                    event.popped = True
+                    self._cancelled_in_queue -= 1
+                    self._retire(event)
                     continue
-                if until_ns is not None and head.time > until_ns:
+                if until_ns is not None and event.time > until_ns:
                     break
-                self.step()
+                heappop(queue)
+                event.popped = True
+                self._now = event.time
+                self.events_processed += 1
+                fn = event.fn
+                self._retire(event)
+                fn()
                 processed += 1
+                if triggers:
+                    while triggers and \
+                            triggers[0][0] <= self.events_processed:
+                        _count, _seq, trigger_fn = heappop(triggers)
+                        trigger_fn()
             if until_ns is not None and self._now < until_ns:
                 target = until_ns
                 head = self._next_live_time()
@@ -181,11 +255,18 @@ class Engine:
             self._running = False
 
     def _next_live_time(self) -> Optional[float]:
-        """Timestamp of the earliest non-cancelled queued event."""
+        """Timestamp of the earliest non-cancelled queued event.
+
+        Discards cancelled heads through the same ``_pop``/``_retire``
+        path as ``run()``/``step()``, so ``_cancelled_in_queue`` stays
+        exact no matter how often the clamp path re-enters here between
+        cancels and prunes (see
+        ``tests/sim/test_engine.py::test_clamp_cancel_interleaving``).
+        """
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
-                self._pop()
+                self._retire(self._pop())
                 continue
             return head.time
         return None

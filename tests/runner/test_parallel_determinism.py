@@ -1,0 +1,48 @@
+"""Byte-identity of the sharded runner vs the original serial paths.
+
+These are the determinism pins for ``--jobs``: a parallel or cached run
+must render the exact same text as the untouched in-process code path.
+"""
+
+from repro.runner import registry
+from repro.runner.cache import ResultCache
+from repro.runner.pool import run_points
+
+
+def _sharded(name, quick, jobs, cache=None):
+    specs = registry.specs_for(name, quick)
+    results, stats = run_points(specs, jobs=jobs, cache=cache)
+    return registry.assemble(name, specs, results), stats
+
+
+def test_fig5_quick_jobs4_matches_serial_path():
+    from repro.experiments.__main__ import _run_fig5
+    serial = _run_fig5(True)
+    parallel, stats = _sharded("fig5", True, jobs=4)
+    assert parallel == serial
+    assert stats.jobs == 4 and stats.computed == stats.total
+
+
+def test_ablation_quick_jobs2_matches_serial_path():
+    from repro.experiments.__main__ import _run_ablation
+    serial = _run_ablation(True)
+    parallel, _stats = _sharded("ablation", True, jobs=2)
+    assert parallel == serial
+
+
+def test_warm_cache_render_is_identical_and_skips_everything(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    cold, cold_stats = _sharded("fig2", True, jobs=1, cache=cache)
+    warm, warm_stats = _sharded("fig2", True, jobs=1, cache=cache)
+    assert warm == cold
+    assert cold_stats.computed == cold_stats.total
+    assert warm_stats.skipped_fraction >= 0.9
+
+
+def test_chaos_under_runner_matches_serial():
+    from repro.fault import chaos
+    serial = chaos.run_chaos(11, 2, quick=True, verify=False)
+    sharded = chaos.run_chaos(11, 2, quick=True, verify=False, jobs=2)
+    assert sharded.log_text == serial.log_text
+    assert chaos.render(sharded) == chaos.render(serial)
+    assert sharded.ok and serial.ok

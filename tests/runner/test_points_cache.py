@@ -1,0 +1,87 @@
+"""Unit tests for the point runner: specs, cache keys, pool plumbing."""
+
+import json
+import os
+
+from repro.hw.costs import CostModel
+from repro.runner.cache import ResultCache, package_fingerprint
+from repro.runner.points import PointSpec, execute_spec
+from repro.runner.pool import RunStats, run_points, summary
+
+
+def _spec(**kwargs):
+    return PointSpec("fig5", "repro.experiments.fig05_sync_calls",
+                     dict({"label": "syscall", "iters": 3}, **kwargs))
+
+
+def test_payload_is_canonical_and_order_insensitive():
+    a = PointSpec("x", "m", {"b": 2, "a": 1})
+    b = PointSpec("x", "m", {"a": 1, "b": 2})
+    assert a.payload() == b.payload()
+    assert json.loads(a.payload())["kwargs"] == {"a": 1, "b": 2}
+
+
+def test_execute_spec_calls_the_module_function():
+    result = execute_spec(_spec())
+    assert result["label"] == "syscall"
+    assert result["mean_ns"] > 0
+
+
+def test_cache_round_trip(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    spec = _spec()
+    hit, _ = cache.lookup(spec)
+    assert not hit
+    cache.store(spec, {"mean_ns": 1.5})
+    hit, value = cache.lookup(spec)
+    assert hit and value == {"mean_ns": 1.5}
+
+
+def test_cache_key_depends_on_kwargs_and_cost_model(tmp_path):
+    default = ResultCache(str(tmp_path))
+    assert default.key(_spec()) != default.key(_spec(iters=4))
+    recalibrated = ResultCache(str(tmp_path),
+                               costs=CostModel(TLS_SWITCH=0.0))
+    assert default.key(_spec()) != recalibrated.key(_spec())
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = _spec()
+    cache.store(spec, {"ok": 1})
+    path = cache._path(spec)
+    with open(path, "w") as fh:
+        fh.write("{not json")
+    hit, _ = cache.lookup(spec)
+    assert not hit
+
+
+def test_non_cacheable_specs_never_touch_disk(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    spec = PointSpec("chaos", "repro.fault.chaos", {}, cacheable=False)
+    cache.store(spec, {"x": 1})
+    hit, _ = cache.lookup(spec)
+    assert not hit
+    assert not os.path.exists(str(tmp_path / "c"))
+
+
+def test_fingerprint_is_stable_within_a_process():
+    assert package_fingerprint() == package_fingerprint()
+    assert len(package_fingerprint()) == 16
+
+
+def test_run_points_merges_in_spec_order_with_cache(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    specs = [_spec(iters=i) for i in (2, 3, 4)]
+    cold, cold_stats = run_points(specs, jobs=1, cache=cache)
+    assert cold_stats.computed == 3 and cold_stats.cache_hits == 0
+    warm, warm_stats = run_points(specs, jobs=1, cache=cache)
+    assert warm == cold
+    assert warm_stats.cache_hits == 3 and warm_stats.computed == 0
+    assert warm_stats.skipped_fraction == 1.0
+
+
+def test_summary_line_reports_skip_percentage():
+    line = summary(RunStats(total=45, cache_hits=42, computed=3, jobs=4))
+    assert line == ("runner: 45 points, 42 from cache (93% skipped), "
+                    "3 computed, jobs=4")

@@ -215,3 +215,119 @@ def test_prune_shrinks_internal_queue():
     engine.run()
     assert fired == ["tail"]
     assert engine.events_processed == 29
+
+
+# -- hot-path hardening: freelist, bookkeeping, clamp interleaving ----------
+
+def _bookkeeping_exact(engine):
+    return sum(1 for e in engine._queue if e.cancelled) \
+        == engine._cancelled_in_queue
+
+
+def test_clamp_cancel_interleaving():
+    """_next_live_time, run(), step() and _prune() share the cancelled-
+    event accounting; interleaving them must keep it exact."""
+    engine = Engine()
+    fired = []
+    events = [engine.post(10 * (i + 1), lambda i=i: fired.append(i))
+              for i in range(40)]
+    for event in events[:5]:          # cancel the whole leading edge
+        engine.cancel(event)
+    engine.run(until_ns=5, max_events=0)   # clamp discards dead heads
+    assert engine.now() == 5
+    assert _bookkeeping_exact(engine)
+    assert engine.pending() == 35
+    engine.run(max_events=3)               # fire 5..7 (t=60..80)
+    assert fired == [5, 6, 7]
+    for event in events[10:30]:            # cancel a mid-queue band
+        engine.cancel(event)
+    assert _bookkeeping_exact(engine)
+    engine.run(until_ns=95, max_events=0)  # clamp again: head t=90 live
+    assert engine.now() == 90
+    assert engine.step()                   # fires 8 (t=90)
+    assert fired == [5, 6, 7, 8]
+    for event in events[30:]:              # push past the prune threshold
+        engine.cancel(event)
+    assert _bookkeeping_exact(engine)
+    engine.run(until_ns=10_000)
+    assert fired == [5, 6, 7, 8, 9]
+    assert engine.pending() == 0
+    assert _bookkeeping_exact(engine)
+
+
+def test_callback_triggered_prune_does_not_stall_run():
+    """A callback may cancel enough events to trigger _prune() while
+    run() is mid-loop; the rebuilt heap must keep draining."""
+    engine = Engine()
+    fired = []
+    victims = [engine.post(50 + i, lambda: fired.append("victim"))
+               for i in range(100)]
+
+    def massacre():
+        fired.append("massacre")
+        for event in victims:
+            engine.cancel(event)
+
+    engine.post(1, massacre)
+    engine.post(200, lambda: fired.append("tail"))
+    engine.run()
+    assert fired == ["massacre", "tail"]
+    assert engine.pending() == 0
+    assert _bookkeeping_exact(engine)
+
+
+def test_freelist_recycles_unreferenced_events():
+    engine = Engine()
+    count = 600
+
+    def tick():
+        if engine.events_processed < count:
+            engine.post(1.0, tick)
+
+    engine.post(0.0, tick)
+    engine.run()
+    assert engine.events_processed == count
+    # handles were never kept, so popped events must have been pooled
+    assert engine._freelist
+    from repro.sim.engine import _FREELIST_MAX
+    assert len(engine._freelist) <= _FREELIST_MAX
+
+
+def test_held_handles_are_never_recycled():
+    engine = Engine()
+    held = [engine.post(i + 1, lambda: None) for i in range(20)]
+    engine.run()
+    assert engine._freelist == []          # every handle is still alive
+    assert all(e.popped for e in held)
+
+
+def test_stale_cancel_cannot_kill_a_recycled_event():
+    """A handle kept after its event fired must stay inert even once
+    the freelist is in play and new events are being scheduled."""
+    engine = Engine()
+    fired = []
+    stale = engine.post(1, lambda: fired.append("old"))
+    engine.post(2, lambda: fired.append("churn"))   # unheld -> recyclable
+    engine.run()
+    fresh = engine.post(5, lambda: fired.append("new"))
+    engine.cancel(stale)                   # must be a no-op
+    assert not fresh.cancelled
+    engine.run()
+    assert fired == ["old", "churn", "new"]
+    assert _bookkeeping_exact(engine)
+
+
+def test_recycled_event_reuse_preserves_order_and_identity():
+    engine = Engine()
+    fired = []
+
+    def burst(tag, n):
+        for i in range(n):
+            engine.post(float(i), lambda t=tag, i=i: fired.append((t, i)))
+
+    burst("a", 50)
+    engine.run()
+    burst("b", 50)                         # reuses pooled events
+    engine.run()
+    assert fired == [("a", i) for i in range(50)] \
+        + [("b", i) for i in range(50)]
