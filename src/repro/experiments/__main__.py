@@ -1,33 +1,43 @@
 """Command-line entry point regenerating the paper's tables and figures.
 
-``python -m repro.experiments [names...] [--quick] [--jobs N]``
+``python -m repro.experiments run [names...] [--quick] [--jobs N]
+[--trace] [--chaos]``
 
-Names: table1, fig1, fig2, fig5, fig6, fig7, fig8, extras, all.
-``--quick`` shrinks iteration counts and OLTP windows (for smoke runs).
+One verb, orthogonal flags:
 
-``--jobs N`` routes each experiment through the sharded point runner
-(``repro.runner``): the figure is decomposed into independent
-simulation points, fanned out across N worker processes, and merged
-back in spec order — the rendered output is byte-identical to the
-default serial path. Any ``--jobs`` value (including 1) also enables
-the content-addressed result cache under ``--cache-dir`` (default
-``.repro-cache/``); pass ``--no-cache`` to disable it. Without
-``--jobs`` the original in-process code path runs, untouched.
+* ``names`` — table1, fig1, fig2, fig5, fig6, fig7, fig8, fig9 (alias
+  fig09_load), extras, ablation, microbench, report, or ``all``;
+* ``--quick`` shrinks iteration counts / windows (for smoke runs);
+* ``--jobs N`` routes each experiment through the sharded point runner
+  (``repro.runner``): the figure is decomposed into independent
+  simulation points, fanned out across N worker processes, and merged
+  back in spec order — the rendered output is byte-identical to the
+  default serial path. Any ``--jobs`` value (including 1) also enables
+  the content-addressed result cache under ``--cache-dir`` (default
+  ``.repro-cache/``); pass ``--no-cache`` to disable it;
+* ``--trace`` records a span trace of the (single) experiment and
+  writes ``trace.json`` (Chrome trace-event format, loadable at
+  https://ui.perfetto.dev), ``spans.csv`` and ``meta.json`` into
+  ``--out``;
+* ``--chaos`` arms a deterministic fault storm (``repro.fault``,
+  seeded by ``--seed``) against every kernel the experiment builds,
+  and prints the injection summary after the figure.
+
+``--trace``/``--chaos`` attach to kernels built *in this process*, so
+either flag forces the serial path (a note is printed when ``--jobs``
+is also given).
+
+The bare form ``python -m repro.experiments [names...]`` is shorthand
+for ``run``. The old ``trace <name>`` and ``chaos`` subcommands keep
+working as deprecated aliases (a warning goes to stderr):
+``trace <name>`` is ``run <name> --trace``; ``chaos --seed N
+--storms K`` runs the standalone storm harness, writes the injection
+log to ``--out``/chaos.log, verifies the log is byte-identical for the
+same seed, and exits non-zero on any invariant violation.
 
 ``python -m repro.experiments bench [--quick] [--jobs N] [--out DIR]``
 times the quick suite cold-serial, cold-parallel and warm-cached, plus
 an engine micro-benchmark, and writes ``DIR/BENCH_PR3.json``.
-
-``python -m repro.experiments trace <name> [--quick] [--out DIR]`` runs
-one experiment with span tracing on and writes ``trace.json`` (Chrome
-trace-event format, loadable at https://ui.perfetto.dev), ``spans.csv``
-and ``meta.json`` into DIR (default: the current directory).
-
-``python -m repro.experiments chaos --seed N --storms K [--quick]
-[--out DIR]`` runs K deterministic fault-injection storms (see
-``repro.fault``), writes the injection log to DIR/chaos.log, re-runs the
-whole set to verify the log is byte-identical for the same seed, and
-exits non-zero on any invariant violation or determinism failure.
 """
 
 from __future__ import annotations
@@ -87,6 +97,11 @@ def _run_fig8(quick: bool) -> str:
             + fig08_oltp.render(in_mem))
 
 
+def _run_fig9(quick: bool) -> str:
+    from repro.experiments import fig09_load
+    return fig09_load.run(quick)
+
+
 def _run_extras(quick: bool) -> str:
     from repro.experiments import extras
     return extras.render()
@@ -95,6 +110,14 @@ def _run_extras(quick: bool) -> str:
 def _run_ablation(quick: bool) -> str:
     from repro.experiments import ablation
     return ablation.render(ablation.run(iters=10 if quick else 25))
+
+
+def _run_microbench(quick: bool) -> str:
+    from repro.runner import registry
+    from repro.runner.points import execute_spec
+    specs = registry.specs_for("microbench", quick)
+    return registry.assemble("microbench", specs,
+                             [execute_spec(spec) for spec in specs])
 
 
 def _run_report(quick: bool) -> str:
@@ -135,27 +158,38 @@ RUNNERS = {
     "fig6": _run_fig6,
     "fig7": _run_fig7,
     "fig8": _run_fig8,
+    "fig9": _run_fig9,
     "extras": _run_extras,
     "ablation": _run_ablation,
+    "microbench": _run_microbench,
     "report": _run_report,
     "chaos": _run_chaos,
 }
 
-#: "all" runs every figure/table but not the aggregate report or the
-#: chaos smoke (those have their own invocations)
+#: "all" runs every figure/table but not the aggregate report, the
+#: chaos smoke, or the raw microbenchmark sweep (a tuning tool)
 DEFAULT_SET = [name for name in RUNNERS
-               if name not in ("report", "chaos")]
+               if name not in ("report", "chaos", "microbench")]
+
+#: long-form aliases accepted on the command line
+_ALIASES = {
+    "fig09_load": "fig9",
+    "fig9_load": "fig9",
+}
 
 
 def _normalize(name: str) -> str:
-    """Accept zero-padded figure names: fig05 → fig5, fig08 → fig8."""
+    """Accept aliases and zero-padded figure names: fig05 → fig5."""
+    name = _ALIASES.get(name, name)
     if name.startswith("fig0") and len(name) == 5:
         return "fig" + name[4]
     return name
 
 
-def _run_traced(name: str, quick: bool, out_dir: str) -> int:
-    """Run one experiment under a TraceSession; write the trace artifacts."""
+def _run_traced(name: str, quick: bool, out_dir: str,
+                chaos_seed=None) -> int:
+    """Run one experiment under a TraceSession; write the trace
+    artifacts. ``chaos_seed`` additionally arms a ChaosSession."""
     from repro.trace.export import (render_counters, write_chrome_trace,
                                     write_spans_csv)
     from repro.trace.meta import collect_meta, write_meta
@@ -170,9 +204,16 @@ def _run_traced(name: str, quick: bool, out_dir: str) -> int:
     start = time.time()
     print(f"\n{'=' * 78}\ntrace {name}\n{'=' * 78}")
     with TraceSession() as session:
-        output = runner(quick)
+        if chaos_seed is None:
+            output = runner(quick)
+        else:
+            from repro.fault.session import ChaosSession
+            with ChaosSession(seed=chaos_seed) as chaos_session:
+                output = runner(quick)
     session.finalize()
     print(output)
+    if chaos_seed is not None:
+        print(chaos_session.summary())
     trace_path = write_chrome_trace(
         session, os.path.join(out_dir, "trace.json"))
     csv_path = write_spans_csv(session, os.path.join(out_dir, "spans.csv"))
@@ -295,10 +336,11 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the dIPC paper's tables and figures.")
     parser.add_argument("names", nargs="*", default=["all"],
-                        help=f"which experiments: {', '.join(RUNNERS)}, "
-                             "or 'all'; prefix with 'trace' to record "
-                             "spans (trace fig5); 'chaos' runs fault "
-                             "storms (--seed/--storms)")
+                        help="'run' (optional verb) followed by "
+                             f"experiments: {', '.join(RUNNERS)}, or "
+                             "'all'; 'bench' times the point runner; "
+                             "'trace <name>' and 'chaos' are deprecated "
+                             "aliases for --trace / the storm harness")
     parser.add_argument("--quick", action="store_true",
                         help="smaller iteration counts / windows")
     parser.add_argument("--jobs", type=int, default=0,
@@ -306,6 +348,13 @@ def main(argv=None) -> int:
                              "and compute them on N worker processes "
                              "(also enables the result cache); "
                              "0 = original serial path (default)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a span trace of the (single) "
+                             "experiment; artifacts go to --out")
+    parser.add_argument("--chaos", action="store_true",
+                        help="arm a deterministic fault storm (seeded "
+                             "by --seed) against every kernel the "
+                             "experiment builds")
     parser.add_argument("--cache-dir", default=".repro-cache",
                         help="result-cache directory used with --jobs "
                              "(default .repro-cache)")
@@ -319,31 +368,59 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7,
                         help="chaos: base RNG seed (default 7)")
     parser.add_argument("--storms", type=int, default=25,
-                        help="chaos: number of fault storms (default 25)")
+                        help="deprecated 'chaos' subcommand: number of "
+                             "fault storms (default 25)")
     args = parser.parse_args(argv)
-    names = [_normalize(name) for name in args.names]
-    if names and names[0] == "bench" and len(names) == 1:
+    names = list(args.names) or ["all"]
+
+    # -- verbs ---------------------------------------------------------
+    if names[0] == "bench" and len(names) == 1:
         return _run_bench_cli(args.quick, args.jobs, args.out)
-    if names and names[0] == "chaos" and len(names) == 1:
+    if names[0] == "chaos" and len(names) == 1:
+        print("warning: the 'chaos' subcommand is deprecated; the "
+              "storm harness keeps it working, and 'run <fig> --chaos' "
+              "storms any experiment", file=sys.stderr)
         return _run_chaos_cli(args.seed, args.storms, args.quick,
                               args.out, jobs=args.jobs)
-    if names and names[0] == "trace":
+    if names[0] == "trace":
         if len(names) != 2:
             print("usage: python -m repro.experiments trace <experiment>",
                   file=sys.stderr)
             return 2
-        return _run_traced(names[1], args.quick, args.out)
+        print("warning: 'trace <name>' is deprecated; use "
+              "'run <name> --trace'", file=sys.stderr)
+        args.trace = True
+        names = names[1:]
+    elif names[0] == "run":
+        names = names[1:] or ["all"]
+
+    names = [_normalize(name) for name in names]
     names = DEFAULT_SET if (not names or "all" in names) else names
-    use_runner = args.jobs > 0
+    for name in names:
+        if name not in RUNNERS:
+            print(f"unknown experiment '{name}' "
+                  f"(choose from {', '.join(RUNNERS)})", file=sys.stderr)
+            return 2
+
+    # -- orthogonal flags ----------------------------------------------
+    if args.trace:
+        if len(names) != 1:
+            print("--trace records one experiment at a time",
+                  file=sys.stderr)
+            return 2
+        if args.jobs > 0:
+            print("note: --trace attaches to in-process kernels; "
+                  "running serially (--jobs ignored)", file=sys.stderr)
+        return _run_traced(names[0], args.quick, args.out,
+                           chaos_seed=args.seed if args.chaos else None)
+    if args.chaos and args.jobs > 0:
+        print("note: --chaos attaches to in-process kernels; "
+              "running serially (--jobs ignored)", file=sys.stderr)
+    use_runner = args.jobs > 0 and not args.chaos
     cache = _make_cache(args) if use_runner else None
     if use_runner:
         from repro.runner.registry import SUPPORTED as _sharded
     for name in names:
-        runner = RUNNERS.get(name)
-        if runner is None:
-            print(f"unknown experiment '{name}' "
-                  f"(choose from {', '.join(RUNNERS)})", file=sys.stderr)
-            return 2
         start = time.time()
         print(f"\n{'=' * 78}\n{name}\n{'=' * 78}")
         if use_runner and name in _sharded:
@@ -353,8 +430,14 @@ def main(argv=None) -> int:
             path = report.generate(quick=args.quick, jobs=args.jobs,
                                    cache=cache)
             print(f"report written to {path}")
+        elif args.chaos:
+            from repro.fault.session import ChaosSession
+            with ChaosSession(seed=args.seed) as chaos_session:
+                output = RUNNERS[name](args.quick)
+            print(output)
+            print(chaos_session.summary())
         else:
-            print(runner(args.quick))
+            print(RUNNERS[name](args.quick))
         print(f"\n[{name} took {time.time() - start:.1f}s]")
     return 0
 

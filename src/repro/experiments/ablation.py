@@ -130,3 +130,20 @@ def render(rows: List[AblationRow]) -> str:
                      f"{row.variant_ns:>8.1f}ns{row.ratio:>7.2f}x"
                      f"  {row.note}")
     return "\n".join(lines)
+
+
+from repro.runner.registry import register_figure
+
+
+@register_figure
+class AblationDriver:
+    """The ablation study under the unified experiment-driver API."""
+
+    name = "ablation"
+    points = staticmethod(points)
+    compute_point = staticmethod(compute_point)
+    assemble = staticmethod(assemble)
+
+    @staticmethod
+    def cli_params(quick: bool) -> dict:
+        return {"iters": 10 if quick else 25}

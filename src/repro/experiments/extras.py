@@ -143,3 +143,20 @@ def render() -> str:
         f"{caps.modeled_overhead_fraction:.1%} overhead, residual "
         f"speedup {caps.residual_speedup:.2f}x (paper: 12%, 1.59x)",
     ])
+
+
+from repro.runner.registry import register_figure
+
+
+@register_figure
+class ExtrasDriver:
+    """In-text extras under the unified experiment-driver API."""
+
+    name = "extras"
+    points = staticmethod(points)
+    compute_point = staticmethod(compute_point)
+    assemble = staticmethod(assemble)
+
+    @staticmethod
+    def cli_params(quick: bool) -> dict:
+        return {}

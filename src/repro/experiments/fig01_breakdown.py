@@ -92,3 +92,21 @@ def render(result: Fig1Result) -> str:
         "Ideal 81/16/1)",
     ]
     return "\n".join(lines)
+
+
+from repro.runner.registry import register_figure
+
+
+@register_figure
+class Fig1Driver:
+    """Figure 1 under the unified experiment-driver API."""
+
+    name = "fig1"
+    points = staticmethod(points)
+    compute_point = staticmethod(compute_point)
+    assemble = staticmethod(assemble)
+
+    @staticmethod
+    def cli_params(quick: bool) -> dict:
+        return {"concurrency": 64 if quick else 256,
+                "scale": 0.3 if quick else 1.0}

@@ -89,3 +89,20 @@ def render(rows: List[Fig2Row]) -> str:
         "(7) idle/IO wait",
     ]
     return "\n".join(lines)
+
+
+from repro.runner.registry import register_figure
+
+
+@register_figure
+class Fig2Driver:
+    """Figure 2 under the unified experiment-driver API."""
+
+    name = "fig2"
+    points = staticmethod(points)
+    compute_point = staticmethod(compute_point)
+    assemble = staticmethod(assemble)
+
+    @staticmethod
+    def cli_params(quick: bool) -> dict:
+        return {"iters": 15 if quick else 40}

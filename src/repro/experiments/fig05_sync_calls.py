@@ -71,6 +71,23 @@ def assemble(specs, results) -> str:
     return render(rows)
 
 
+from repro.runner.registry import register_figure
+
+
+@register_figure
+class Fig5Driver:
+    """Figure 5 under the unified experiment-driver API."""
+
+    name = "fig5"
+    points = staticmethod(points)
+    compute_point = staticmethod(compute_point)
+    assemble = staticmethod(assemble)
+
+    @staticmethod
+    def cli_params(quick: bool) -> dict:
+        return {"iters": 15 if quick else 40}
+
+
 def headline_ratios(rows: List[Fig5Row]) -> Dict[str, float]:
     by = {row.label: row.measured_ns for row in rows}
     return {

@@ -155,3 +155,22 @@ def render(series: List[Fig6Series]) -> str:
         "knees near the L1 (32KB) and L2 (256KB) capacities.",
     ]
     return "\n".join(lines)
+
+
+from repro.runner.registry import register_figure
+
+
+@register_figure
+class Fig6Driver:
+    """Figure 6 under the unified experiment-driver API."""
+
+    name = "fig6"
+    points = staticmethod(points)
+    compute_point = staticmethod(compute_point)
+    assemble = staticmethod(assemble)
+
+    @staticmethod
+    def cli_params(quick: bool) -> dict:
+        sizes = tuple(16 ** i for i in range(0, 6)) if quick else \
+            DEFAULT_SIZES
+        return {"sizes": sizes, "iters": 8 if quick else 20}

@@ -130,3 +130,20 @@ def render(rows: List[Fig7Row]) -> str:
                  "IPC >100%; IPC bandwidth overhead >60% at 4KB (we land "
                  "somewhat lower: ~45-50%).")
     return "\n".join(lines)
+
+
+from repro.runner.registry import register_figure
+
+
+@register_figure
+class Fig7Driver:
+    """Figure 7 under the unified experiment-driver API."""
+
+    name = "fig7"
+    points = staticmethod(points)
+    compute_point = staticmethod(compute_point)
+    assemble = staticmethod(assemble)
+
+    @staticmethod
+    def cli_params(quick: bool) -> dict:
+        return {"iters": 10 if quick else 30}

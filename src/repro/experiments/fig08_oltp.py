@@ -124,3 +124,22 @@ def render(result: Fig8Result) -> str:
         "(paper overall average: 2.13x)",
     ]
     return "\n".join(lines)
+
+
+from repro.runner.registry import register_figure
+
+
+@register_figure
+class Fig8Driver:
+    """Figure 8 under the unified experiment-driver API."""
+
+    name = "fig8"
+    points = staticmethod(points)
+    compute_point = staticmethod(compute_point)
+    assemble = staticmethod(assemble)
+
+    @staticmethod
+    def cli_params(quick: bool) -> dict:
+        concurrencies = (4, 16, 64) if quick else DEFAULT_CONCURRENCIES
+        return {"concurrencies": concurrencies,
+                "scale": 0.25 if quick else 1.0}

@@ -498,3 +498,55 @@ def fig5_suite(*, iters: int = DEFAULT_ITERS) -> Dict[str, BenchResult]:
     """Every bar of Figure 5, keyed like hw.costs.FIG5_TARGETS_NS."""
     return {label: fig5_bench(label, iters=iters)
             for label in _FIG5_BENCHES}
+
+
+# -- the raw microbenchmark sweep as a registered figure driver -------------
+#
+# Unlike fig5 this renders the measured distributions without the
+# paper-target comparison — the tool you reach for when tuning the cost
+# model rather than checking it.
+
+def points(*, iters: int = DEFAULT_ITERS) -> list:
+    from repro.runner.points import PointSpec
+    return [PointSpec("microbench", __name__,
+                      {"label": label, "iters": iters})
+            for label in _FIG5_BENCHES]
+
+
+def compute_point(*, label: str, iters: int) -> dict:
+    return fig5_bench(label, iters=iters).as_point()
+
+
+def assemble(specs, results) -> str:
+    lines = [
+        "Microbenchmarks: raw synchronous round trips [ns]",
+        "",
+        f"{'primitive':<16}{'mean':>10}{'stddev':>9}"
+        f"{'p50':>10}{'p95':>10}{'p99':>10}",
+        "-" * 65,
+    ]
+    for spec, result in zip(specs, results):
+        lines.append(f"{spec.kwargs['label']:<16}"
+                     f"{result['mean_ns']:>10.1f}"
+                     f"{result['stddev_ns']:>9.2f}"
+                     f"{result['p50_ns']:>10.1f}"
+                     f"{result['p95_ns']:>10.1f}"
+                     f"{result['p99_ns']:>10.1f}")
+    return "\n".join(lines)
+
+
+from repro.runner.registry import register_figure  # noqa: E402
+
+
+@register_figure
+class MicrobenchDriver:
+    """The raw microbenchmark sweep as a first-class experiment."""
+
+    name = "microbench"
+    points = staticmethod(points)
+    compute_point = staticmethod(compute_point)
+    assemble = staticmethod(assemble)
+
+    @staticmethod
+    def cli_params(quick: bool) -> dict:
+        return {"iters": 10 if quick else DEFAULT_ITERS}

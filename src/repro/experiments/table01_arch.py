@@ -42,3 +42,20 @@ def render(rows: List[ArchResult]) -> str:
                      f"{row.switch_ops:<46}{row.data_ns_per_kb:>10.1f}  "
                      f"{row.data_ops}")
     return "\n".join(lines)
+
+
+from repro.runner.registry import register_figure
+
+
+@register_figure
+class Table1Driver:
+    """Table 1 under the unified experiment-driver API."""
+
+    name = "table1"
+    points = staticmethod(points)
+    compute_point = staticmethod(compute_point)
+    assemble = staticmethod(assemble)
+
+    @staticmethod
+    def cli_params(quick: bool) -> dict:
+        return {}

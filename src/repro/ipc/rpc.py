@@ -91,7 +91,8 @@ class RpcClient:
     def __init__(self, kernel, process: Process, namespace: SocketNamespace,
                  server_path: str, *, bufsize: int = None,
                  retries: int = 0,
-                 reply_timeout_ns: float = None):
+                 reply_timeout_ns: float = None,
+                 client_path: str = None):
         self.kernel = kernel
         self.process = process
         self.codec = XDRCodec(kernel)
@@ -99,7 +100,8 @@ class RpcClient:
         self.server_path = server_path
         self.sock = namespace.socket(kernel) if bufsize is None \
             else namespace.socket(kernel, bufsize=bufsize)
-        self.sock.bind(f"{server_path}#client-{id(self)}")
+        # callers that need reproducible namespaces pass client_path
+        self.sock.bind(client_path or f"{server_path}#client-{id(self)}")
         self.sock.bind_owner(process)
         self.calls = 0
         #: retransmit budget per call; 0 (the default) keeps the classic

@@ -16,6 +16,7 @@ from repro.codoms.apl import APLRegistry
 from repro.codoms.aplcache import APLCache
 from repro.codoms.tags import TagAllocator
 from repro.errors import DeadProcessError
+from repro.fault.session import ChaosSession
 from repro.hw.machine import Machine
 from repro.kernel.libraries import LibraryRegistry
 from repro.kernel.process import Process
@@ -38,6 +39,8 @@ class Kernel:
         self.engine = self.machine.engine
         # inside an active TraceSession, every kernel records spans
         TraceSession.maybe_attach(self)
+        # inside an active ChaosSession, every kernel gets a fault storm
+        ChaosSession.maybe_attach(self)
         self.phys = PhysicalMemory(total_frames=256 * units.MB
                                    // units.PAGE_SIZE)
         self.scheduler = Scheduler(self)

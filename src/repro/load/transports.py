@@ -1,0 +1,324 @@
+"""The five IPC primitives behind one load-harness interface.
+
+Each transport builds a server pool (``n_workers`` threads in a
+``load-server`` process, except dIPC — see below) plus the per-client
+plumbing, and exposes ``call(thread, client_id)``: one request/reply
+round trip carrying ``req_size`` bytes in and a small acknowledgement
+back, with ``service_ns`` of server CPU in between.
+
+Topology per primitive (chosen so every wait queue has a single
+consumer where the underlying object requires it):
+
+* **pipe** — one request pipe *per worker* (a pipe's framed read path
+  is single-reader) with clients statically sharded ``cid % workers``,
+  one reply pipe per client;
+* **socket** — one shared request datagram socket (multi-receiver safe)
+  drained by all workers, one reply socket per client;
+* **rpc** — one :class:`RpcServer` with ``n_workers`` service threads
+  on the shared socket, one :class:`RpcClient` per client with a reply
+  timeout;
+* **l4** — one rendezvous endpoint *per worker* (an endpoint holds a
+  single waiting server), clients sharded ``cid % workers``;
+* **dipc** — *no service threads at all*: the client thread migrates
+  into the server process through a proxy (§4) and runs the service
+  body itself. The pool size is the CPU count, not a thread count —
+  which is exactly why dIPC saturates later than every baseline.
+
+Worker death must never wedge the harness: pipe and L4 waits are
+bounded by :func:`repro.load.queueing.with_deadline` (with cleanup
+hooks that unhook the timed-out client from the transport's wait
+queues), sockets and RPC use their native receive timeouts, and a dIPC
+callee death unwinds the caller synchronously with
+:class:`repro.errors.RemoteFault`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import KernelError, PeerResetError
+from repro.ipc.l4 import L4Endpoint
+from repro.ipc.pipe import Pipe
+from repro.ipc.rpc import RpcClient, RpcServer
+from repro.ipc.unixsocket import SocketNamespace
+from repro.load.queueing import with_deadline
+
+SERVER_PROCESS = "load-server"
+CLIENT_PROCESS = "load-clients"
+WORKER_PREFIX = "load-server/w"
+
+#: acknowledgement size for the reply leg, bytes
+REPLY_SIZE = 64
+
+
+class Transport:
+    """Base class: build the server pool, then serve ``call``s."""
+
+    name = ""
+    #: False for dIPC, which has no service threads to kill
+    has_worker_threads = True
+
+    def __init__(self, params):
+        self.params = params
+        self.server_proc = None
+        self.client_proc = None
+
+    def build(self, kernel) -> None:
+        raise NotImplementedError
+
+    def call(self, thread, client_id: int):
+        raise NotImplementedError
+
+    def _spawn_worker(self, kernel, body, index: int) -> None:
+        kernel.spawn(self.server_proc, body,
+                     name=f"{WORKER_PREFIX}{index}")
+
+
+class PipeTransport(Transport):
+    name = "pipe"
+
+    def build(self, kernel) -> None:
+        p = self.params
+        self.kernel = kernel
+        self.server_proc = kernel.spawn_process(SERVER_PROCESS)
+        self.client_proc = kernel.spawn_process(CLIENT_PROCESS)
+        self.req_pipes = []
+        for _w in range(p.n_workers):
+            pipe = Pipe(kernel)
+            pipe.bind_endpoints(writer=self.client_proc,
+                                reader=self.server_proc)
+            self.req_pipes.append(pipe)
+
+        def worker(t, req_pipe):
+            while True:
+                try:
+                    reply_pipe = yield from req_pipe.read(t)
+                except KernelError:
+                    continue          # a client died mid-write
+                if reply_pipe is None:
+                    return            # EOF: client process gone
+                yield t.compute(p.service_ns)
+                try:
+                    yield from reply_pipe.write(t, REPLY_SIZE,
+                                                payload="ok")
+                except KernelError:
+                    continue          # this client died: drop the reply
+
+        for w, req_pipe in enumerate(self.req_pipes):
+            self._spawn_worker(kernel,
+                               lambda t, rp=req_pipe: worker(t, rp), w)
+
+    def call(self, thread, client_id: int):
+        p = self.params
+        req_pipe = self.req_pipes[client_id % p.n_workers]
+        # a fresh reply pipe per request: a pipe's framed read path is
+        # single-reader, and one open-loop client can have several
+        # requests in flight at once
+        reply_pipe = Pipe(self.kernel)
+        reply_pipe.bind_endpoints(writer=self.server_proc,
+                                  reader=self.client_proc)
+
+        def _round_trip():
+            yield from req_pipe.write(thread, p.req_size,
+                                      payload=reply_pipe)
+            reply = yield from reply_pipe.read(thread)
+            if reply is None:
+                raise PeerResetError("load server closed the reply pipe")
+            return reply
+
+        def _cleanup():
+            for queue in (req_pipe._writers, reply_pipe._readers):
+                try:
+                    queue.remove(thread)
+                except ValueError:
+                    pass
+
+        return with_deadline(thread, _round_trip(), p.deadline_ns,
+                             _cleanup)
+
+
+class SocketTransport(Transport):
+    name = "socket"
+
+    REQ_PATH = "/load/req"
+
+    def build(self, kernel) -> None:
+        p = self.params
+        self.server_proc = kernel.spawn_process(SERVER_PROCESS)
+        self.client_proc = kernel.spawn_process(CLIENT_PROCESS)
+        ns = SocketNamespace()
+        self.req_sock = ns.socket(kernel)
+        self.req_sock.bind(self.REQ_PATH)
+        self.req_sock.bind_owner(self.server_proc)
+        self.reply_socks = []
+        for c in range(p.n_clients):
+            sock = ns.socket(kernel)
+            sock.bind(f"/load/reply{c}")
+            sock.bind_owner(self.client_proc)
+            self.reply_socks.append(sock)
+
+        def worker(t):
+            while True:
+                try:
+                    request, _ = yield from self.req_sock.recvfrom(t)
+                except KernelError:
+                    return            # socket reset: server killed
+                if request is None:
+                    return
+                yield t.compute(p.service_ns)
+                try:
+                    yield from self.req_sock.sendto(
+                        t, f"/load/reply{request}", REPLY_SIZE,
+                        payload="ok")
+                except KernelError:
+                    continue          # client gone or its buffer full
+
+        for w in range(p.n_workers):
+            self._spawn_worker(kernel, worker, w)
+
+    def call(self, thread, client_id: int):
+        p = self.params
+        sock = self.reply_socks[client_id]
+        yield from sock.sendto(thread, self.REQ_PATH, p.req_size,
+                               payload=client_id)
+        reply, _ = yield from sock.recvfrom(thread,
+                                            timeout_ns=p.deadline_ns)
+        if reply is None:
+            raise PeerResetError("load server closed the reply socket")
+        return reply
+
+
+class RpcTransport(Transport):
+    name = "rpc"
+
+    RPC_PATH = "/load/rpc"
+
+    def build(self, kernel) -> None:
+        p = self.params
+        self.kernel = kernel
+        self.namespace = SocketNamespace()
+        self.server_proc = kernel.spawn_process(SERVER_PROCESS)
+        self.client_proc = kernel.spawn_process(CLIENT_PROCESS)
+        self.server = RpcServer(kernel, self.server_proc,
+                                self.namespace, self.RPC_PATH)
+
+        def handler(t, _args):
+            yield t.compute(p.service_ns)
+            return REPLY_SIZE, "ok"
+
+        self.server.register("work", handler)
+        for w in range(p.n_workers):
+            self._spawn_worker(kernel, self.server.serve_loop, w)
+        self._handle_seq = 0
+
+    def call(self, thread, client_id: int):
+        # a fresh client handle (own reply socket) per request: one
+        # open-loop client can have overlapping calls, and concurrent
+        # calls on a shared handle drop each other's replies as
+        # stale-xid stragglers
+        self._handle_seq += 1
+        client = RpcClient(
+            self.kernel, self.client_proc, self.namespace,
+            self.RPC_PATH, reply_timeout_ns=self.params.deadline_ns,
+            client_path=f"{self.RPC_PATH}#c{self._handle_seq}")
+        return client.call(thread, "work", self.params.req_size)
+
+
+class L4Transport(Transport):
+    name = "l4"
+
+    def build(self, kernel) -> None:
+        p = self.params
+        self.server_proc = kernel.spawn_process(SERVER_PROCESS)
+        self.client_proc = kernel.spawn_process(CLIENT_PROCESS)
+        self.endpoints = []
+        for _w in range(p.n_workers):
+            endpoint = L4Endpoint(kernel)
+            endpoint.bind_owner(self.server_proc)
+            self.endpoints.append(endpoint)
+
+        def worker(t, endpoint):
+            caller, _message = yield from endpoint.wait(t)
+            while True:
+                yield t.compute(p.service_ns)
+                caller, _message = yield from endpoint.reply_and_wait(
+                    t, caller, "ok")
+
+        for w, endpoint in enumerate(self.endpoints):
+            self._spawn_worker(kernel,
+                               lambda t, ep=endpoint: worker(t, ep), w)
+
+    def call(self, thread, client_id: int):
+        p = self.params
+        endpoint = self.endpoints[client_id % p.n_workers]
+
+        def _cleanup():
+            endpoint._pending = type(endpoint._pending)(
+                entry for entry in endpoint._pending
+                if entry[0] is not thread)
+            if thread in endpoint._outstanding:
+                endpoint._outstanding.remove(thread)
+
+        return with_deadline(thread,
+                             endpoint.call(thread, client_id),
+                             p.deadline_ns, _cleanup)
+
+
+class DipcTransport(Transport):
+    name = "dipc"
+    has_worker_threads = False
+
+    def build(self, kernel) -> None:
+        from repro.core.api import DipcManager
+        from repro.core.objects import EntryDescriptor, Signature
+        from repro.core.policies import IsolationPolicy
+
+        p = self.params
+        manager = DipcManager(kernel)
+        self.server_proc = kernel.spawn_process(SERVER_PROCESS, dipc=True)
+        self.client_proc = kernel.spawn_process(CLIENT_PROCESS, dipc=True)
+
+        def serve(t, _request):
+            yield t.compute(p.service_ns)
+            return "ok"
+
+        # mutually untrusting: the server protects its stack/DCS from
+        # clients, clients protect their registers/stack from the server
+        # (the dipc_proc_high regime of Figure 5)
+        entry = manager.entry_register(
+            self.server_proc, manager.dom_default(self.server_proc),
+            [EntryDescriptor(
+                signature=Signature(in_regs=1, out_regs=1),
+                policy=IsolationPolicy(stack_confidentiality=True,
+                                       dcs_integrity=True),
+                func=serve, name="serve")])
+        request = [EntryDescriptor(
+            signature=Signature(in_regs=1, out_regs=1),
+            policy=IsolationPolicy(reg_integrity=True,
+                                   stack_integrity=True,
+                                   dcs_integrity=True),
+            name="serve")]
+        handle, _ = manager.entry_request(self.client_proc, entry,
+                                          request)
+        manager.grant_create(manager.dom_default(self.client_proc),
+                             handle)
+        self.manager = manager
+        self.address = request[0].address
+
+    def call(self, thread, client_id: int):
+        return self.manager.call(thread, self.address, client_id)
+
+
+PRIMITIVES = ("pipe", "socket", "rpc", "l4", "dipc")
+
+_TRANSPORTS = {cls.name: cls for cls in
+               (PipeTransport, SocketTransport, RpcTransport,
+                L4Transport, DipcTransport)}
+
+
+def make_transport(params) -> Transport:
+    """Instantiate the transport for ``params.primitive``."""
+    try:
+        cls = _TRANSPORTS[params.primitive]
+    except KeyError:
+        raise ValueError(f"unknown primitive {params.primitive!r} "
+                         f"(choose from {', '.join(PRIMITIVES)})")
+    return cls(params)

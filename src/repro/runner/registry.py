@@ -1,23 +1,61 @@
-"""Experiment registry: name -> (point list, assemble) for the runner.
+"""Figure-driver registry: one validated API for every experiment.
 
-The parameter choices here mirror ``repro.experiments.__main__``'s
-direct ``_run_*`` paths exactly — that equivalence is what makes
-``--jobs N`` output byte-identical to a serial run, and it is pinned by
-``tests/runner/test_parallel_determinism.py``. ``REPORT.md`` uses its
-own parameterization (see ``repro.experiments.report``).
+A figure driver is any object satisfying :class:`FigureDriver`:
+
+* ``name`` — the registry key (``fig5``, ``fig9``, ``microbench``, …);
+* ``cli_params(quick)`` — the exact parameters the CLI uses, the
+  single source of truth shared by the serial and ``--jobs`` paths
+  (that equivalence is what makes ``--jobs N`` output byte-identical
+  to a serial run, pinned by
+  ``tests/runner/test_parallel_determinism.py``);
+* ``points(**params)`` — the decomposition into
+  :class:`repro.runner.points.PointSpec`;
+* ``compute_point(**kwargs)`` — one point from scratch (fresh kernel,
+  deterministic, JSON-serializable result);
+* ``assemble(specs, results)`` — merge per-point results, in spec
+  order, into the rendered figure text.
+
+Drivers self-register with :func:`register_figure`, which validates at
+import time that the driver satisfies the protocol **and** that
+``cli_params(quick)`` actually binds to ``points``'s signature for
+both quick modes — so a renamed keyword fails the moment the module is
+imported, not halfway through a two-hour ``--jobs 8`` run.
+
+``REPORT.md`` uses its own parameterization (see
+``repro.experiments.report``), reusing the same ``points``/``assemble``
+entry points through :func:`module_for`.
 """
 
 from __future__ import annotations
 
 import importlib
-from typing import List
+import inspect
+from typing import Dict, List, Protocol, runtime_checkable
 
 from repro.runner.points import PointSpec
 
-#: experiments the point runner can shard (everything in the CLI's
-#: DEFAULT_SET; ``report`` and ``chaos`` have their own plumbing)
+
+@runtime_checkable
+class FigureDriver(Protocol):
+    """The contract every experiment driver implements."""
+
+    name: str
+
+    def cli_params(self, quick: bool) -> dict: ...
+
+    def points(self, **params) -> List[PointSpec]: ...
+
+    def compute_point(self, **kwargs): ...
+
+    def assemble(self, specs, results) -> str: ...
+
+
+_REGISTRY: Dict[str, FigureDriver] = {}
+
+#: experiments the point runner can shard, in presentation order
+#: (``report`` and ``chaos`` have their own plumbing)
 SUPPORTED = ("table1", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8",
-             "extras", "ablation")
+             "fig9", "extras", "ablation", "microbench")
 
 _MODULES = {
     "table1": "repro.experiments.table01_arch",
@@ -27,51 +65,94 @@ _MODULES = {
     "fig6": "repro.experiments.fig06_argsize",
     "fig7": "repro.experiments.fig07_driver",
     "fig8": "repro.experiments.fig08_oltp",
+    "fig9": "repro.experiments.fig09_load",
     "extras": "repro.experiments.extras",
     "ablation": "repro.experiments.ablation",
+    "microbench": "repro.experiments.microbench",
 }
 
 
-def _module(name: str):
+def register_figure(cls):
+    """Class decorator: validate a driver and add it to the registry.
+
+    Raises :class:`TypeError`/:class:`ValueError` at import time when
+    the driver is malformed; returns the class unchanged otherwise.
+    """
+    driver = cls() if isinstance(cls, type) else cls
+    if not isinstance(driver, FigureDriver):
+        missing = [attr for attr in
+                   ("name", "cli_params", "points", "compute_point",
+                    "assemble") if not hasattr(driver, attr)]
+        raise TypeError(
+            f"{cls!r} does not satisfy FigureDriver "
+            f"(missing: {', '.join(missing) or 'n/a'})")
+    name = driver.name
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{cls!r}: driver name must be a non-empty "
+                         f"string, got {name!r}")
+    for attr in ("cli_params", "points", "compute_point", "assemble"):
+        if not callable(getattr(driver, attr)):
+            raise TypeError(f"figure {name!r}: {attr} must be callable")
+    # the CLI parameterization must bind to points() for both modes —
+    # catch renamed/removed keywords at import, not mid-run
+    signature = inspect.signature(driver.points)
+    for quick in (False, True):
+        params = driver.cli_params(quick)
+        if not isinstance(params, dict):
+            raise TypeError(
+                f"figure {name!r}: cli_params(quick={quick}) must "
+                f"return a dict, got {type(params).__name__}")
+        try:
+            signature.bind(**params)
+        except TypeError as exc:
+            raise TypeError(
+                f"figure {name!r}: cli_params(quick={quick}) does not "
+                f"bind to points{signature}: {exc}") from None
+    previous = _REGISTRY.get(name)
+    if previous is not None and \
+            type(previous).__module__ != type(driver).__module__:
+        raise ValueError(
+            f"figure {name!r} already registered by "
+            f"{type(previous).__module__}")
+    _REGISTRY[name] = driver
+    return cls
+
+
+def get(name: str) -> FigureDriver:
+    """The registered driver for ``name`` (imports its module lazily)."""
+    if name not in _REGISTRY:
+        module = _MODULES.get(name)
+        if module is None:
+            raise KeyError(f"unknown experiment {name!r} "
+                           f"(choose from {', '.join(SUPPORTED)})")
+        importlib.import_module(module)
+        if name not in _REGISTRY:
+            raise KeyError(f"module {module} did not register a "
+                           f"figure driver named {name!r}")
+    return _REGISTRY[name]
+
+
+def module_for(name: str):
+    """The module owning ``name``'s driver (report.py's entry point)."""
+    get(name)
     return importlib.import_module(_MODULES[name])
 
 
-def _cli_params(name: str, quick: bool) -> dict:
+#: backwards-compatible alias, used by repro.experiments.report
+_module = module_for
+
+
+def cli_params(name: str, quick: bool) -> dict:
     """The exact parameters the serial CLI path uses for ``name``."""
-    if name == "table1":
-        return {}
-    if name == "fig1":
-        return {"concurrency": 64 if quick else 256,
-                "scale": 0.3 if quick else 1.0}
-    if name == "fig2":
-        return {"iters": 15 if quick else 40}
-    if name == "fig5":
-        return {"iters": 15 if quick else 40}
-    if name == "fig6":
-        from repro.experiments import fig06_argsize
-        sizes = tuple(16 ** i for i in range(0, 6)) if quick else \
-            fig06_argsize.DEFAULT_SIZES
-        return {"sizes": sizes, "iters": 8 if quick else 20}
-    if name == "fig7":
-        return {"iters": 10 if quick else 30}
-    if name == "fig8":
-        from repro.experiments import fig08_oltp
-        concurrencies = (4, 16, 64) if quick else \
-            fig08_oltp.DEFAULT_CONCURRENCIES
-        return {"concurrencies": concurrencies,
-                "scale": 0.25 if quick else 1.0}
-    if name == "extras":
-        return {}
-    if name == "ablation":
-        return {"iters": 10 if quick else 25}
-    raise KeyError(name)
+    return get(name).cli_params(quick)
 
 
 def specs_for(name: str, quick: bool) -> List[PointSpec]:
     """Decompose experiment ``name`` with the CLI's parameterization."""
-    return _module(name).points(**_cli_params(name, quick))
+    driver = get(name)
+    return driver.points(**driver.cli_params(quick))
 
 
 def assemble(name: str, specs: List[PointSpec], results: list) -> str:
     """Merge per-point results (in spec order) into the rendered text."""
-    return _module(name).assemble(specs, results)
+    return get(name).assemble(specs, results)

@@ -1,0 +1,58 @@
+"""Seeded arrival-process determinism and statistics."""
+
+import pytest
+
+from repro.load.arrivals import (OpenLoopArrivals, ThinkTimes,
+                                 derive_client_seed)
+
+
+def _gaps(process, n=1000, *, rate=1e-4, seed=42, client=0):
+    arrivals = OpenLoopArrivals(process=process, rate_per_ns=rate,
+                                seed=seed, client_id=client)
+    return [arrivals.next_gap_ns() for _ in range(n)]
+
+
+def test_same_seed_same_client_is_byte_identical():
+    assert _gaps("poisson") == _gaps("poisson")
+
+
+def test_different_clients_are_independent_streams():
+    assert _gaps("poisson", client=0) != _gaps("poisson", client=1)
+
+
+def test_different_seeds_differ():
+    assert _gaps("poisson", seed=1) != _gaps("poisson", seed=2)
+
+
+def test_uniform_process_is_deterministic_at_the_mean():
+    gaps = _gaps("uniform", n=50, rate=2e-4)
+    assert all(gap == 5_000.0 for gap in gaps)
+
+
+def test_poisson_mean_converges_to_rate_inverse():
+    gaps = _gaps("poisson", n=4000, rate=1e-4)
+    mean = sum(gaps) / len(gaps)
+    assert abs(mean - 10_000.0) / 10_000.0 < 0.1
+
+
+def test_client_seeds_are_collision_free_for_realistic_counts():
+    seen = {derive_client_seed(seed, client)
+            for seed in range(64) for client in range(256)}
+    assert len(seen) == 64 * 256
+
+
+def test_think_times_deterministic_and_positive():
+    a = ThinkTimes(mean_ns=20_000.0, seed=7, client_id=3)
+    b = ThinkTimes(mean_ns=20_000.0, seed=7, client_id=3)
+    xs = [a.next_think_ns() for _ in range(100)]
+    assert xs == [b.next_think_ns() for _ in range(100)]
+    assert all(x > 0 for x in xs)
+
+
+def test_unknown_process_and_bad_rate_rejected():
+    with pytest.raises(ValueError):
+        OpenLoopArrivals(process="bursty", rate_per_ns=1e-4,
+                         seed=1, client_id=0)
+    with pytest.raises(ValueError):
+        OpenLoopArrivals(process="poisson", rate_per_ns=0.0,
+                         seed=1, client_id=0)

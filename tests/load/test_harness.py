@@ -1,0 +1,106 @@
+"""End-to-end load points: determinism, queueing laws, fault survival."""
+
+import pytest
+
+from repro import units
+from repro.fault import InvariantAuditor
+from repro.fault.session import ChaosSession
+from repro.load import LoadParams, run_load_point
+
+
+def _params(**overrides):
+    base = dict(primitive="pipe", mode="open", policy="shed",
+                offered_kops=400.0, warmup_ns=0.5 * units.MS,
+                window_ns=1.0 * units.MS, seed=42)
+    base.update(overrides)
+    return LoadParams(**base)
+
+
+def test_bad_params_rejected():
+    with pytest.raises(ValueError):
+        run_load_point(_params(mode="sideways"))
+    with pytest.raises(ValueError):
+        run_load_point(_params(drain=True))  # needs a request limit
+    with pytest.raises(ValueError):
+        run_load_point(_params(req_size=64 * 1024))
+
+
+def test_identical_params_give_byte_identical_points():
+    a = run_load_point(_params()).to_point()
+    b = run_load_point(_params()).to_point()
+    assert a == b
+    assert a["completed"] > 0
+
+
+def test_uniform_arrivals_honour_the_offered_rate():
+    result = run_load_point(_params(arrivals="uniform",
+                                    offered_kops=400.0))
+    window_s = 1.0 * units.MS / units.SECOND
+    expected = 400.0 * 1e3 * window_s
+    assert abs(result.offered_seen - expected) / expected < 0.05
+
+
+def test_p99_is_monotone_in_offered_load():
+    p99s = [run_load_point(_params(policy="block",
+                                   offered_kops=kops)).p99_ns
+            for kops in (400.0, 1200.0, 2400.0)]
+    assert all(p99s[i] <= p99s[i + 1] * 1.05 for i in range(2))
+    assert p99s[-1] > 2.0 * p99s[0]  # past the knee queueing dominates
+
+
+def test_shed_bounds_backlog_where_block_lets_it_grow():
+    shed = run_load_point(_params(offered_kops=2400.0))
+    block = run_load_point(_params(policy="block",
+                                   offered_kops=2400.0))
+    assert shed.shed > 0
+    assert shed.peak_backlog <= 32  # the default queue depth
+    assert block.shed == 0
+    assert block.peak_backlog > 32
+
+
+def test_closed_loop_throughput_tracks_littles_law():
+    results = [run_load_point(_params(mode="closed", policy="block",
+                                      n_clients=n, think_ns=20_000.0))
+               for n in (2, 8)]
+    for n, result in zip((2, 8), results):
+        # Little's law: N clients cycling through think + response time
+        expected_kops = n / (20_000.0 + result.mean_ns) * 1e6
+        assert abs(result.throughput_kops - expected_kops) \
+            / expected_kops < 0.2
+    assert results[1].throughput_kops > 2.0 * results[0].throughput_kops
+
+
+def test_drained_run_leaves_a_clean_kernel():
+    kernels = []
+    result = run_load_point(
+        _params(max_requests_per_client=20, drain=True),
+        keep_kernel=kernels)
+    assert result.backlog_at_end == 0
+    assert result.worker_crashes == 0
+    InvariantAuditor(kernels[0]).assert_clean()
+
+
+class _OneWorkerDown(ChaosSession):
+    """Deterministic storm: crash server worker w0 mid-window."""
+
+    def attach(self, kernel):
+        from repro.fault import FaultInjector, FaultPlan, FaultRule
+        plan = FaultPlan([FaultRule("crash_thread", "load-server/w0",
+                                    at_ns=0.7 * units.MS, param=0)])
+        injector = FaultInjector(kernel, plan, storm=len(self.injectors))
+        injector.arm()
+        self.injectors.append(injector)
+
+
+@pytest.mark.parametrize("policy", ["shed", "block"])
+def test_killed_worker_sheds_cleanly_instead_of_wedging(policy):
+    with _OneWorkerDown() as session:
+        result = run_load_point(_params(policy=policy,
+                                        deadline_ns=20_000.0,
+                                        check=False))
+    assert session.total_injections >= 1
+    assert result.worker_crashes >= 1
+    # the surviving pipe shard keeps completing requests (no wedge)...
+    assert result.completed > 0.3 * result.offered_seen
+    # ...while requests routed at the dead worker fail by deadline
+    assert result.failed > 0

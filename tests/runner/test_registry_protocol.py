@@ -1,0 +1,110 @@
+"""FigureDriver protocol conformance and import-time validation."""
+
+import json
+
+import pytest
+
+from repro.runner import registry
+from repro.runner.points import PointSpec
+from repro.runner.registry import (SUPPORTED, FigureDriver,
+                                   register_figure)
+
+
+@pytest.mark.parametrize("name", SUPPORTED)
+def test_every_supported_figure_registers_a_conforming_driver(name):
+    driver = registry.get(name)
+    assert isinstance(driver, FigureDriver)
+    assert driver.name == name
+    for quick in (False, True):
+        assert isinstance(driver.cli_params(quick), dict)
+
+
+@pytest.mark.parametrize("name", SUPPORTED)
+def test_quick_specs_are_nonempty_and_cacheable(name):
+    specs = registry.specs_for(name, quick=True)
+    assert specs
+    for spec in specs:
+        assert isinstance(spec, PointSpec)
+        json.dumps(spec.kwargs)  # the cache-key contract
+
+
+def test_get_unknown_name_lists_choices():
+    with pytest.raises(KeyError, match="fig5"):
+        registry.get("fig99")
+
+
+def _valid_driver(**overrides):
+    class Driver:
+        name = "proto-test"
+
+        @staticmethod
+        def cli_params(quick):
+            return {"iters": 1 if quick else 2}
+
+        @staticmethod
+        def points(*, iters):
+            return [PointSpec("proto-test", __name__, {"iters": iters})]
+
+        @staticmethod
+        def compute_point(*, iters):
+            return iters
+
+        @staticmethod
+        def assemble(specs, results):
+            return str(results)
+
+    for key, value in overrides.items():
+        setattr(Driver, key, value)
+    return Driver
+
+
+@pytest.fixture
+def scratch_registry(monkeypatch):
+    monkeypatch.setattr(registry, "_REGISTRY", dict(registry._REGISTRY))
+
+
+def test_register_accepts_a_valid_driver(scratch_registry):
+    cls = register_figure(_valid_driver())
+    assert registry.get("proto-test").name == "proto-test"
+    assert cls.name == "proto-test"
+
+
+def test_register_rejects_missing_attrs():
+    cls = _valid_driver()
+    del cls.assemble
+    with pytest.raises(TypeError, match="assemble"):
+        register_figure(cls)
+
+
+def test_register_rejects_non_dict_cli_params():
+    cls = _valid_driver(cli_params=staticmethod(lambda quick: ["x"]))
+    with pytest.raises(TypeError, match="must return a dict"):
+        register_figure(cls)
+
+
+def test_register_rejects_cli_params_that_do_not_bind():
+    cls = _valid_driver(
+        cli_params=staticmethod(lambda quick: {"renamed_kw": 1}))
+    with pytest.raises(TypeError, match="does not bind"):
+        register_figure(cls)
+
+
+def test_register_rejects_empty_name():
+    with pytest.raises(ValueError, match="non-empty"):
+        register_figure(_valid_driver(name=""))
+
+
+def test_register_rejects_duplicate_name_from_other_module(
+        scratch_registry):
+    register_figure(_valid_driver())
+    impostor = _valid_driver()
+    impostor.__module__ = "somewhere.else"
+    with pytest.raises(ValueError, match="already registered"):
+        register_figure(impostor)
+
+
+def test_reregistration_from_same_module_is_idempotent(scratch_registry):
+    cls = _valid_driver()
+    register_figure(cls)
+    register_figure(cls)  # e.g. importlib.reload of a figure module
+    assert registry.get("proto-test").name == "proto-test"
