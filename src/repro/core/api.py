@@ -77,6 +77,7 @@ class DipcManager:
         """A new, fully isolated domain (in no APL: P1)."""
         self._require_dipc(process)
         tag = self.tags.alloc()
+        process.domain_tags.add(tag)
         self._prefill_apl_caches(tag)
         return DomainHandle(tag, Permission.OWNER)
 
@@ -130,6 +131,27 @@ class DipcManager:
             return
         self.apls.apl_of(grant.src_tag).revoke(grant.dst_tag)
         grant.revoked = True
+
+    def reclaim_process(self, process) -> int:
+        """Revoke every live grant touching the process's domains.
+
+        Run by ``Kernel.kill_process`` after unwinding, so nothing of a
+        dead process's reach survives into a supervised replacement
+        (the A9 invariant). Returns the number of grants revoked.
+        """
+        tags = set(getattr(process, "domain_tags", ()) or ())
+        if process.default_tag is not None:
+            tags.add(process.default_tag)
+        if not tags:
+            return 0
+        revoked = 0
+        for grant in self.grants:
+            if grant.revoked:
+                continue
+            if grant.src_tag in tags or grant.dst_tag in tags:
+                self.grant_revoke(grant)
+                revoked += 1
+        return revoked
 
     # -- entry points (Table 2, §5.2.3) ---------------------------------------------------
 

@@ -140,12 +140,16 @@ def _make_cache(args):
     return ResultCache(args.cache_dir)
 
 
-def _run_sharded(name: str, quick: bool, jobs: int, cache) -> str:
+def _run_sharded(name: str, quick: bool, jobs: int, cache, *,
+                 checkpoint=None, resume=False, timeout_s=None,
+                 retries=2) -> str:
     """Run one experiment through the point runner (see repro.runner)."""
     from repro.runner import registry
     from repro.runner.pool import run_points, summary
     specs = registry.specs_for(name, quick)
-    results, stats = run_points(specs, jobs=jobs, cache=cache)
+    results, stats = run_points(specs, jobs=jobs, cache=cache,
+                                checkpoint=checkpoint, resume=resume,
+                                timeout_s=timeout_s, retries=retries)
     print(summary(stats))
     return registry.assemble(name, specs, results)
 
@@ -354,7 +358,24 @@ def main(argv=None) -> int:
     parser.add_argument("--chaos", action="store_true",
                         help="arm a deterministic fault storm (seeded "
                              "by --seed) against every kernel the "
-                             "experiment builds")
+                             "experiment builds; exits non-zero if the "
+                             "post-run invariant audit (A1-A9) fails")
+    parser.add_argument("--supervise", action="store_true",
+                        help="run load experiments with supervised "
+                             "server pools and circuit breakers: killed "
+                             "workers restart, killed server processes "
+                             "are rebuilt (composes with --chaos)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep from its "
+                             "checkpoint journal under --cache-dir, "
+                             "recomputing only unfinished points")
+    parser.add_argument("--point-timeout", type=float, default=600.0,
+                        help="with --jobs: declare the worker pool "
+                             "wedged when no point completes for this "
+                             "many seconds (0 disables; default 600)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="with --jobs: per-point retry budget after "
+                             "a crashed or stalled worker (default 2)")
     parser.add_argument("--cache-dir", default=".repro-cache",
                         help="result-cache directory used with --jobs "
                              "(default .repro-cache)")
@@ -403,6 +424,11 @@ def main(argv=None) -> int:
             return 2
 
     # -- orthogonal flags ----------------------------------------------
+    if args.resume and (args.chaos or args.supervise or args.trace):
+        print("--resume applies to the point runner; it cannot be "
+              "combined with --chaos/--supervise/--trace",
+              file=sys.stderr)
+        return 2
     if args.trace:
         if len(names) != 1:
             print("--trace records one experiment at a time",
@@ -413,29 +439,66 @@ def main(argv=None) -> int:
                   "running serially (--jobs ignored)", file=sys.stderr)
         return _run_traced(names[0], args.quick, args.out,
                            chaos_seed=args.seed if args.chaos else None)
-    if args.chaos and args.jobs > 0:
-        print("note: --chaos attaches to in-process kernels; "
+    if args.resume and args.jobs <= 0:
+        args.jobs = 1  # --resume implies the runner path
+    if (args.chaos or args.supervise) and args.jobs > 0:
+        print("note: --chaos/--supervise attach to in-process kernels; "
               "running serially (--jobs ignored)", file=sys.stderr)
-    use_runner = args.jobs > 0 and not args.chaos
+    use_runner = (args.jobs > 0 and not args.chaos
+                  and not args.supervise)
     cache = _make_cache(args) if use_runner else None
+    timeout_s = args.point_timeout if args.point_timeout > 0 else None
     if use_runner:
         from repro.runner.registry import SUPPORTED as _sharded
     for name in names:
         start = time.time()
         print(f"\n{'=' * 78}\n{name}\n{'=' * 78}")
         if use_runner and name in _sharded:
-            print(_run_sharded(name, args.quick, args.jobs, cache))
+            print(_run_sharded(name, args.quick, args.jobs, cache,
+                               checkpoint=args.cache_dir,
+                               resume=args.resume, timeout_s=timeout_s,
+                               retries=args.retries))
         elif use_runner and name == "report":
             from repro.experiments import report
             path = report.generate(quick=args.quick, jobs=args.jobs,
-                                   cache=cache)
+                                   cache=cache,
+                                   checkpoint=args.cache_dir,
+                                   resume=args.resume,
+                                   timeout_s=timeout_s,
+                                   retries=args.retries)
             print(f"report written to {path}")
-        elif args.chaos:
-            from repro.fault.session import ChaosSession
-            with ChaosSession(seed=args.seed) as chaos_session:
+        elif args.chaos or args.supervise:
+            import contextlib
+            with contextlib.ExitStack() as stack:
+                chaos_session = None
+                recovery_session = None
+                if args.chaos:
+                    from repro.fault.session import ChaosSession
+                    chaos_session = stack.enter_context(
+                        ChaosSession(seed=args.seed))
+                if args.supervise:
+                    from repro.recovery.session import RecoverySession
+                    recovery_session = stack.enter_context(
+                        RecoverySession(seed=args.seed))
                 output = RUNNERS[name](args.quick)
             print(output)
-            print(chaos_session.summary())
+            violations = []
+            if chaos_session is not None:
+                print(chaos_session.summary())
+                violations.extend(chaos_session.audit_kernels())
+            if recovery_session is not None:
+                print(recovery_session.summary())
+                violations.extend(
+                    f"recovery {v}"
+                    for v in recovery_session.audit_violations())
+            label = "chaos audit" if args.chaos else "recovery audit"
+            if violations:
+                for violation in violations:
+                    print(f"VIOLATION: {violation}")
+                print(f"{label}: FAILED "
+                      f"({len(violations)} violation(s))")
+                return 1
+            print(f"{label}: all invariants held")
         else:
             print(RUNNERS[name](args.quick))
         print(f"\n[{name} took {time.time() - start:.1f}s]")

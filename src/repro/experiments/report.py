@@ -78,13 +78,17 @@ def _section_specs(quick: bool) -> List[tuple]:
 
 
 def generate(path: str = "REPORT.md", *, quick: bool = True,
-             jobs: int = 1, cache=None) -> str:
+             jobs: int = 1, cache=None, checkpoint=None,
+             resume: bool = False, timeout_s=None,
+             retries: int = 2) -> str:
     """Run every experiment and write a markdown report; returns path.
 
     ``jobs > 1`` fans the underlying simulation points out across a
     process pool; ``cache`` (a ``repro.runner.cache.ResultCache``)
-    reuses previously computed points. Both are output-invariant: the
-    written file is byte-identical to the default serial run.
+    reuses previously computed points. ``checkpoint``/``resume`` journal
+    per-point progress so an interrupted generation can be resumed (see
+    ``repro.recovery.checkpoint``). All of these are output-invariant:
+    the written file is byte-identical to the default serial run.
     """
     from repro.runner import registry
     from repro.runner.pool import run_points, summary
@@ -92,7 +96,10 @@ def generate(path: str = "REPORT.md", *, quick: bool = True,
     section_specs = _section_specs(quick)
     flat = [spec for _title, _name, specs in section_specs
             for spec in specs]
-    flat_results, stats = run_points(flat, jobs=jobs, cache=cache)
+    flat_results, stats = run_points(flat, jobs=jobs, cache=cache,
+                                     checkpoint=checkpoint,
+                                     resume=resume, timeout_s=timeout_s,
+                                     retries=retries)
 
     sections = []
     cursor = 0
@@ -128,6 +135,6 @@ def generate(path: str = "REPORT.md", *, quick: bool = True,
         f"> full metadata: `{meta_path}`\n\n")
     with open(path, "w") as handle:
         handle.write(header + "\n".join(sections))
-    if jobs > 1 or cache is not None:
+    if jobs > 1 or cache is not None or stats.resumed:
         print(summary(stats))
     return path

@@ -18,6 +18,9 @@ paper's fault model promises survive any kill (§5.2.1, P1-P5):
   different live grant legitimately re-established the same edge (P1).
 * **A8 sanctioned crashes** — every crashed thread died of an exception
   class the caller declared survivable (kill unwinds, injected faults).
+* **A9 reclamation** — nothing of a dead process lingers: no live grant
+  touches its domains, no live thread's KCS still names it (the check
+  the supervisor also runs before spawning a replacement).
 
 ``audit()`` returns the violations as strings; ``assert_clean()`` wraps
 them in a single :class:`InvariantViolation`.
@@ -49,6 +52,7 @@ class InvariantAuditor:
         self._check_threads(violations)
         self._check_grants(violations)
         self._check_crashes(violations)
+        self._check_reclamation(violations)
         return violations
 
     def assert_clean(self) -> None:
@@ -134,3 +138,13 @@ class InvariantAuditor:
             out.append(
                 f"A8: {thread.name} crashed with unsanctioned "
                 f"{type(exc).__name__}: {exc}")
+
+    def _check_reclamation(self, out: List[str]) -> None:
+        # local import: repro.recovery.audit is standalone, but keep the
+        # fault package importable without the recovery package loaded
+        from repro.recovery.audit import reclamation_violations
+        for process in self.kernel.processes:
+            if process.alive:
+                continue
+            out.extend(f"A9: {violation}" for violation in
+                       reclamation_violations(self.kernel, process))

@@ -83,13 +83,17 @@ class FaultInjector:
     # -- actions ----------------------------------------------------------------
 
     def _do_kill_process(self, rule: FaultRule) -> str:
+        # a supervised pool rebuild spawns a *new* process under the old
+        # name, so kill the first still-alive match rather than giving
+        # up on the first (possibly long-dead) one
+        matched = False
         for process in self.kernel.processes:
             if process.name == rule.target:
-                if not process.alive:
-                    return "already-dead"
-                self.kernel.kill_process(process)
-                return "killed"
-        return "no-such-process"
+                matched = True
+                if process.alive:
+                    self.kernel.kill_process(process)
+                    return "killed"
+        return "already-dead" if matched else "no-such-process"
 
     def _do_crash_thread(self, rule: FaultRule) -> str:
         matches = []

@@ -88,6 +88,31 @@ class ChaosSession:
         injector.arm()
         self.injectors.append(injector)
 
+    # -- post-run audit ----------------------------------------------------
+
+    def audit_kernels(self) -> List[str]:
+        """Drain and audit every stormed kernel; returns violations.
+
+        Run by the CLI after the workload finishes: kill whatever is
+        still alive, let the unwind machinery settle, then sweep each
+        kernel with the full A1–A9 auditor so ``--chaos`` runs can
+        actually fail on an invariant breach.
+        """
+        from repro.fault.auditor import InvariantAuditor
+        from repro.fault.chaos import ALLOWED_CRASHES
+        violations: List[str] = []
+        for index, injector in enumerate(self.injectors):
+            kernel = injector.kernel
+            for process in list(kernel.processes):
+                if process.alive:
+                    kernel.kill_process(process)
+            kernel.run_all()
+            auditor = InvariantAuditor(kernel,
+                                       allowed_crashes=ALLOWED_CRASHES)
+            violations.extend(f"kernel {index}: {violation}"
+                              for violation in auditor.audit())
+        return violations
+
     # -- results -----------------------------------------------------------
 
     @property

@@ -136,6 +136,10 @@ class Kernel:
             # cannot be unwound a second time
             for thread in self.dipc.threads_visiting(process):
                 self.dipc.unwind_on_kill(thread, process)
+            # revoke every grant into or out of the victim's domains so
+            # a replacement process can never be reached through a stale
+            # APL edge (A9: no dangling resources after death)
+            self.dipc.reclaim_process(process)
         for hook in list(self._kill_hooks):
             hook(process)
 
@@ -164,6 +168,7 @@ class Kernel:
             process.space = AddressSpace(self.shared_table)
             process.uses_shared_table = True
             process.default_tag = self.tags.alloc()
+            process.domain_tags.add(process.default_tag)
             process.dipc_enabled = True
         return process
 

@@ -36,6 +36,10 @@ class Process:
         self.uses_shared_table = shared_table
         #: CODOMs tag of the process's default domain (dIPC processes only)
         self.default_tag = default_tag
+        #: every CODOMs tag this process owns (default + dom_create), so
+        #: the kill path and the A9 reclamation audit can find all grants
+        #: touching a dead process's domains
+        self.domain_tags = set() if default_tag is None else {default_tag}
         self.fdtable = FDTable()
         self.threads: List = []
         self.alive = True

@@ -78,6 +78,13 @@ class LoadParams:
     #: raise the first client/worker crash (off for fault tests, which
     #: inspect crashes deliberately)
     check: bool = True
+    #: supervise the server pool: crashed workers are respawned after a
+    #: seeded backoff, a killed server process is rebuilt (forced on
+    #: while a RecoverySession is active)
+    supervise: bool = False
+    #: arm per-shard circuit breakers around ``transport.call`` (forced
+    #: on while a RecoverySession is active)
+    breaker: bool = False
 
 
 @dataclass
@@ -104,6 +111,10 @@ class LoadResult:
     peak_backlog: int
     backlog_at_end: int
     worker_crashes: int
+    worker_restarts: int = 0
+    pool_rebuilds: int = 0
+    breaker_fast_fails: int = 0
+    reclamation_violations: int = 0
 
     def to_point(self) -> dict:
         """JSON-safe dict for the parallel runner / result cache."""
@@ -128,6 +139,10 @@ class LoadResult:
             "peak_backlog": self.peak_backlog,
             "backlog_at_end": self.backlog_at_end,
             "worker_crashes": self.worker_crashes,
+            "worker_restarts": self.worker_restarts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "breaker_fast_fails": self.breaker_fast_fails,
+            "reclamation_violations": self.reclamation_violations,
         }
 
 
@@ -166,11 +181,33 @@ def run_load_point(params: LoadParams, *,
         raise ValueError("n_conns/queue_depth * req_size must stay "
                          "under half the pipe buffer")
 
+    from repro.recovery.session import RecoverySession
+    session = RecoverySession.current()
+    supervise = params.supervise or session is not None
+    use_breaker = params.breaker or session is not None
+
     kernel = Kernel(num_cpus=params.num_cpus)
     if keep_kernel is not None:
         keep_kernel.append(kernel)
     transport = make_transport(params)
+    supervisor = None
+    if supervise:
+        from repro.recovery.supervisor import Supervisor
+        supervisor = Supervisor(
+            kernel, policy=session.policy if session else None,
+            seed=params.seed, name=params.primitive)
+        transport.supervisor = supervisor
     transport.build(kernel)
+    if supervisor is not None:
+        supervisor.watch_pool(lambda: transport.server_proc,
+                              transport.rebuild_pool)
+    if use_breaker:
+        transport.arm_breakers()
+    if session is not None:
+        session.register(supervisor, transport)
+    # resolve once: the breakerless path keeps the pre-recovery call
+    # chain (no wrapper generator on the hot path)
+    issue = transport.request if use_breaker else transport.call
     run = _LoadRun()
     limit = params.max_requests_per_client
 
@@ -217,7 +254,7 @@ def run_load_point(params: LoadParams, *,
                 return
             cid, arrival, measured = item
             try:
-                yield from transport.call(t, cid)
+                yield from issue(t, cid)
                 if measured:
                     run.completed += 1
                     run.hist.add(t.now() - arrival)
@@ -242,7 +279,7 @@ def run_load_point(params: LoadParams, *,
                     if measured:
                         run.shed += 1
                     continue
-                yield from transport.call(t, cid)
+                yield from issue(t, cid)
                 if measured:
                     run.completed += 1
                     run.hist.add(t.now() - arrival)
@@ -281,9 +318,14 @@ def run_load_point(params: LoadParams, *,
 
     kernel.engine.post(params.warmup_ns, start_measuring)
     kernel.engine.post(end_ns, stop_measuring)
+    if supervisor is not None:
+        # stand the supervisor down when the window closes so drain-mode
+        # runs are not kept alive by watchdog heartbeats
+        kernel.engine.post(end_ns, supervisor.stop)
     kernel.run(until_ns=None if params.drain else end_ns)
     from repro.fault.session import ChaosSession
-    if params.check and ChaosSession.current() is None:
+    if (params.check and ChaosSession.current() is None
+            and session is None):
         kernel.check()
 
     machine.flush_idle()
@@ -312,4 +354,12 @@ def run_load_point(params: LoadParams, *,
         cpu_busy_fraction=1.0 - modes["idle"] / total,
         peak_backlog=peak_backlog,
         backlog_at_end=backlog_at_end,
-        worker_crashes=len(kernel.crashed_threads))
+        worker_crashes=len(kernel.crashed_threads),
+        worker_restarts=(supervisor.worker_restarts
+                         if supervisor is not None else 0),
+        pool_rebuilds=(supervisor.pool_rebuilds
+                       if supervisor is not None else 0),
+        breaker_fast_fails=sum(b.fast_fails
+                               for b in transport.breakers),
+        reclamation_violations=(len(supervisor.audit_violations)
+                                if supervisor is not None else 0))

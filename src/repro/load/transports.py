@@ -30,16 +30,30 @@ hooks that unhook the timed-out client from the transport's wait
 queues), sockets and RPC use their native receive timeouts, and a dIPC
 callee death unwinds the caller synchronously with
 :class:`repro.errors.RemoteFault`.
+
+Recovery (``supervise=True`` / ``breaker=True`` in the params): every
+transport can *rebuild* — respawn a crashed worker into the live pool
+(``respawn_worker``) or stand up a whole replacement pool after the
+server process is killed (``rebuild_pool``: fresh process, fresh
+endpoints, fresh workers, re-adopted by the supervisor). Endpoint names
+are stable across rebuilds (socket paths rebind over the reset
+tombstone, pipe/L4 shards are re-read from the transport on every
+call), so clients need no reconfiguration. ``request`` wraps ``call``
+with a per-shard :class:`~repro.recovery.breaker.CircuitBreaker` so
+callers fast-fail with :class:`BreakerOpen` while their shard is down
+instead of burning deadline budget on a corpse.
 """
 
 from __future__ import annotations
 
-from repro.errors import KernelError, PeerResetError
+from repro.errors import (DipcError, KernelError, PeerResetError,
+                          ProtectionFault)
 from repro.ipc.l4 import L4Endpoint
 from repro.ipc.pipe import Pipe
 from repro.ipc.rpc import RpcClient, RpcServer
 from repro.ipc.unixsocket import SocketNamespace
 from repro.load.queueing import with_deadline
+from repro.recovery.breaker import BreakerOpen, CircuitBreaker
 
 SERVER_PROCESS = "load-server"
 CLIENT_PROCESS = "load-clients"
@@ -48,6 +62,9 @@ WORKER_PREFIX = "load-server/w"
 #: acknowledgement size for the reply leg, bytes
 REPLY_SIZE = 64
 
+#: per-request failures a breaker counts (mirrors LOAD_SURVIVABLE)
+_SURVIVABLE = (KernelError, DipcError, ProtectionFault)
+
 
 class Transport:
     """Base class: build the server pool, then serve ``call``s."""
@@ -55,11 +72,19 @@ class Transport:
     name = ""
     #: False for dIPC, which has no service threads to kill
     has_worker_threads = True
+    #: True when clients are statically sharded over per-worker
+    #: endpoints (pipe, l4): one breaker per shard; else one per pool
+    sharded_endpoints = False
 
     def __init__(self, params):
         self.params = params
+        self.kernel = None
         self.server_proc = None
         self.client_proc = None
+        #: set by the harness before ``build`` when supervision is on
+        self.supervisor = None
+        self.breakers = []
+        self.worker_threads = {}
 
     def build(self, kernel) -> None:
         raise NotImplementedError
@@ -67,27 +92,106 @@ class Transport:
     def call(self, thread, client_id: int):
         raise NotImplementedError
 
-    def _spawn_worker(self, kernel, body, index: int) -> None:
-        kernel.spawn(self.server_proc, body,
-                     name=f"{WORKER_PREFIX}{index}")
+    def worker_body(self, index: int):
+        """The body for worker ``index``, bound to the *current*
+        endpoints — a respawn after a pool rebuild serves the rebuilt
+        endpoints, not the corpse's."""
+        raise NotImplementedError
+
+    # -- pool lifecycle ----------------------------------------------------
+
+    def _spawn_worker(self, kernel, index: int):
+        thread = kernel.spawn(self.server_proc, self.worker_body(index),
+                              name=f"{WORKER_PREFIX}{index}")
+        self.worker_threads[index] = thread
+        if self.supervisor is not None:
+            self.supervisor.adopt(
+                f"w{index}", thread,
+                lambda index=index: self.respawn_worker(index))
+        return thread
+
+    def _spawn_pool(self, kernel) -> None:
+        for w in range(self.params.n_workers):
+            self._spawn_worker(kernel, w)
+
+    def respawn_worker(self, index: int):
+        """Supervisor hook: replace one dead worker in the live pool."""
+        return self._spawn_worker(self.kernel, index)
+
+    def rebuild_pool(self) -> None:
+        """Supervisor hook: replace a killed server process outright."""
+        raise NotImplementedError
+
+    # -- circuit breakers --------------------------------------------------
+
+    def arm_breakers(self) -> None:
+        """One breaker per endpoint shard (called by the harness)."""
+        p = self.params
+        shards = (p.n_workers
+                  if self.sharded_endpoints and self.has_worker_threads
+                  else 1)
+
+        def emit(breaker, now_ns, old, new):
+            tracer = self.kernel.tracer
+            if tracer.enabled:
+                tracer.instant(f"breaker:{new}", "recovery",
+                               track="recovery",
+                               args={"breaker": breaker.name,
+                                     "from": old, "to": new})
+
+        self.breakers = [
+            CircuitBreaker(f"{self.name}/{shard}",
+                           recovery_ns=max(p.deadline_ns, 1_000.0),
+                           on_transition=emit)
+            for shard in range(shards)]
+
+    def request(self, thread, client_id: int):
+        """Sub-generator: one ``call`` guarded by the shard's breaker.
+
+        Without armed breakers this is exactly ``call``. With them, an
+        open breaker fast-fails with :class:`BreakerOpen` (a survivable
+        kernel error), and every survivable failure/success feeds the
+        breaker state machine.
+        """
+        if not self.breakers:
+            return (yield from self.call(thread, client_id))
+        breaker = self.breakers[client_id % len(self.breakers)]
+        if not breaker.allow(thread.now()):
+            raise BreakerOpen(
+                f"breaker {breaker.name} open: server presumed down")
+        try:
+            result = yield from self.call(thread, client_id)
+        except _SURVIVABLE:
+            breaker.record_failure(thread.now())
+            raise
+        breaker.record_success(thread.now())
+        return result
 
 
 class PipeTransport(Transport):
     name = "pipe"
+    sharded_endpoints = True
 
     def build(self, kernel) -> None:
-        p = self.params
         self.kernel = kernel
         self.server_proc = kernel.spawn_process(SERVER_PROCESS)
         self.client_proc = kernel.spawn_process(CLIENT_PROCESS)
+        self._make_endpoints()
+        self._spawn_pool(kernel)
+
+    def _make_endpoints(self) -> None:
         self.req_pipes = []
-        for _w in range(p.n_workers):
-            pipe = Pipe(kernel)
+        for _w in range(self.params.n_workers):
+            pipe = Pipe(self.kernel)
             pipe.bind_endpoints(writer=self.client_proc,
                                 reader=self.server_proc)
             self.req_pipes.append(pipe)
 
-        def worker(t, req_pipe):
+    def worker_body(self, index: int):
+        p = self.params
+        req_pipe = self.req_pipes[index]
+
+        def worker(t):
             while True:
                 try:
                     reply_pipe = yield from req_pipe.read(t)
@@ -102,9 +206,12 @@ class PipeTransport(Transport):
                 except KernelError:
                     continue          # this client died: drop the reply
 
-        for w, req_pipe in enumerate(self.req_pipes):
-            self._spawn_worker(kernel,
-                               lambda t, rp=req_pipe: worker(t, rp), w)
+        return worker
+
+    def rebuild_pool(self) -> None:
+        self.server_proc = self.kernel.spawn_process(SERVER_PROCESS)
+        self._make_endpoints()
+        self._spawn_pool(self.kernel)
 
     def call(self, thread, client_id: int):
         p = self.params
@@ -142,37 +249,52 @@ class SocketTransport(Transport):
 
     def build(self, kernel) -> None:
         p = self.params
+        self.kernel = kernel
+        self.ns = SocketNamespace()
         self.server_proc = kernel.spawn_process(SERVER_PROCESS)
         self.client_proc = kernel.spawn_process(CLIENT_PROCESS)
-        ns = SocketNamespace()
-        self.req_sock = ns.socket(kernel)
-        self.req_sock.bind(self.REQ_PATH)
-        self.req_sock.bind_owner(self.server_proc)
+        self._bind_request_sock()
         self.reply_socks = []
         for c in range(p.n_clients):
-            sock = ns.socket(kernel)
+            sock = self.ns.socket(kernel)
             sock.bind(f"/load/reply{c}")
             sock.bind_owner(self.client_proc)
             self.reply_socks.append(sock)
+        self._spawn_pool(kernel)
+
+    def _bind_request_sock(self) -> None:
+        # on a rebuild this re-binds over the dead socket's tombstone,
+        # so the well-known path now reaches the replacement pool
+        self.req_sock = self.ns.socket(self.kernel)
+        self.req_sock.bind(self.REQ_PATH)
+        self.req_sock.bind_owner(self.server_proc)
+
+    def worker_body(self, index: int):
+        p = self.params
+        req_sock = self.req_sock
 
         def worker(t):
             while True:
                 try:
-                    request, _ = yield from self.req_sock.recvfrom(t)
+                    request, _ = yield from req_sock.recvfrom(t)
                 except KernelError:
                     return            # socket reset: server killed
                 if request is None:
                     return
                 yield t.compute(p.service_ns)
                 try:
-                    yield from self.req_sock.sendto(
+                    yield from req_sock.sendto(
                         t, f"/load/reply{request}", REPLY_SIZE,
                         payload="ok")
                 except KernelError:
                     continue          # client gone or its buffer full
 
-        for w in range(p.n_workers):
-            self._spawn_worker(kernel, worker, w)
+        return worker
+
+    def rebuild_pool(self) -> None:
+        self.server_proc = self.kernel.spawn_process(SERVER_PROCESS)
+        self._bind_request_sock()
+        self._spawn_pool(self.kernel)
 
     def call(self, thread, client_id: int):
         p = self.params
@@ -192,12 +314,17 @@ class RpcTransport(Transport):
     RPC_PATH = "/load/rpc"
 
     def build(self, kernel) -> None:
-        p = self.params
         self.kernel = kernel
         self.namespace = SocketNamespace()
         self.server_proc = kernel.spawn_process(SERVER_PROCESS)
         self.client_proc = kernel.spawn_process(CLIENT_PROCESS)
-        self.server = RpcServer(kernel, self.server_proc,
+        self._bind_server()
+        self._spawn_pool(kernel)
+        self._handle_seq = 0
+
+    def _bind_server(self) -> None:
+        p = self.params
+        self.server = RpcServer(self.kernel, self.server_proc,
                                 self.namespace, self.RPC_PATH)
 
         def handler(t, _args):
@@ -205,9 +332,15 @@ class RpcTransport(Transport):
             return REPLY_SIZE, "ok"
 
         self.server.register("work", handler)
-        for w in range(p.n_workers):
-            self._spawn_worker(kernel, self.server.serve_loop, w)
-        self._handle_seq = 0
+
+    def worker_body(self, index: int):
+        server = self.server
+        return lambda t: server.serve_loop(t)
+
+    def rebuild_pool(self) -> None:
+        self.server_proc = self.kernel.spawn_process(SERVER_PROCESS)
+        self._bind_server()
+        self._spawn_pool(self.kernel)
 
     def call(self, thread, client_id: int):
         # a fresh client handle (own reply socket) per request: one
@@ -224,27 +357,39 @@ class RpcTransport(Transport):
 
 class L4Transport(Transport):
     name = "l4"
+    sharded_endpoints = True
 
     def build(self, kernel) -> None:
-        p = self.params
+        self.kernel = kernel
         self.server_proc = kernel.spawn_process(SERVER_PROCESS)
         self.client_proc = kernel.spawn_process(CLIENT_PROCESS)
+        self._make_endpoints()
+        self._spawn_pool(kernel)
+
+    def _make_endpoints(self) -> None:
         self.endpoints = []
-        for _w in range(p.n_workers):
-            endpoint = L4Endpoint(kernel)
+        for _w in range(self.params.n_workers):
+            endpoint = L4Endpoint(self.kernel)
             endpoint.bind_owner(self.server_proc)
             self.endpoints.append(endpoint)
 
-        def worker(t, endpoint):
+    def worker_body(self, index: int):
+        p = self.params
+        endpoint = self.endpoints[index]
+
+        def worker(t):
             caller, _message = yield from endpoint.wait(t)
             while True:
                 yield t.compute(p.service_ns)
                 caller, _message = yield from endpoint.reply_and_wait(
                     t, caller, "ok")
 
-        for w, endpoint in enumerate(self.endpoints):
-            self._spawn_worker(kernel,
-                               lambda t, ep=endpoint: worker(t, ep), w)
+        return worker
+
+    def rebuild_pool(self) -> None:
+        self.server_proc = self.kernel.spawn_process(SERVER_PROCESS)
+        self._make_endpoints()
+        self._spawn_pool(self.kernel)
 
     def call(self, thread, client_id: int):
         p = self.params
@@ -268,13 +413,19 @@ class DipcTransport(Transport):
 
     def build(self, kernel) -> None:
         from repro.core.api import DipcManager
+
+        self.kernel = kernel
+        self.manager = DipcManager(kernel)
+        self.server_proc = kernel.spawn_process(SERVER_PROCESS, dipc=True)
+        self.client_proc = kernel.spawn_process(CLIENT_PROCESS, dipc=True)
+        self._register()
+
+    def _register(self) -> None:
         from repro.core.objects import EntryDescriptor, Signature
         from repro.core.policies import IsolationPolicy
 
         p = self.params
-        manager = DipcManager(kernel)
-        self.server_proc = kernel.spawn_process(SERVER_PROCESS, dipc=True)
-        self.client_proc = kernel.spawn_process(CLIENT_PROCESS, dipc=True)
+        manager = self.manager
 
         def serve(t, _request):
             yield t.compute(p.service_ns)
@@ -300,8 +451,15 @@ class DipcTransport(Transport):
                                           request)
         manager.grant_create(manager.dom_default(self.client_proc),
                              handle)
-        self.manager = manager
         self.address = request[0].address
+
+    def rebuild_pool(self) -> None:
+        # a fresh server process re-exports the entry; the kill path
+        # already revoked every grant touching the corpse (A9), so the
+        # client re-imports and re-grants from scratch at a new address
+        self.server_proc = self.kernel.spawn_process(SERVER_PROCESS,
+                                                     dipc=True)
+        self._register()
 
     def call(self, thread, client_id: int):
         return self.manager.call(thread, self.address, client_id)

@@ -1,0 +1,33 @@
+"""Supervision & crash-recovery: restart what dies, resume what crashed.
+
+Three layers, one theme — the simulation, the transports, and the sweep
+runner each move from fail-detect to fail-recover:
+
+* :mod:`repro.recovery.supervisor` — restart policies, backoff,
+  watchdog heartbeats, pool rebuilds with a pre-spawn reclamation audit;
+* :mod:`repro.recovery.breaker` — per-endpoint circuit breakers so
+  callers fast-fail while a server is down;
+* :mod:`repro.recovery.checkpoint` — the append-only journal behind
+  ``run <fig> --resume``;
+* :mod:`repro.recovery.audit` — the A9 "no dangling resources after
+  death" check shared with the fault auditor;
+* :mod:`repro.recovery.session` — the CLI-facing session that flips
+  load points into supervised mode.
+"""
+
+from repro.recovery.audit import (ReclamationAudit, domain_tags_of,
+                                  reclamation_violations)
+from repro.recovery.breaker import (CLOSED, HALF_OPEN, OPEN, BreakerOpen,
+                                    CircuitBreaker)
+from repro.recovery.checkpoint import JOURNAL_VERSION, CheckpointJournal
+from repro.recovery.session import RecoverySession
+from repro.recovery.supervisor import (ONE_FOR_ALL, ONE_FOR_ONE,
+                                       RestartPolicy, Supervisor)
+
+__all__ = [
+    "ReclamationAudit", "domain_tags_of", "reclamation_violations",
+    "CLOSED", "HALF_OPEN", "OPEN", "BreakerOpen", "CircuitBreaker",
+    "JOURNAL_VERSION", "CheckpointJournal",
+    "RecoverySession",
+    "ONE_FOR_ALL", "ONE_FOR_ONE", "RestartPolicy", "Supervisor",
+]

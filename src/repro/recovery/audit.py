@@ -1,0 +1,89 @@
+"""Post-death reclamation audit: nothing of the dead may linger.
+
+The paper's P1 ("protection domains are isolated by default") only
+holds across a process death if the kill path actually *reclaims* the
+dead process's reach: every grant into or out of its domains must be
+revoked — otherwise a replacement process reusing the same service
+role could be reached through a stale CALL edge, the exact leak the
+OS-level IPC-confinement literature warns endpoint rebinding about —
+and no live thread may still carry a KCS frame naming the dead process
+once unwinding settles.
+
+:func:`reclamation_violations` checks exactly that for one dead
+process; the :class:`~repro.fault.auditor.InvariantAuditor` folds it in
+as check **A9** over every dead process, and the
+:class:`~repro.recovery.supervisor.Supervisor` runs it after each pool
+death *before* spawning the replacement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.errors import InvariantViolation
+
+
+def domain_tags_of(process) -> Set[int]:
+    """Every CODOMs tag the process ever owned (default + dom_create)."""
+    tags = set(getattr(process, "domain_tags", ()) or ())
+    if process.default_tag is not None:
+        tags.add(process.default_tag)
+    return tags
+
+
+def reclamation_violations(kernel, process) -> List[str]:
+    """Dangling resources of one *dead* process, as violation strings.
+
+    * a live (unrevoked) grant whose source or destination domain
+      belongs to the dead process — its APL edge would let a stale
+      caller reach (or impersonate) a future replacement;
+    * a KCS frame on a live thread that still names the dead process as
+      caller or callee — the §5.2.1 unwind machinery missed it.
+    """
+    violations: List[str] = []
+    tags = domain_tags_of(process)
+    dipc = kernel.dipc
+    if dipc is not None and tags:
+        for grant in dipc.grants:
+            if grant.revoked:
+                continue
+            if grant.src_tag in tags or grant.dst_tag in tags:
+                violations.append(
+                    f"grant {grant.src_tag}->{grant.dst_tag} touching "
+                    f"dead process {process.name} not revoked")
+    for owner in kernel.processes:
+        for thread in owner.threads:
+            if thread.is_done or thread.kcs is None:
+                continue
+            for frame in thread.kcs.frames():
+                if (frame.caller_process is process
+                        or frame.callee_process is process):
+                    violations.append(
+                        f"KCS frame on live thread {thread.name} still "
+                        f"references dead process {process.name}")
+    return violations
+
+
+class ReclamationAudit:
+    """Sweep one kernel for dangling resources of dead processes."""
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+
+    def audit(self, process=None) -> List[str]:
+        """Violations for ``process``, or for every dead process."""
+        if process is not None:
+            return reclamation_violations(self.kernel, process)
+        violations: List[str] = []
+        for candidate in self.kernel.processes:
+            if not candidate.alive:
+                violations.extend(
+                    reclamation_violations(self.kernel, candidate))
+        return violations
+
+    def assert_clean(self, process=None) -> None:
+        violations = self.audit(process)
+        if violations:
+            raise InvariantViolation(
+                f"{len(violations)} reclamation violation(s):\n  "
+                + "\n  ".join(violations))

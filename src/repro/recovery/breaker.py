@@ -1,0 +1,127 @@
+"""Per-endpoint circuit breakers for the load transports.
+
+A :class:`CircuitBreaker` guards one server endpoint (a pipe shard, a
+shared request socket, a dIPC entry address) with the classic
+three-state machine, driven entirely by *simulated* time so breaker
+behaviour is as deterministic as everything else in the harness:
+
+* **closed** — requests pass through; ``failure_threshold``
+  *consecutive* survivable failures trip the breaker;
+* **open** — requests fast-fail with :class:`BreakerOpen` (no deadline
+  budget burned on a dead server) until ``recovery_ns`` of simulated
+  time has passed since the trip;
+* **half-open** — up to ``half_open_probes`` trial requests are let
+  through; the first success closes the breaker, a failure re-opens it
+  and restarts the recovery clock.
+
+Every transition is appended to :attr:`transitions` (and, when tracing
+is on, emitted as an instant on the ``recovery`` track via the
+transport's ``on_transition`` hook), so two same-seed runs produce
+byte-identical breaker logs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import KernelError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class BreakerOpen(KernelError):
+    """Fast-fail: the endpoint's breaker is open (server presumed dead).
+
+    A :class:`~repro.errors.KernelError` subclass so load runners treat
+    it as one more survivable per-request failure (``LOAD_SURVIVABLE``).
+    """
+
+
+class CircuitBreaker:
+    """closed → open → half-open breaker over simulated time."""
+
+    def __init__(self, name: str, *, failure_threshold: int = 4,
+                 recovery_ns: float = 30_000.0,
+                 half_open_probes: int = 1,
+                 on_transition: Optional[Callable[["CircuitBreaker",
+                                                   float, str, str],
+                                                  None]] = None):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if recovery_ns <= 0:
+            raise ValueError("recovery_ns must be positive")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_ns = recovery_ns
+        self.half_open_probes = half_open_probes
+        self.on_transition = on_transition
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_ns = 0.0
+        self.probes_in_flight = 0
+        #: requests rejected without touching the transport
+        self.fast_fails = 0
+        #: (time_ns, from_state, to_state), in occurrence order
+        self.transitions: List[Tuple[float, str, str]] = []
+
+    # -- state machine -----------------------------------------------------
+
+    def _transition(self, now_ns: float, new_state: str) -> None:
+        old = self.state
+        self.state = new_state
+        self.transitions.append((now_ns, old, new_state))
+        if self.on_transition is not None:
+            self.on_transition(self, now_ns, old, new_state)
+
+    def allow(self, now_ns: float) -> bool:
+        """May a request go through right now? False = fast-fail."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now_ns - self.opened_at_ns >= self.recovery_ns:
+                self._transition(now_ns, HALF_OPEN)
+                self.probes_in_flight = 1
+                return True
+            self.fast_fails += 1
+            return False
+        # HALF_OPEN: admit a bounded number of trial requests
+        if self.probes_in_flight < self.half_open_probes:
+            self.probes_in_flight += 1
+            return True
+        self.fast_fails += 1
+        return False
+
+    def record_success(self, now_ns: float) -> None:
+        self.consecutive_failures = 0
+        if self.state == HALF_OPEN:
+            self.probes_in_flight = 0
+            self._transition(now_ns, CLOSED)
+
+    def record_failure(self, now_ns: float) -> None:
+        if self.state == HALF_OPEN:
+            # the probe failed: back to open, restart the recovery clock
+            self.probes_in_flight = 0
+            self.opened_at_ns = now_ns
+            self._transition(now_ns, OPEN)
+            return
+        self.consecutive_failures += 1
+        if (self.state == CLOSED
+                and self.consecutive_failures >= self.failure_threshold):
+            self.opened_at_ns = now_ns
+            self._transition(now_ns, OPEN)
+
+    # -- reporting ---------------------------------------------------------
+
+    def log_lines(self) -> List[str]:
+        """Deterministic transition log (for byte-compare tests)."""
+        return [f"[{t:12.0f}ns] breaker {self.name}: {old} -> {new}"
+                for t, old, new in self.transitions]
+
+    def __repr__(self) -> str:
+        return (f"<CircuitBreaker {self.name} {self.state} "
+                f"fails={self.consecutive_failures} "
+                f"fast_fails={self.fast_fails}>")

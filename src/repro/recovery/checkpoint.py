@@ -1,0 +1,131 @@
+"""Crash-safe sweep checkpoints: a per-point append-only journal.
+
+The parallel runner journals every completed point to
+``.repro-cache/checkpoint-<spec-hash>.jsonl`` the moment it finishes
+(one fsynced JSON line per point), so a sweep interrupted by SIGINT, an
+OOM-killed pool worker or a crashed parent can be restarted with
+``--resume`` and recompute *only* the unfinished points — the merged
+output stays byte-identical because journaled results round-trip
+through the same canonical JSON the result cache uses.
+
+``<spec-hash>`` digests the cache version, the cost-constants hash, the
+package source fingerprint and every spec payload in order, so a
+journal can never be replayed against a different sweep, different
+code, or a recalibrated cost model: ``--resume`` after any such change
+simply finds no journal and recomputes everything.
+
+A torn tail line (the process died mid-write) is tolerated on load —
+that point is just recomputed. The journal is deleted when the sweep
+completes, so a successful run leaves nothing behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict, Optional, Sequence
+
+#: bump on any journal layout change to orphan old checkpoint files
+JOURNAL_VERSION = 1
+
+
+class CheckpointJournal:
+    """Append-only ``{"i": index, "result": ...}`` line journal."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def for_specs(cls, root: str, specs: Sequence,
+                  *, costs=None) -> "CheckpointJournal":
+        """The journal file for this exact sweep of this exact tree."""
+        from repro.runner.cache import CACHE_VERSION, package_fingerprint
+        from repro.trace.meta import constants_hash
+        digest = hashlib.sha256()
+        digest.update(f"j{JOURNAL_VERSION}/v{CACHE_VERSION}\n".encode())
+        digest.update(constants_hash(costs).encode())
+        digest.update(package_fingerprint().encode())
+        for spec in specs:
+            digest.update(b"\n")
+            digest.update(spec.payload().encode())
+        name = f"checkpoint-{digest.hexdigest()[:16]}.jsonl"
+        return cls(os.path.join(root, name))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def load(self) -> Dict[int, Any]:
+        """Previously journaled results, ``{spec index: result}``.
+
+        Corrupt lines are skipped: a torn tail is the expected shape of
+        an interrupt, and a skipped line only costs one recompute.
+        """
+        recovered: Dict[int, Any] = {}
+        try:
+            with open(self.path) as handle:
+                text = handle.read()
+        except OSError:
+            return recovered
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+                index = entry["i"]
+                result = entry["result"]
+            except (ValueError, KeyError, TypeError):
+                continue  # torn or corrupt line: recompute that point
+            if isinstance(index, int) and index >= 0:
+                recovered[index] = result
+        return recovered
+
+    def start(self, *, resume: bool) -> Dict[int, Any]:
+        """Open for appending; returns prior results when resuming.
+
+        Without ``resume`` any stale journal is discarded first, so an
+        abandoned interrupt can never leak results into a fresh sweep.
+        """
+        recovered = self.load() if resume else {}
+        if not resume:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        self._fh = open(self.path, "a")
+        return recovered
+
+    def record(self, index: int, result: Any) -> None:
+        """Append one completed point; flushed and fsynced immediately
+        (points cost seconds of simulation — one fsync is noise)."""
+        if self._fh is None:
+            raise RuntimeError("journal not started")
+        line = json.dumps({"i": index, "result": result},
+                          sort_keys=True, separators=(",", ":"))
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Stop journaling but keep the file (the --resume handle)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def complete(self) -> None:
+        """The sweep finished: a journal would only mask future bugs."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    @property
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def __repr__(self) -> str:
+        return f"<CheckpointJournal {self.path}>"

@@ -1,0 +1,400 @@
+"""Supervision trees for simulated server pools.
+
+A :class:`Supervisor` owns a pool of worker threads (its *children*)
+plus, optionally, the server process they live in, and restarts
+whatever dies — turning the fault model from *fail-detect* (PR 2:
+killed workers stay dead and callers shed load) into *fail-recover*:
+
+* **one_for_one** — a crashed worker is respawned alone, after a
+  seeded exponential backoff with jitter; sibling workers keep serving;
+* **one_for_all** — any worker death tears down and respawns the whole
+  pool (kill the server process, audit, rebuild), for pools whose
+  workers share corrupted state;
+* **pool watch** — when the server *process* is killed (fault storm),
+  the supervisor schedules a full pool rebuild: fresh process, fresh
+  endpoints, fresh workers. Before the replacement spawns it runs the
+  :mod:`repro.recovery.audit` reclamation check on the corpse, so a
+  restart can never paper over leaked grants or un-unwound KCS frames;
+* **restart budget** — at most ``max_restarts`` restarts per child per
+  sliding ``window_ns``; exhausting the budget escalates (worker →
+  pool rebuild → give up), Erlang-style;
+* **watchdog** — a heartbeat every ``heartbeat_ns`` of simulated time
+  catches what event hooks can't: children that were already dead when
+  adopted, pools whose kill hook never fired, and scheduled restarts
+  that missed their deadline (those escalate).
+
+Everything is driven by the deterministic engine and a
+``random.Random`` seeded from the supervisor's seed, so two same-seed
+runs produce byte-identical event logs (:attr:`events`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.recovery.audit import reclamation_violations
+
+ONE_FOR_ONE = "one_for_one"
+ONE_FOR_ALL = "one_for_all"
+STRATEGIES = (ONE_FOR_ONE, ONE_FOR_ALL)
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Restart strategy + budget + backoff shape (all simulated-time)."""
+
+    strategy: str = ONE_FOR_ONE
+    #: restart budget per child within the sliding window
+    max_restarts: int = 10
+    window_ns: float = 1_000_000.0
+    backoff_base_ns: float = 2_000.0
+    backoff_factor: float = 2.0
+    backoff_cap_ns: float = 50_000.0
+    #: +/- fraction of jitter drawn from the supervisor's seeded RNG
+    jitter: float = 0.1
+    #: watchdog heartbeat period; 0 disables the watchdog
+    heartbeat_ns: float = 100_000.0
+    #: a scheduled restart not completed this long after its due time
+    #: is declared missed and escalated
+    restart_deadline_ns: float = 200_000.0
+
+    def __post_init__(self):
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {self.strategy!r} "
+                             f"(choose from {', '.join(STRATEGIES)})")
+        if self.max_restarts < 1:
+            raise ValueError("max_restarts must be >= 1")
+        if self.backoff_base_ns <= 0 or self.backoff_cap_ns <= 0:
+            raise ValueError("backoff must be positive")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+
+    def backoff_ns(self, attempt: int, rng: random.Random) -> float:
+        """Seeded exponential backoff with jitter for restart #attempt."""
+        delay = min(self.backoff_base_ns * self.backoff_factor ** attempt,
+                    self.backoff_cap_ns)
+        if self.jitter:
+            delay *= 1.0 + rng.uniform(-self.jitter, self.jitter)
+        return delay
+
+
+class _Child:
+    """One supervised worker slot (survives thread generations)."""
+
+    __slots__ = ("name", "thread", "respawn", "attempts",
+                 "restart_times", "pending", "due_ns", "timer")
+
+    def __init__(self, name, thread, respawn):
+        self.name = name
+        self.thread = thread
+        self.respawn = respawn
+        self.attempts = 0
+        self.restart_times = deque()
+        self.pending = False
+        self.due_ns = 0.0
+        self.timer = None
+
+
+class _PoolWatch:
+    """The supervised server process and how to rebuild it."""
+
+    __slots__ = ("get_process", "rebuild", "attempts", "rebuild_times",
+                 "pending", "due_ns", "timer")
+
+    def __init__(self, get_process, rebuild):
+        self.get_process = get_process
+        self.rebuild = rebuild
+        self.attempts = 0
+        self.rebuild_times = deque()
+        self.pending = False
+        self.due_ns = 0.0
+        self.timer = None
+
+
+class Supervisor:
+    """Restart supervised workers/pools of one kernel."""
+
+    def __init__(self, kernel, *, policy: Optional[RestartPolicy] = None,
+                 seed: int = 0, name: str = "pool"):
+        self.kernel = kernel
+        self.policy = policy if policy is not None else RestartPolicy()
+        self.name = name
+        self.rng = random.Random(seed * 60_013 + 17)
+        self.children: Dict[str, _Child] = {}
+        self.active = True
+        self.gave_up = False
+        self.events: List[str] = []
+        self.audit_violations: List[str] = []
+        self.worker_restarts = 0
+        self.pool_rebuilds = 0
+        self.escalations = 0
+        self._pool: Optional[_PoolWatch] = None
+        self._watchdog_timer = None
+        kernel.on_process_kill(self._on_process_kill)
+        if self.policy.heartbeat_ns > 0:
+            self._watchdog_timer = kernel.engine.post(
+                self.policy.heartbeat_ns, self._watchdog)
+
+    # -- wiring ------------------------------------------------------------
+
+    def adopt(self, name: str, thread,
+              respawn: Callable[[], object]) -> None:
+        """Supervise ``thread`` under slot ``name``; on death,
+        ``respawn()`` must spawn the replacement (re-adopting it) and
+        return the new thread. Re-adopting an existing slot just moves
+        it to the new thread generation."""
+        child = self.children.get(name)
+        if child is None:
+            child = _Child(name, thread, respawn)
+            self.children[name] = child
+        else:
+            child.thread = thread
+            child.respawn = respawn
+        thread.on_exit.append(
+            lambda t, c=child: self._child_exited(c, t))
+
+    def watch_pool(self, get_process: Callable[[], object],
+                   rebuild: Callable[[], None]) -> None:
+        """Supervise the server process itself: when the *current*
+        ``get_process()`` is killed, run the reclamation audit and then
+        ``rebuild()`` (fresh process + endpoints + workers)."""
+        self._pool = _PoolWatch(get_process, rebuild)
+
+    def stop(self) -> None:
+        """Stand down: cancel every pending timer so drain-mode runs
+        (and bounded windows) end with a quiet engine."""
+        self.active = False
+        engine = self.kernel.engine
+        if self._watchdog_timer is not None:
+            engine.cancel(self._watchdog_timer)
+            self._watchdog_timer = None
+        for child in self.children.values():
+            if child.timer is not None:
+                engine.cancel(child.timer)
+                child.timer = None
+            child.pending = False
+        if self._pool is not None and self._pool.timer is not None:
+            engine.cancel(self._pool.timer)
+            self._pool.timer = None
+            self._pool.pending = False
+
+    # -- event log ---------------------------------------------------------
+
+    def _log(self, text: str) -> None:
+        self.events.append(
+            f"[{self.kernel.engine.now():12.0f}ns] "
+            f"supervisor {self.name}: {text}")
+        tracer = self.kernel.tracer
+        if tracer.enabled:
+            tracer.instant("supervisor", "recovery", track="recovery",
+                           args={"pool": self.name, "event": text})
+
+    # -- death notifications -----------------------------------------------
+
+    def _child_exited(self, child: _Child, thread) -> None:
+        if not self.active or self.gave_up:
+            return
+        if thread is not child.thread:
+            return  # an older generation of this slot: already handled
+        if not thread.process.alive:
+            return  # process death: the pool watch owns recovery
+        if child.pending:
+            return
+        if self.policy.strategy == ONE_FOR_ALL and self._pool is not None:
+            self._log(f"{child.name} exited; one-for-all pool restart")
+            self._schedule_rebuild(f"{child.name} exited")
+        else:
+            self._schedule_restart(child, "exited")
+
+    def _on_process_kill(self, process) -> None:
+        if not self.active or self.gave_up or self._pool is None:
+            return
+        if process is not self._pool.get_process():
+            return
+        if not self._pool.pending:
+            self._schedule_rebuild("process killed")
+
+    # -- restart scheduling --------------------------------------------------
+
+    def _budget_exhausted(self, times: deque, now: float) -> bool:
+        while times and now - times[0] > self.policy.window_ns:
+            times.popleft()
+        return len(times) >= self.policy.max_restarts
+
+    def _schedule_restart(self, child: _Child, reason: str) -> None:
+        if child.pending or self.gave_up:
+            return
+        now = self.kernel.engine.now()
+        if self._budget_exhausted(child.restart_times, now):
+            self.escalations += 1
+            self._log(f"{child.name} restart budget exhausted "
+                      f"({self.policy.max_restarts} per "
+                      f"{self.policy.window_ns:.0f}ns); escalating")
+            if self._pool is not None:
+                self._schedule_rebuild(
+                    f"{child.name} budget exhausted")
+            else:
+                self.gave_up = True
+                self._log("giving up (no pool to rebuild)")
+            return
+        if not child.restart_times:
+            child.attempts = 0  # a quiet window resets the ladder
+        delay = self.policy.backoff_ns(child.attempts, self.rng)
+        child.attempts += 1
+        child.pending = True
+        child.due_ns = now + delay + self.policy.restart_deadline_ns
+        child.restart_times.append(now)
+        self._log(f"restart {child.name} attempt={child.attempts} "
+                  f"backoff={delay:.0f}ns ({reason})")
+        child.timer = self.kernel.engine.post(
+            delay, lambda: self._do_restart(child))
+
+    def _do_restart(self, child: _Child) -> None:
+        child.pending = False
+        child.timer = None
+        if not self.active or self.gave_up:
+            return
+        if not child.thread.process.alive:
+            # the process died while this restart was queued: escalate
+            self.escalations += 1
+            self._log(f"{child.name} restart overtaken by process "
+                      f"death; escalating")
+            if self._pool is not None and not self._pool.pending:
+                self._schedule_rebuild(f"{child.name} restart overtaken")
+            return
+        try:
+            thread = child.respawn()
+        except Exception as exc:
+            self.escalations += 1
+            self._log(f"respawn {child.name} failed "
+                      f"({type(exc).__name__}); escalating")
+            if self._pool is not None:
+                self._schedule_rebuild(f"respawn {child.name} failed")
+            else:
+                self.gave_up = True
+                self._log("giving up (no pool to rebuild)")
+            return
+        child.thread = thread
+        self.worker_restarts += 1
+        self._log(f"{child.name} restarted")
+
+    def _schedule_rebuild(self, reason: str) -> None:
+        pool = self._pool
+        if pool is None or pool.pending or self.gave_up:
+            return
+        now = self.kernel.engine.now()
+        if self._budget_exhausted(pool.rebuild_times, now):
+            self.gave_up = True
+            self.escalations += 1
+            self._log(f"pool rebuild budget exhausted "
+                      f"({self.policy.max_restarts} per "
+                      f"{self.policy.window_ns:.0f}ns); giving up")
+            return
+        if not pool.rebuild_times:
+            pool.attempts = 0
+        delay = self.policy.backoff_ns(pool.attempts, self.rng)
+        pool.attempts += 1
+        pool.pending = True
+        pool.due_ns = now + delay + self.policy.restart_deadline_ns
+        pool.rebuild_times.append(now)
+        self._log(f"rebuild pool attempt={pool.attempts} "
+                  f"backoff={delay:.0f}ns ({reason})")
+        pool.timer = self.kernel.engine.post(delay, self._do_rebuild)
+
+    def _do_rebuild(self) -> None:
+        pool = self._pool
+        pool.timer = None
+        if not self.active or self.gave_up:
+            pool.pending = False
+            return
+        # stay "pending" through the teardown: the one-for-all kill below
+        # re-enters _on_process_kill, which must not schedule a second
+        # rebuild of the pool we are already rebuilding
+        pool.pending = True
+        process = pool.get_process()
+        if process is not None and process.alive:
+            # one-for-all teardown: take the whole pool down first so
+            # the rebuild starts from a clean corpse
+            self.kernel.kill_process(process)
+        if process is not None and not process.alive:
+            violations = reclamation_violations(self.kernel, process)
+            if violations:
+                self.audit_violations.extend(violations)
+                for violation in violations:
+                    self._log(f"A9 violation: {violation}")
+            else:
+                self._log(f"reclamation audit clean for {process.name}")
+        pool.rebuild()
+        pool.pending = False
+        self.pool_rebuilds += 1
+        self._log("pool rebuilt")
+
+    # -- watchdog ------------------------------------------------------------
+
+    def _watchdog(self) -> None:
+        self._watchdog_timer = None
+        if not self.active or self.gave_up:
+            return
+        now = self.kernel.engine.now()
+        pool = self._pool
+        if pool is not None:
+            process = pool.get_process()
+            if (process is not None and not process.alive
+                    and not pool.pending):
+                self._log("watchdog: pool process dead with no rebuild "
+                          "pending")
+                self._schedule_rebuild("watchdog")
+            elif pool.pending and now > pool.due_ns:
+                # the engine lost our rebuild (should be impossible with
+                # a deterministic engine): force it now
+                if pool.timer is not None:
+                    self.kernel.engine.cancel(pool.timer)
+                self._log("watchdog: pool rebuild missed its deadline; "
+                          "forcing")
+                self._do_rebuild()
+        for child in self.children.values():
+            if child.pending and now > child.due_ns:
+                if child.timer is not None:
+                    self.kernel.engine.cancel(child.timer)
+                    child.timer = None
+                child.pending = False
+                self.escalations += 1
+                self._log(f"watchdog: restart of {child.name} missed "
+                          f"its deadline; escalating")
+                if self._pool is not None:
+                    self._schedule_rebuild(
+                        f"{child.name} missed restart deadline")
+            elif (not child.pending and child.thread.is_done
+                    and child.thread.process.alive):
+                # adopted dead, or an exit hook was lost: the heartbeat
+                # is the backstop that notices the silence
+                self._log(f"watchdog: missed heartbeat from "
+                          f"{child.name}")
+                if (self.policy.strategy == ONE_FOR_ALL
+                        and self._pool is not None):
+                    self._schedule_rebuild(f"{child.name} silent")
+                else:
+                    self._schedule_restart(child, "watchdog")
+        if self.active and not self.gave_up:
+            self._watchdog_timer = self.kernel.engine.post(
+                self.policy.heartbeat_ns, self._watchdog)
+
+    # -- reporting -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe counters for load-point results."""
+        return {
+            "worker_restarts": self.worker_restarts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "escalations": self.escalations,
+            "gave_up": self.gave_up,
+            "reclamation_violations": len(self.audit_violations),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Supervisor {self.name} children={len(self.children)} "
+                f"restarts={self.worker_restarts} "
+                f"rebuilds={self.pool_rebuilds}>")

@@ -27,7 +27,7 @@ from typing import Any, Optional, Tuple
 from repro.runner.points import PointSpec
 
 #: bump to invalidate every existing cache entry on a layout change
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: default cache directory, relative to the invoking working directory
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -83,15 +83,34 @@ class ResultCache:
         return os.path.join(self.root, self.key(spec) + ".json")
 
     def lookup(self, spec: PointSpec) -> Tuple[bool, Any]:
-        """Returns ``(hit, result)``; a corrupt entry counts as a miss."""
+        """Returns ``(hit, result)``; a corrupt entry counts as a miss.
+
+        Integrity check: the entry must parse, be an object of the
+        current layout version, and carry a result. Anything else —
+        truncation, torn bytes, a hand-edited or foreign file — is
+        *self-healed*: the bad entry is unlinked so the recompute can
+        overwrite it cleanly, and the sweep continues instead of
+        aborting.
+        """
         if not spec.cacheable:
             return False, None
+        path = self._path(spec)
         try:
-            with open(self._path(spec)) as handle:
+            with open(path) as handle:
                 entry = json.load(handle)
-        except (OSError, ValueError):
+            if not isinstance(entry, dict):
+                raise ValueError("cache entry is not an object")
+            if entry.get("version") != CACHE_VERSION:
+                raise ValueError("cache entry version mismatch")
+            return True, entry["result"]
+        except FileNotFoundError:
             return False, None
-        return True, entry["result"]
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return False, None
 
     def store(self, spec: PointSpec, result: Any) -> None:
         if not spec.cacheable:

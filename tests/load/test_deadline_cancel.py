@@ -1,0 +1,133 @@
+"""scheduler.cancel unwinding vs with_deadline transport cleanup.
+
+A thread killed (scheduler.cancel / kill_process) while a
+``with_deadline`` timer is armed must unwind cleanly: the timer is
+cancelled, the transport cleanup is not double-run, and no wait-queue
+slot (RequestQueue waiter, AdmissionGate in-flight count) leaks.
+"""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.load.queueing import (AdmissionGate, RequestQueue,
+                                 RequestTimeout, with_deadline)
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(num_cpus=2)
+
+
+@pytest.fixture
+def proc(kernel):
+    return kernel.spawn_process("loadq")
+
+
+def _stuck(t):
+    while True:
+        yield t.block("stuck-forever")
+
+
+def test_cancelled_thread_unwinds_deadline_without_cleanup(kernel, proc):
+    queue = RequestQueue(kernel, depth=4, policy="block")
+    cleaned = []
+
+    def runner(t):
+        yield from with_deadline(t, queue.get(t), 50_000.0,
+                                 cleanup=lambda: cleaned.append(True))
+
+    thread = kernel.spawn(proc, runner, name="loadq/r")
+    kernel.engine.post(1_000.0, lambda: kernel.scheduler.cancel(thread))
+    kernel.run()
+    assert thread.is_done
+    assert cleaned == []            # the deadline never fired
+    assert not queue._waiters       # get() unhooked the corpse
+    assert kernel.engine.pending() == 0  # timer cancelled on unwind
+
+
+def test_cancel_after_expiry_runs_cleanup_exactly_once(kernel, proc):
+    cleaned, outcome = [], []
+
+    def runner(t):
+        try:
+            yield from with_deadline(t, _stuck(t), 2_000.0,
+                                     cleanup=lambda: cleaned.append(True))
+        except RequestTimeout:
+            outcome.append("timeout")
+            yield from _stuck(t)  # park again, to be cancelled later
+
+    thread = kernel.spawn(proc, runner, name="loadq/r")
+    kernel.engine.post(5_000.0, lambda: kernel.scheduler.cancel(thread))
+    kernel.run()
+    assert outcome == ["timeout"]
+    assert cleaned == [True]        # expiry path ran it; cancel did not
+    assert thread.is_done
+    assert kernel.engine.pending() == 0
+
+
+def test_kill_process_releases_gate_slot_under_deadline(kernel):
+    victim = kernel.spawn_process("victim")
+    gate = AdmissionGate(kernel, depth=1, policy="block")
+
+    def client(t):
+        admitted = yield from gate.admit(t)
+        try:
+            yield from with_deadline(t, _stuck(t), 1_000_000.0)
+        finally:
+            if admitted:
+                gate.release()  # the closed-loop client contract
+
+    kernel.spawn(victim, client, name="victim/c")
+    kernel.engine.post(3_000.0, lambda: kernel.kill_process(victim))
+    kernel.run()
+    assert not victim.alive
+    assert gate.in_flight == 0      # the slot came back on unwind
+    assert kernel.engine.pending() == 0
+
+
+def test_kill_process_unhooks_gate_waiters_under_deadline(kernel):
+    holder_proc = kernel.spawn_process("holder")
+    victim = kernel.spawn_process("victim")
+    gate = AdmissionGate(kernel, depth=1, policy="block")
+
+    def holder(t):
+        assert (yield from gate.admit(t))
+        yield from t.sleep(50_000)
+        gate.release()
+
+    def waiter(t):
+        admitted = yield from with_deadline(t, gate.admit(t), 1_000_000.0)
+        if admitted:
+            gate.release()
+
+    kernel.spawn(holder_proc, holder, name="holder/h")
+    kernel.spawn(victim, waiter, name="victim/w")
+    # kill the waiter while it is parked in the gate's FIFO
+    kernel.engine.post(3_000.0, lambda: kernel.kill_process(victim))
+    kernel.run()
+    assert not gate._waiters        # admit() unhooked the corpse
+    assert gate.in_flight == 0      # holder released; waiter never took
+    assert kernel.engine.pending() == 0
+
+
+def test_deadline_timer_survivors_do_not_cross_talk(kernel, proc):
+    """Two requests under deadlines; one is cancelled, the other must
+    still time out normally (its timer is untouched by the unwind)."""
+    outcomes = []
+
+    def runner(t, tag):
+        try:
+            yield from with_deadline(t, _stuck(t), 10_000.0)
+        except RequestTimeout:
+            outcomes.append(f"{tag}-timeout")
+
+    alive = kernel.spawn(proc, lambda t: runner(t, "alive"),
+                         name="loadq/alive")
+    doomed = kernel.spawn(proc, lambda t: runner(t, "doomed"),
+                          name="loadq/doomed")
+    assert alive is not doomed
+    kernel.engine.post(1_000.0,
+                       lambda: kernel.scheduler.cancel(doomed))
+    kernel.run()
+    assert outcomes == ["alive-timeout"]
+    assert kernel.engine.pending() == 0

@@ -1,0 +1,74 @@
+"""A9 reclamation audit: nothing of a dead process may linger."""
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.fault import InvariantAuditor
+from repro.kernel import Kernel
+from repro.recovery.audit import (ReclamationAudit, domain_tags_of,
+                                  reclamation_violations)
+
+
+def _two_dipc_procs():
+    from repro.core.api import DipcManager
+    kernel = Kernel(num_cpus=2)
+    DipcManager(kernel)  # registers itself as kernel.dipc
+    a = kernel.spawn_process("a", dipc=True)
+    b = kernel.spawn_process("b", dipc=True)
+    return kernel, a, b
+
+
+def test_domain_tags_cover_default_and_created_domains():
+    kernel, a, _b = _two_dipc_procs()
+    handle = kernel.dipc.dom_create(a)
+    tags = domain_tags_of(a)
+    assert a.default_tag in tags
+    assert handle.tag in tags
+
+
+def test_unreclaimed_grant_of_a_dead_process_is_a_violation():
+    kernel, a, b = _two_dipc_procs()
+    da = kernel.dipc.dom_create(a)
+    db = kernel.dipc.dom_create(b)
+    kernel.dipc.grant_create(da, db)
+    # simulate a buggy kill path: the process dies but nothing revokes
+    b.exit()
+    violations = reclamation_violations(kernel, b)
+    assert len(violations) == 1
+    assert "not revoked" in violations[0]
+    assert "dead process b" in violations[0]
+    with pytest.raises(InvariantViolation):
+        ReclamationAudit(kernel).assert_clean()
+
+
+def test_kill_process_reclaims_grants_in_both_directions():
+    kernel, a, b = _two_dipc_procs()
+    da = kernel.dipc.dom_create(a)
+    db = kernel.dipc.dom_create(b)
+    kernel.dipc.grant_create(da, db)  # out of b's view: a -> b
+    kernel.dipc.grant_create(db, da)  # and from b: b -> a
+    kernel.kill_process(b)
+    assert reclamation_violations(kernel, b) == []
+    ReclamationAudit(kernel).assert_clean()
+    # both grants were revoked, not just the ones b sourced
+    assert all(g.revoked for g in kernel.dipc.grants)
+
+
+def test_invariant_auditor_folds_the_check_in_as_a9():
+    kernel, a, b = _two_dipc_procs()
+    da = kernel.dipc.dom_create(a)
+    db = kernel.dipc.dom_create(b)
+    kernel.dipc.grant_create(da, db)
+    b.exit()
+    violations = InvariantAuditor(kernel).audit()
+    assert any(v.startswith("A9: ") and "not revoked" in v
+               for v in violations)
+
+
+def test_clean_kill_passes_the_full_auditor():
+    kernel, a, b = _two_dipc_procs()
+    da = kernel.dipc.dom_create(a)
+    db = kernel.dipc.dom_create(b)
+    kernel.dipc.grant_create(da, db)
+    kernel.kill_process(b)
+    InvariantAuditor(kernel).assert_clean()

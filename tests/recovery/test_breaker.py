@@ -1,0 +1,96 @@
+"""CircuitBreaker state machine: closed -> open -> half-open."""
+
+import pytest
+
+from repro.recovery.breaker import (CLOSED, HALF_OPEN, OPEN, BreakerOpen,
+                                    CircuitBreaker)
+
+
+def test_validation_rejects_degenerate_parameters():
+    with pytest.raises(ValueError):
+        CircuitBreaker("b", failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker("b", recovery_ns=0.0)
+    with pytest.raises(ValueError):
+        CircuitBreaker("b", half_open_probes=0)
+
+
+def test_breaker_open_is_a_survivable_kernel_error():
+    from repro.errors import KernelError
+    from repro.load.queueing import LOAD_SURVIVABLE
+    assert issubclass(BreakerOpen, KernelError)
+    assert isinstance(BreakerOpen("x"), LOAD_SURVIVABLE)
+
+
+def test_consecutive_failures_trip_at_threshold():
+    breaker = CircuitBreaker("b", failure_threshold=3)
+    for t in (10.0, 20.0):
+        breaker.record_failure(t)
+        assert breaker.state == CLOSED
+    breaker.record_failure(30.0)
+    assert breaker.state == OPEN
+    assert breaker.transitions == [(30.0, CLOSED, OPEN)]
+
+
+def test_success_resets_the_consecutive_count():
+    breaker = CircuitBreaker("b", failure_threshold=2)
+    breaker.record_failure(1.0)
+    breaker.record_success(2.0)  # failures are no longer consecutive
+    breaker.record_failure(3.0)
+    assert breaker.state == CLOSED
+    assert breaker.consecutive_failures == 1
+
+
+def test_open_fast_fails_until_recovery_elapses():
+    breaker = CircuitBreaker("b", failure_threshold=1, recovery_ns=100.0)
+    breaker.record_failure(50.0)
+    assert breaker.state == OPEN
+    assert not breaker.allow(60.0)
+    assert not breaker.allow(149.0)
+    assert breaker.fast_fails == 2
+    # recovery window elapsed: the next request is the half-open probe
+    assert breaker.allow(150.0)
+    assert breaker.state == HALF_OPEN
+
+
+def test_half_open_admits_a_bounded_probe_count():
+    breaker = CircuitBreaker("b", failure_threshold=1, recovery_ns=100.0,
+                             half_open_probes=2)
+    breaker.record_failure(0.0)
+    assert breaker.allow(100.0)   # probe 1 (the transition itself)
+    assert breaker.allow(101.0)   # probe 2
+    assert not breaker.allow(102.0)  # probes exhausted: fast-fail
+    assert breaker.fast_fails == 1
+
+
+def test_probe_success_closes_and_probe_failure_reopens():
+    breaker = CircuitBreaker("b", failure_threshold=1, recovery_ns=100.0)
+    breaker.record_failure(0.0)
+    assert breaker.allow(100.0)
+    breaker.record_success(110.0)
+    assert breaker.state == CLOSED
+
+    breaker.record_failure(200.0)     # trips again (threshold 1)
+    assert breaker.allow(300.0)       # half-open probe
+    breaker.record_failure(310.0)     # probe failed: back to open...
+    assert breaker.state == OPEN
+    assert breaker.opened_at_ns == 310.0  # ...with a restarted clock
+    assert not breaker.allow(400.0)
+    assert breaker.allow(410.0)
+
+
+def test_transition_log_is_deterministic_text():
+    seen = []
+    breaker = CircuitBreaker(
+        "pipe/0", failure_threshold=1, recovery_ns=100.0,
+        on_transition=lambda b, t, old, new: seen.append((t, old, new)))
+    breaker.record_failure(42.0)
+    breaker.allow(142.0)
+    breaker.record_success(150.0)
+    assert breaker.log_lines() == [
+        "[          42ns] breaker pipe/0: closed -> open",
+        "[         142ns] breaker pipe/0: open -> half_open",
+        "[         150ns] breaker pipe/0: half_open -> closed",
+    ]
+    assert seen == [(42.0, CLOSED, OPEN), (142.0, OPEN, HALF_OPEN),
+                    (150.0, HALF_OPEN, CLOSED)]

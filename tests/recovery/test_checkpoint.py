@@ -1,0 +1,109 @@
+"""CheckpointJournal: append-only crash-safe sweep progress."""
+
+import json
+import os
+
+import pytest
+
+from repro.recovery.checkpoint import CheckpointJournal
+from repro.runner.points import PointSpec
+
+
+def _journal(tmp_path):
+    return CheckpointJournal(str(tmp_path / "ckpt.jsonl"))
+
+
+def test_round_trip_records_and_recovers(tmp_path):
+    journal = _journal(tmp_path)
+    assert journal.start(resume=False) == {}
+    journal.record(0, {"mean_ns": 1.5})
+    journal.record(3, [1, 2, 3])
+    journal.close()
+    assert journal.exists
+    assert _journal(tmp_path).load() == {0: {"mean_ns": 1.5},
+                                         3: [1, 2, 3]}
+
+
+def test_torn_tail_line_is_skipped_not_fatal(tmp_path):
+    journal = _journal(tmp_path)
+    journal.start(resume=False)
+    journal.record(0, "done")
+    journal.close()
+    with open(journal.path, "a") as handle:
+        handle.write('{"i":1,"result":"tr')  # died mid-write
+    assert _journal(tmp_path).load() == {0: "done"}
+
+
+def test_wrong_shape_lines_are_skipped(tmp_path):
+    journal = _journal(tmp_path)
+    with open(journal.path, "w") as handle:
+        handle.write("\n".join([
+            json.dumps({"i": 0, "result": "good"}),
+            json.dumps([1, 2]),                 # not an object
+            json.dumps({"i": "zero", "result": 1}),  # non-int index
+            json.dumps({"i": -1, "result": 1}),      # negative index
+            json.dumps({"i": 2}),                    # missing result
+            "",                                       # blank line
+        ]) + "\n")
+    assert journal.load() == {0: "good"}
+
+
+def test_fresh_start_discards_a_stale_journal(tmp_path):
+    stale = _journal(tmp_path)
+    stale.start(resume=False)
+    stale.record(0, "stale")
+    stale.close()
+    fresh = _journal(tmp_path)
+    assert fresh.start(resume=False) == {}  # not resuming: discarded
+    fresh.close()
+    assert _journal(tmp_path).load() == {}
+
+
+def test_resume_start_returns_prior_results(tmp_path):
+    first = _journal(tmp_path)
+    first.start(resume=False)
+    first.record(1, 42)
+    first.close()
+    second = _journal(tmp_path)
+    assert second.start(resume=True) == {1: 42}
+    second.record(2, 43)  # appends after the recovered entries
+    second.close()
+    assert _journal(tmp_path).load() == {1: 42, 2: 43}
+
+
+def test_complete_unlinks_but_close_keeps(tmp_path):
+    journal = _journal(tmp_path)
+    journal.start(resume=False)
+    journal.record(0, 1)
+    journal.close()
+    assert journal.exists  # close() keeps the --resume handle
+    journal.complete()
+    assert not journal.exists
+
+
+def test_record_before_start_raises(tmp_path):
+    with pytest.raises(RuntimeError):
+        _journal(tmp_path).record(0, 1)
+
+
+def test_for_specs_binds_the_journal_to_the_exact_sweep(tmp_path):
+    specs_a = [PointSpec("fig5", "m", {"iters": 2}),
+               PointSpec("fig5", "m", {"iters": 3})]
+    specs_b = [PointSpec("fig5", "m", {"iters": 2}),
+               PointSpec("fig5", "m", {"iters": 4})]
+    root = str(tmp_path)
+    same = CheckpointJournal.for_specs(root, specs_a)
+    again = CheckpointJournal.for_specs(root, specs_a)
+    other = CheckpointJournal.for_specs(root, specs_b)
+    assert same.path == again.path
+    assert same.path != other.path
+    assert os.path.basename(same.path).startswith("checkpoint-")
+    assert same.path.endswith(".jsonl")
+
+
+def test_start_creates_missing_directories(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "deep" / "ckpt.jsonl"))
+    journal.start(resume=False)
+    journal.record(0, 1)
+    journal.close()
+    assert journal.exists

@@ -1,0 +1,202 @@
+"""Supervisor: restarts, rebuilds, budgets, watchdog, determinism."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.recovery.supervisor import (ONE_FOR_ALL, RestartPolicy,
+                                       Supervisor)
+
+#: no watchdog: these tests drive every event explicitly, and a
+#: self-reposting heartbeat would keep the engine running forever
+QUIET = dict(heartbeat_ns=0.0, jitter=0.0)
+
+
+def _parked(t):
+    yield t.block("parked")
+
+
+def _short_lived(t):
+    yield from t.sleep(1_000)
+
+
+class _Slot:
+    """A self-re-adopting worker slot, the way the transports wire it."""
+
+    def __init__(self, kernel, supervisor, process, body=_parked,
+                 name="w0"):
+        self.kernel = kernel
+        self.supervisor = supervisor
+        self.process = process
+        self.body = body
+        self.name = name
+        self.spawned = []
+
+    def spawn(self):
+        thread = self.kernel.spawn(self.process, self.body,
+                                   name=f"srv/{self.name}")
+        self.spawned.append(thread)
+        self.supervisor.adopt(self.name, thread, self.spawn)
+        return thread
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RestartPolicy(strategy="all_for_one")
+    with pytest.raises(ValueError):
+        RestartPolicy(max_restarts=0)
+    with pytest.raises(ValueError):
+        RestartPolicy(backoff_base_ns=0.0)
+    with pytest.raises(ValueError):
+        RestartPolicy(jitter=1.0)
+
+
+def test_backoff_is_exponential_capped_and_jitter_bounded():
+    import random
+    policy = RestartPolicy(backoff_base_ns=1_000.0, backoff_factor=2.0,
+                           backoff_cap_ns=4_000.0, jitter=0.0)
+    rng = random.Random(1)
+    assert [policy.backoff_ns(a, rng) for a in range(4)] == \
+        [1_000.0, 2_000.0, 4_000.0, 4_000.0]
+    jittered = RestartPolicy(backoff_base_ns=1_000.0, jitter=0.25)
+    for attempt in range(5):
+        delay = jittered.backoff_ns(attempt, rng)
+        nominal = min(1_000.0 * 2.0 ** attempt, jittered.backoff_cap_ns)
+        assert 0.75 * nominal <= delay <= 1.25 * nominal
+
+
+def test_exited_worker_is_respawned_after_backoff():
+    kernel = Kernel(num_cpus=2)
+    proc = kernel.spawn_process("srv")
+    supervisor = Supervisor(kernel, policy=RestartPolicy(**QUIET), seed=3)
+    slot = _Slot(kernel, supervisor, proc)
+    # first generation exits after 1000ns; the replacement parks forever
+    first = kernel.spawn(proc, _short_lived, name="srv/w0")
+    slot.spawned.append(first)
+    supervisor.adopt("w0", first, slot.spawn)
+    kernel.run()
+    assert supervisor.worker_restarts == 1
+    assert len(slot.spawned) == 2 and not slot.spawned[1].is_done
+    assert any("restart w0 attempt=1" in event
+               for event in supervisor.events)
+    assert any("w0 restarted" in event for event in supervisor.events)
+    assert kernel.engine.pending() == 0  # quiet engine after recovery
+
+
+def test_same_seed_runs_produce_identical_event_logs():
+    def run_once():
+        kernel = Kernel(num_cpus=2)
+        proc = kernel.spawn_process("srv")
+        supervisor = Supervisor(
+            kernel, policy=RestartPolicy(heartbeat_ns=0.0), seed=9)
+        slot = _Slot(kernel, supervisor, proc)
+        first = kernel.spawn(proc, _short_lived, name="srv/w0")
+        supervisor.adopt("w0", first, slot.spawn)
+        kernel.run()
+        return supervisor.events
+    assert run_once() == run_once()
+
+
+def test_restart_budget_exhaustion_gives_up_without_a_pool():
+    kernel = Kernel(num_cpus=2)
+    proc = kernel.spawn_process("srv")
+    policy = RestartPolicy(max_restarts=3, window_ns=1e9,
+                           backoff_base_ns=1_000.0,
+                           backoff_cap_ns=4_000.0, **QUIET)
+    supervisor = Supervisor(kernel, policy=policy, seed=1)
+    slot = _Slot(kernel, supervisor, proc, body=_short_lived)
+    first = kernel.spawn(proc, _short_lived, name="srv/w0")
+    supervisor.adopt("w0", first, slot.spawn)
+    kernel.run()  # crash loop: every replacement also exits
+    assert supervisor.gave_up
+    assert supervisor.worker_restarts == 3  # budget spent, then stop
+    assert supervisor.escalations >= 1
+    assert any("budget exhausted" in event
+               for event in supervisor.events)
+    assert any("giving up" in event for event in supervisor.events)
+    assert kernel.engine.pending() == 0
+
+
+def test_killed_pool_process_triggers_audited_rebuild():
+    kernel = Kernel(num_cpus=2)
+    supervisor = Supervisor(kernel, policy=RestartPolicy(**QUIET), seed=2)
+    procs = [kernel.spawn_process("srv")]
+    kernel.spawn(procs[0], _parked, name="srv/w0")
+
+    def rebuild():
+        procs.append(kernel.spawn_process("srv"))
+        kernel.spawn(procs[-1], _parked, name="srv/w0")
+
+    supervisor.watch_pool(lambda: procs[-1], rebuild)
+    kernel.engine.post(5_000.0, lambda: kernel.kill_process(procs[0]))
+    kernel.run()
+    assert supervisor.pool_rebuilds == 1
+    assert len(procs) == 2 and procs[1].alive
+    assert supervisor.audit_violations == []
+    assert any("reclamation audit clean" in event
+               for event in supervisor.events)
+    assert any("pool rebuilt" in event for event in supervisor.events)
+
+
+def test_one_for_all_worker_death_tears_down_the_live_pool():
+    kernel = Kernel(num_cpus=2)
+    policy = RestartPolicy(strategy=ONE_FOR_ALL, **QUIET)
+    supervisor = Supervisor(kernel, policy=policy, seed=4)
+    procs = [kernel.spawn_process("srv")]
+    worker = kernel.spawn(procs[0], _parked, name="srv/w0")
+    supervisor.adopt("w0", worker, lambda: None)
+
+    def rebuild():
+        procs.append(kernel.spawn_process("srv"))
+        thread = kernel.spawn(procs[-1], _parked, name="srv/w0")
+        supervisor.adopt("w0", thread, lambda: None)
+
+    supervisor.watch_pool(lambda: procs[-1], rebuild)
+    kernel.engine.post(2_000.0,
+                       lambda: kernel.scheduler.cancel(worker))
+    kernel.run()
+    # the sibling-sharing pool was killed before the rebuild
+    assert not procs[0].alive
+    assert procs[1].alive
+    assert supervisor.pool_rebuilds == 1
+    assert supervisor.worker_restarts == 0
+    assert any("one-for-all pool restart" in event
+               for event in supervisor.events)
+
+
+def test_watchdog_notices_a_child_adopted_dead():
+    kernel = Kernel(num_cpus=2)
+    proc = kernel.spawn_process("srv")
+    dead = kernel.spawn(proc, _short_lived, name="srv/w0")
+    kernel.run()
+    assert dead.is_done
+    # no exit hook will ever fire for this corpse: only the heartbeat
+    # can notice the silence
+    policy = RestartPolicy(heartbeat_ns=10_000.0, jitter=0.0)
+    supervisor = Supervisor(kernel, policy=policy, seed=5)
+    slot = _Slot(kernel, supervisor, proc)
+    supervisor.adopt("w0", dead, slot.spawn)
+    kernel.run(until_ns=kernel.engine.now() + 30_000.0)
+    assert supervisor.worker_restarts == 1
+    assert len(slot.spawned) == 1 and not slot.spawned[0].is_done
+    assert any("watchdog: missed heartbeat from w0" in event
+               for event in supervisor.events)
+    supervisor.stop()
+    kernel.run()
+    assert kernel.engine.pending() == 0  # stop() cancelled the heartbeat
+
+
+def test_stop_cancels_pending_restart_timers():
+    kernel = Kernel(num_cpus=2)
+    proc = kernel.spawn_process("srv")
+    policy = RestartPolicy(backoff_base_ns=50_000.0,
+                           backoff_cap_ns=50_000.0, **QUIET)
+    supervisor = Supervisor(kernel, policy=policy, seed=6)
+    slot = _Slot(kernel, supervisor, proc)
+    first = kernel.spawn(proc, _short_lived, name="srv/w0")
+    supervisor.adopt("w0", first, slot.spawn)
+    # stand down before the 50us backoff elapses: no restart happens
+    kernel.engine.post(2_000.0, supervisor.stop)
+    kernel.run()
+    assert supervisor.worker_restarts == 0
+    assert slot.spawned == []
+    assert kernel.engine.pending() == 0

@@ -1,0 +1,64 @@
+"""Corrupt cache entries must self-heal, never poison or abort a run."""
+
+import json
+import os
+
+from repro.runner.cache import CACHE_VERSION, ResultCache
+from repro.runner.points import PointSpec
+from repro.runner.pool import run_points
+
+
+def _spec(**kwargs):
+    return PointSpec("fig5", "repro.experiments.fig05_sync_calls",
+                     dict({"label": "syscall", "iters": 3}, **kwargs))
+
+
+def _corrupt(cache, spec, text):
+    path = cache._path(spec)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return path
+
+
+def test_truncated_entry_is_a_miss_and_is_unlinked(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = _spec()
+    cache.store(spec, {"ok": 1})
+    path = _corrupt(cache, spec, '{"version": %d, "resu' % CACHE_VERSION)
+    hit, _ = cache.lookup(spec)
+    assert not hit
+    assert not os.path.exists(path)  # self-healed: bad entry removed
+
+
+def test_every_wrong_shape_is_healed(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    spec = _spec()
+    for bad in ("[]",                                   # not an object
+                '"just a string"',                      # not an object
+                json.dumps({"version": CACHE_VERSION}),  # no result key
+                json.dumps({"version": CACHE_VERSION - 1,
+                            "result": 5})):             # stale layout
+        cache.store(spec, {"ok": 1})
+        path = _corrupt(cache, spec, bad)
+        hit, _ = cache.lookup(spec)
+        assert not hit, bad
+        assert not os.path.exists(path), bad
+
+
+def test_missing_entry_is_a_plain_miss_without_side_effects(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    hit, value = cache.lookup(_spec())
+    assert not hit and value is None
+    assert not os.path.exists(str(tmp_path / "c"))  # nothing created
+
+
+def test_corrupt_entry_recomputes_and_reheals_end_to_end(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    specs = [_spec(iters=i) for i in (2, 3)]
+    cold, _ = run_points(specs, cache=cache)
+    _corrupt(cache, specs[0], "{torn")
+    healed, stats = run_points(specs, cache=cache)
+    assert healed == cold                   # recompute, same numbers
+    assert stats.cache_hits == 1 and stats.computed == 1
+    hit, value = cache.lookup(specs[0])     # the store healed the entry
+    assert hit and value == cold[0]

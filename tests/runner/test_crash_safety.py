@@ -1,0 +1,151 @@
+"""Runner crash-safety: checkpoints, resume, worker retries, stalls.
+
+The point functions live at module level so pool workers (forked on
+Linux) can import them by this module's name.
+"""
+
+import glob
+import os
+import time
+
+import pytest
+
+from repro.recovery.checkpoint import CheckpointJournal
+from repro.runner.pool import PointFailure, run_points
+from repro.runner.points import PointSpec
+
+
+def ok_point(value):
+    return {"value": value}
+
+
+def boom_point():
+    raise RuntimeError("boom")
+
+
+def crash_once_point(marker):
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("x")
+        os._exit(13)  # hard-kill the pool worker (BrokenProcessPool)
+    return {"survived": True}
+
+
+def fail_once_point(marker):
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("x")
+        raise ValueError("transient")
+    return {"ok": True}
+
+
+def always_fail_point():
+    raise ValueError("permanent")
+
+
+def slow_point(seconds):
+    time.sleep(seconds)
+    return {"slept": seconds}
+
+
+def _spec(func, **kwargs):
+    return PointSpec("crashsafe", __name__, kwargs, func=func)
+
+
+def test_interrupted_sweep_resumes_without_recompute(tmp_path):
+    path = str(tmp_path / "ckpt.jsonl")
+    broken = [_spec("ok_point", value=0), _spec("ok_point", value=1),
+              _spec("boom_point"), _spec("ok_point", value=3)]
+    with pytest.raises(RuntimeError):
+        run_points(broken, checkpoint=CheckpointJournal(path))
+    # the journal survived the crash with the finished points in it
+    recovered = CheckpointJournal(path).load()
+    assert set(recovered) == {0, 1}
+
+    fixed = list(broken)
+    fixed[2] = _spec("ok_point", value=2)
+    results, stats = run_points(fixed, checkpoint=CheckpointJournal(path),
+                                resume=True)
+    assert results == [{"value": v} for v in range(4)]
+    assert stats.resumed == 2 and stats.computed == 2
+    assert not os.path.exists(path)  # completion deletes the journal
+
+
+def test_resumed_results_match_an_uninterrupted_run(tmp_path):
+    specs = [_spec("ok_point", value=v) for v in range(4)]
+    straight, _ = run_points(specs)
+
+    path = str(tmp_path / "ckpt.jsonl")
+    journal = CheckpointJournal(path)
+    journal.start(resume=False)
+    for index in (0, 2):
+        journal.record(index, straight[index])
+    journal.close()
+    resumed, stats = run_points(specs, checkpoint=CheckpointJournal(path),
+                                resume=True)
+    assert resumed == straight
+    assert stats.resumed == 2 and stats.computed == 2
+
+
+def test_fresh_run_discards_a_stale_journal(tmp_path):
+    path = str(tmp_path / "ckpt.jsonl")
+    stale = CheckpointJournal(path)
+    stale.start(resume=False)
+    stale.record(0, {"value": 99})  # wrong: must not leak into a fresh run
+    stale.close()
+    results, stats = run_points([_spec("ok_point", value=0)],
+                                checkpoint=CheckpointJournal(path))
+    assert results == [{"value": 0}]
+    assert stats.resumed == 0
+
+
+def test_cache_hits_are_journaled_too(tmp_path):
+    from repro.runner.cache import ResultCache
+    cache = ResultCache(str(tmp_path / "cache"))
+    specs = [PointSpec("fig5", "repro.experiments.fig05_sync_calls",
+                       {"label": "syscall", "iters": 2})]
+    run_points(specs, cache=cache)  # warm the cache
+    path = str(tmp_path / "ckpt.jsonl")
+
+    class _Sticky(CheckpointJournal):
+        def complete(self):  # keep the file so the test can read it
+            self.close()
+
+    _results, stats = run_points(specs, cache=cache,
+                                 checkpoint=_Sticky(path))
+    assert stats.cache_hits == 1
+    assert set(CheckpointJournal(path).load()) == {0}
+
+
+def test_crashed_pool_worker_is_retried(tmp_path):
+    marker = str(tmp_path / "crashed")
+    specs = [_spec("crash_once_point", marker=marker),
+             _spec("ok_point", value=1), _spec("ok_point", value=2)]
+    results, stats = run_points(specs, jobs=2)
+    assert results[0] == {"survived": True}
+    assert results[1:] == [{"value": 1}, {"value": 2}]
+    assert stats.retried >= 1
+
+
+def test_transient_point_failure_is_retried(tmp_path):
+    marker = str(tmp_path / "failed")
+    specs = [_spec("fail_once_point", marker=marker),
+             _spec("ok_point", value=1), _spec("ok_point", value=2)]
+    results, stats = run_points(specs, jobs=2)
+    assert results[0] == {"ok": True}
+    assert stats.retried == 1
+
+
+def test_persistent_failure_exhausts_retries_and_keeps_journal(tmp_path):
+    specs = [_spec("always_fail_point"), _spec("ok_point", value=1)]
+    with pytest.raises(PointFailure, match="crashsafe"):
+        run_points(specs, jobs=2, retries=1, checkpoint=str(tmp_path))
+    # the journal was kept as the --resume handle
+    assert glob.glob(str(tmp_path / "checkpoint-*.jsonl"))
+
+
+def test_stalled_pool_times_out_as_point_failure(tmp_path):
+    specs = [_spec("slow_point", seconds=3.0),
+             _spec("ok_point", value=1)]
+    with pytest.raises(PointFailure, match="stalled"):
+        run_points(specs, jobs=2, timeout_s=0.3, retries=0)
