@@ -30,12 +30,28 @@ from repro.core.policies import IsolationPolicy
 from repro.ipc.unixsocket import SocketNamespace
 from repro.kernel import Kernel
 from repro.sim.stats import Block, Breakdown, RunningStats
+from repro.topo.generate import sequential_chain
+from repro.topo.spec import ROOT
 
 LINUX = "linux"
 DIPC = "dipc"
 IDEAL = "ideal"
 
 CONFIGS = (LINUX, DIPC, IDEAL)
+
+#: the 3-tier chain of §7.4 declared once as a repro.topo spec
+#: (apache -> php -> mariadb). The builders below derive the shared
+#: *structure* from it — process spawn order, per-edge socket wiring,
+#: dIPC entry/proxy registration order — while the tier bodies keep
+#: the workload's idiosyncratic CPU/FastCGI placement.
+CHAIN = sequential_chain(("apache", "php", "mariadb"))
+
+#: linux config: process name per service (PHP runs under its FastCGI
+#: process manager)
+_LINUX_PROC = {"php": "php-fpm"}
+
+#: linux config: well-known inbound socket path per callee service
+_SOCK_ALIAS = {"php": "php", "mariadb": "db"}
 
 
 @dataclass
@@ -113,15 +129,22 @@ def _build_linux(run: _Run):
     kernel = run.kernel
     params = run.params
     ns = SocketNamespace()
-    apache = kernel.spawn_process("apache")
-    php = kernel.spawn_process("php-fpm")
-    mariadb = kernel.spawn_process("mariadb")
+    procs = {}
+    for node_id in CHAIN.topological_order():
+        name = CHAIN.nodes[node_id].name
+        procs[node_id] = kernel.spawn_process(
+            _LINUX_PROC.get(name, name))
+    apache, php, mariadb = (procs[node_id]
+                            for node_id in CHAIN.topological_order())
     run.storage = StorageEngine(kernel, params.storage)
     big = 64 * units.MB
-    php_sock = ns.socket(kernel, bufsize=big)
-    php_sock.bind("/oltp/php")
-    db_sock = ns.socket(kernel, bufsize=big)
-    db_sock.bind("/oltp/db")
+    socks = {}
+    for edge in CHAIN.edges:
+        sock = ns.socket(kernel, bufsize=big)
+        sock.bind(f"/oltp/{_SOCK_ALIAS[CHAIN.nodes[edge.dst].name]}")
+        socks[(edge.src, edge.dst)] = sock
+    php_sock = socks[(0, 1)]
+    db_sock = socks[(1, 2)]
     fcgi = params.fcgi_user_ns
 
     def db_worker(t):
@@ -145,7 +168,7 @@ def _build_linux(run: _Run):
             yield t.compute(chunk)
             for query in txn.queries:
                 yield t.compute(fcgi)
-                yield from reply.sendto(t, "/oltp/db", 256, payload={
+                yield from reply.sendto(t, db_sock.path, 256, payload={
                     "query": query, "reply_to": reply.path})
                 yield from reply.recvfrom(t)
                 yield t.compute(chunk)
@@ -163,7 +186,7 @@ def _build_linux(run: _Run):
             txn = run.workload.next_transaction()
             yield t.compute(txn.apache_cpu_ns * 0.6)
             yield t.compute(fcgi)
-            yield from reply.sendto(t, "/oltp/php", txn.request_bytes,
+            yield from reply.sendto(t, php_sock.path, txn.request_bytes,
                                     payload={"txn": txn,
                                              "reply_to": reply.path})
             yield from reply.recvfrom(t)
@@ -186,53 +209,69 @@ def _build_dipc(run: _Run):
     kernel = run.kernel
     params = run.params
     manager = DipcManager(kernel)
-    apache = kernel.spawn_process("apache", dipc=True)
-    php = kernel.spawn_process("php", dipc=True)
-    mariadb = kernel.spawn_process("mariadb", dipc=True)
+    order = CHAIN.topological_order()
+    procs = {node_id: kernel.spawn_process(CHAIN.nodes[node_id].name,
+                                           dipc=True)
+             for node_id in order}
+    apache_id, php_id, db_id = order
     run.storage = StorageEngine(kernel, params.storage)
 
-    # --- database exports 'query'; it protects itself from PHP, while
-    # PHP (which "trusts all other components") requests nothing ---
+    # --- the database exports 'query'; PHP exports 'handle_request'.
+    # A request runs in place on the Apache worker thread, crossing
+    # tiers through proxies whose addresses land in ``addresses`` ---
     def db_query(t, query):
         result = yield from _db_work(run, t, query)
         return result
 
-    db_entry = manager.entry_register(
-        mariadb, manager.dom_default(mariadb),
-        [EntryDescriptor(signature=Signature(in_regs=1, out_regs=1),
-                         policy=IsolationPolicy(stack_confidentiality=True,
-                                                dcs_integrity=True),
-                         func=db_query, name="query")])
-    db_request = [EntryDescriptor(signature=Signature(in_regs=1, out_regs=1),
-                                  policy=IsolationPolicy(), name="query")]
-    db_proxy_handle, _ = manager.entry_request(php, db_entry, db_request)
-    manager.grant_create(manager.dom_default(php), db_proxy_handle)
-    db_address = db_request[0].address
-
-    # --- PHP exports 'handle_request' to Apache; Apache protects itself
-    # (integrity on its registers/stack) since it does not trust PHP ---
     def php_handle(t, txn):
         chunk = _php_chunks(txn)
         yield t.compute(chunk)
         for query in txn.queries:
-            yield from manager.call(t, db_address, query)
+            yield from manager.call(t, addresses[(php_id, db_id)],
+                                    query)
             yield t.compute(chunk)
         return {"page": "..."}
 
-    php_entry = manager.entry_register(
-        php, manager.dom_default(php),
-        [EntryDescriptor(signature=Signature(in_regs=1, out_regs=1),
-                         policy=IsolationPolicy(), func=php_handle,
-                         name="handle_request")])
-    php_request = [EntryDescriptor(
-        signature=Signature(in_regs=1, out_regs=1),
-        policy=IsolationPolicy(reg_integrity=True, stack_integrity=True,
+    exports = {db_id: (db_query, "query"),
+               php_id: (php_handle, "handle_request")}
+    #: asymmetric trust ("only PHP trusts all other components"): the
+    #: database protects itself from PHP; Apache asks for integrity on
+    #: its registers/stack since it does not trust PHP; PHP requests
+    #: nothing in either role
+    server_policy = {
+        db_id: IsolationPolicy(stack_confidentiality=True,
                                dcs_integrity=True),
-        name="handle_request")]
-    php_proxy_handle, _ = manager.entry_request(apache, php_entry,
-                                                php_request)
-    manager.grant_create(manager.dom_default(apache), php_proxy_handle)
-    php_address = php_request[0].address
+        php_id: IsolationPolicy(),
+    }
+    request_policy = {
+        php_id: IsolationPolicy(),
+        apache_id: IsolationPolicy(reg_integrity=True,
+                                   stack_integrity=True,
+                                   dcs_integrity=True),
+    }
+
+    # callee-first wiring (reversed topological order): register each
+    # tier's entry, then hand a proxy to every caller on an inbound
+    # edge of the chain spec
+    addresses = {}
+    for dst in reversed(order):
+        if dst == ROOT:
+            continue
+        func, entry_name = exports[dst]
+        entry = manager.entry_register(
+            procs[dst], manager.dom_default(procs[dst]),
+            [EntryDescriptor(signature=Signature(in_regs=1, out_regs=1),
+                             policy=server_policy[dst],
+                             func=func, name=entry_name)])
+        for src in CHAIN.parents(dst):
+            request = [EntryDescriptor(
+                signature=Signature(in_regs=1, out_regs=1),
+                policy=request_policy[src], name=entry_name)]
+            proxy_handle, _ = manager.entry_request(procs[src], entry,
+                                                    request)
+            manager.grant_create(manager.dom_default(procs[src]),
+                                 proxy_handle)
+            addresses[(src, dst)] = request[0].address
 
     def apache_worker(t):
         while True:
@@ -240,12 +279,13 @@ def _build_dipc(run: _Run):
             start = t.now()
             txn = run.workload.next_transaction()
             yield t.compute(txn.apache_cpu_ns * 0.6)
-            yield from manager.call(t, php_address, txn)
+            yield from manager.call(t, addresses[(apache_id, php_id)],
+                                    txn)
             yield t.compute(txn.apache_cpu_ns * 0.4)
             run.record(t.now() - start)
 
     for i in range(params.concurrency):
-        kernel.spawn(apache, apache_worker, name=f"ap{i}")
+        kernel.spawn(procs[apache_id], apache_worker, name=f"ap{i}")
 
 
 # ---------------------------------------------------------------------------

@@ -6,7 +6,8 @@
 One verb, orthogonal flags:
 
 * ``names`` — table1, fig1, fig2, fig5, fig6, fig7, fig8, fig9 (alias
-  fig09_load), extras, ablation, microbench, report, or ``all``;
+  fig09_load), fig10 (alias fig10_topo), extras, ablation, microbench,
+  report, or ``all``;
 * ``--quick`` shrinks iteration counts / windows (for smoke runs);
 * ``--jobs N`` routes each experiment through the sharded point runner
   (``repro.runner``): the figure is decomposed into independent
@@ -37,7 +38,7 @@ same seed, and exits non-zero on any invariant violation.
 
 ``python -m repro.experiments bench [--quick] [--jobs N] [--out DIR]``
 times the quick suite cold-serial, cold-parallel and warm-cached, plus
-an engine micro-benchmark, and writes ``DIR/BENCH_PR3.json``.
+an engine micro-benchmark, and writes ``DIR/BENCH_PR6.json``.
 """
 
 from __future__ import annotations
@@ -102,6 +103,11 @@ def _run_fig9(quick: bool) -> str:
     return fig09_load.run(quick)
 
 
+def _run_fig10(quick: bool) -> str:
+    from repro.experiments import fig10_topo
+    return fig10_topo.run(quick)
+
+
 def _run_extras(quick: bool) -> str:
     from repro.experiments import extras
     return extras.render()
@@ -163,6 +169,7 @@ RUNNERS = {
     "fig7": _run_fig7,
     "fig8": _run_fig8,
     "fig9": _run_fig9,
+    "fig10": _run_fig10,
     "extras": _run_extras,
     "ablation": _run_ablation,
     "microbench": _run_microbench,
@@ -179,6 +186,7 @@ DEFAULT_SET = [name for name in RUNNERS
 _ALIASES = {
     "fig09_load": "fig9",
     "fig9_load": "fig9",
+    "fig10_topo": "fig10",
 }
 
 
@@ -251,7 +259,7 @@ def _engine_events_per_sec(n: int = 200_000) -> float:
 
 def _run_bench_cli(quick: bool, jobs: int, out_dir: str) -> int:
     """Time the suite cold-serial / cold-parallel / warm-cached and the
-    engine micro-loop; write ``BENCH_PR3.json``."""
+    engine micro-loop; write ``BENCH_PR6.json``."""
     import json
     import platform
     import tempfile
@@ -304,7 +312,7 @@ def _run_bench_cli(quick: bool, jobs: int, out_dir: str) -> int:
         "cpu_count": os.cpu_count(),
     }
     os.makedirs(out_dir, exist_ok=True)
-    path = os.path.join(out_dir, "BENCH_PR3.json")
+    path = os.path.join(out_dir, "BENCH_PR6.json")
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

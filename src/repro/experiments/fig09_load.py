@@ -103,7 +103,8 @@ def assemble(specs, results) -> str:
             "",
             f"-- {primitive} " + "-" * (62 - len(primitive)),
             f"{'offered[kops]':>14}{'tput[kops]':>12}{'goodput':>9}"
-            f"{'shed':>7}{'p50[us]':>9}{'p95[us]':>9}{'p99[us]':>9}",
+            f"{'shed':>7}{'p50[us]':>9}{'p95[us]':>9}{'p99[us]':>9}"
+            f"{'p999[us]':>10}",
         ]
         for row in open_points[primitive]:
             lines.append(
@@ -113,7 +114,8 @@ def assemble(specs, results) -> str:
                 f"{row['shed']:>7d}"
                 f"{row['p50_ns'] / 1e3:>9.1f}"
                 f"{row['p95_ns'] / 1e3:>9.1f}"
-                f"{row['p99_ns'] / 1e3:>9.1f}")
+                f"{row['p99_ns'] / 1e3:>9.1f}"
+                f"{row['p999_ns'] / 1e3:>10.1f}")
 
     knee_by = knees(open_points)
     lines += [
@@ -135,8 +137,8 @@ def assemble(specs, results) -> str:
         f"Closed loop (N clients, "
         f"{CLOSED_THINK_NS / 1e3:.0f}us think, block policy)",
         f"{'primitive':<10}{'clients':>8}{'tput[kops]':>12}"
-        f"{'p50[us]':>9}{'p99[us]':>9}",
-        "-" * 48,
+        f"{'p50[us]':>9}{'p99[us]':>9}{'p999[us]':>10}",
+        "-" * 58,
     ]
     for primitive in PRIMITIVES:
         for row in closed_points[primitive]:
@@ -144,7 +146,8 @@ def assemble(specs, results) -> str:
                 f"{primitive:<10}{row['n_clients']:>8d}"
                 f"{row['throughput_kops']:>12.1f}"
                 f"{row['p50_ns'] / 1e3:>9.1f}"
-                f"{row['p99_ns'] / 1e3:>9.1f}")
+                f"{row['p99_ns'] / 1e3:>9.1f}"
+                f"{row['p999_ns'] / 1e3:>10.1f}")
     return "\n".join(lines)
 
 

@@ -34,6 +34,8 @@ SECTION_ORDER: Tuple[Tuple[str, str], ...] = (
     ("Figure 7", "fig7"),
     ("Figure 1", "fig1"),
     ("Figure 8", "fig8"),
+    ("Figure 9", "fig9"),
+    ("Figure 10", "fig10"),
     ("In-text extras", "extras"),
 )
 
@@ -61,6 +63,11 @@ def _section_params(name: str, quick: bool) -> dict:
     if name == "fig8":
         concurrencies = (4, 16, 64) if quick else (4, 16, 64, 256, 512)
         return {"concurrencies": concurrencies, "scale": scale}
+    if name in ("fig9", "fig10"):
+        # the load/topology sweeps share the CLI's parameterization —
+        # their points then hit the same cache as `run fig9`/`run fig10`
+        from repro.runner import registry
+        return registry.cli_params(name, quick)
     if name == "extras":
         return {}
     raise KeyError(name)

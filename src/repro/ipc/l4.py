@@ -91,10 +91,15 @@ class L4Endpoint:
         if server is not None and self._same_cpu(thread, server):
             self._server = None
             self._outstanding.append(thread)
-            yield from self._switch_cost(thread)
-            reply = yield Handoff(server, (thread, message))
-            if thread in self._outstanding:
-                self._outstanding.remove(thread)
+            try:
+                yield from self._switch_cost(thread)
+                reply = yield Handoff(server, (thread, message))
+            finally:
+                # an exception landing on the yield (injected crash,
+                # timeout, unwind) must deregister the rendezvous, or a
+                # late reply would be delivered into whatever this
+                # thread blocks on next
+                self._unhook(thread)
             if reply is _HANGUP:
                 if span is not None:
                     tracer.end(span, args={"fault": "hangup"})
@@ -109,9 +114,10 @@ class L4Endpoint:
             self._server = None
             self.kernel.wake(server, self._pending.popleft(),
                              from_thread=thread)
-        reply = yield thread.block("l4-call")
-        if thread in self._outstanding:
-            self._outstanding.remove(thread)
+        try:
+            reply = yield thread.block("l4-call")
+        finally:
+            self._unhook(thread)
         if reply is _HANGUP:
             if span is not None:
                 tracer.end(span, args={"fault": "hangup"})
@@ -132,24 +138,46 @@ class L4Endpoint:
         self._server = thread
         return (yield thread.block("l4-wait"))
 
+    def _unhook(self, thread: Thread) -> None:
+        """Deregister a caller leaving ``call`` by any path — normal
+        return, hangup, timeout or an exception injected at the yield."""
+        if thread in self._outstanding:
+            self._outstanding.remove(thread)
+        if any(entry[0] is thread for entry in self._pending):
+            self._pending = deque(entry for entry in self._pending
+                                  if entry[0] is not thread)
+
+    def _abandoned(self, caller: Thread) -> bool:
+        """A caller that timed out (and unhooked itself from
+        ``_outstanding``) or crashed has walked away from the
+        rendezvous: its reply must be dropped, not delivered — the wake
+        would land on whatever that thread blocks on *next* (another
+        call, or a server ``wait``) and be mistaken for its value."""
+        return caller.is_done or caller not in self._outstanding
+
     def reply_and_wait(self, thread: Thread, caller: Thread, reply=None):
         """Sub-generator: l4_ipc_reply_and_wait — the server fast path."""
         yield from self._entry(thread)
+        stale = self._abandoned(caller)
         if self._pending:
             # someone is already queued: wake the old caller normally and
             # take the next request without blocking
-            self.kernel.wake(caller, reply, from_thread=thread)
+            if not stale:
+                self.kernel.wake(caller, reply, from_thread=thread)
             return self._pending.popleft()
         self._server = thread
-        if self._same_cpu(thread, caller) and caller.state == "blocked":
-            yield from self._switch_cost(thread)
-            return (yield Handoff(caller, reply))
-        self.kernel.wake(caller, reply, from_thread=thread)
+        if not stale:
+            if self._same_cpu(thread, caller) and caller.state == "blocked":
+                yield from self._switch_cost(thread)
+                return (yield Handoff(caller, reply))
+            self.kernel.wake(caller, reply, from_thread=thread)
         return (yield thread.block("l4-wait"))
 
     def reply(self, thread: Thread, caller: Thread, reply=None):
         """Sub-generator: plain reply, server does not re-wait."""
         yield from self._entry(thread)
+        if self._abandoned(caller):
+            return
         if self._same_cpu(thread, caller) and caller.state == "blocked":
             yield from self._switch_cost(thread)
             yield Handoff(caller, reply)

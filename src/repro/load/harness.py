@@ -85,6 +85,11 @@ class LoadParams:
     #: arm per-shard circuit breakers around ``transport.call`` (forced
     #: on while a RecoverySession is active)
     breaker: bool = False
+    #: a :meth:`repro.topo.spec.TopoSpec.to_dict` service graph: when
+    #: set, the run instantiates the whole topology (one domain per
+    #: service, every hop over ``primitive``) instead of the single
+    #: client/server hop — see :class:`repro.topo.instantiate.TopoTransport`
+    topo: dict = None
 
 
 @dataclass
@@ -106,6 +111,7 @@ class LoadResult:
     p50_ns: float
     p95_ns: float
     p99_ns: float
+    p999_ns: float
     max_ns: float
     cpu_busy_fraction: float
     peak_backlog: int
@@ -134,6 +140,7 @@ class LoadResult:
             "p50_ns": self.p50_ns,
             "p95_ns": self.p95_ns,
             "p99_ns": self.p99_ns,
+            "p999_ns": self.p999_ns,
             "max_ns": self.max_ns,
             "cpu_busy_fraction": self.cpu_busy_fraction,
             "peak_backlog": self.peak_backlog,
@@ -350,7 +357,7 @@ def run_load_point(params: LoadParams, *,
                        else 0.0),
         mean_ns=summary["mean_ns"], p50_ns=summary["p50_ns"],
         p95_ns=summary["p95_ns"], p99_ns=summary["p99_ns"],
-        max_ns=summary["max_ns"],
+        p999_ns=summary["p999_ns"], max_ns=summary["max_ns"],
         cpu_busy_fraction=1.0 - modes["idle"] / total,
         peak_backlog=peak_backlog,
         backlog_at_end=backlog_at_end,

@@ -473,7 +473,16 @@ _TRANSPORTS = {cls.name: cls for cls in
 
 
 def make_transport(params) -> Transport:
-    """Instantiate the transport for ``params.primitive``."""
+    """Instantiate the transport for ``params.primitive``.
+
+    With ``params.topo`` set (a serialized service-graph spec), the
+    primitive names the *hop* type of a whole
+    :class:`repro.topo.instantiate.TopoTransport` topology instead of
+    a single client/server pool.
+    """
+    if getattr(params, "topo", None) is not None:
+        from repro.topo.instantiate import TopoTransport
+        return TopoTransport(params)
     try:
         cls = _TRANSPORTS[params.primitive]
     except KeyError:

@@ -1,0 +1,145 @@
+"""Seeded, deterministic generators for the six service-graph patterns.
+
+The patterns follow the muBench topology-scale replication: synthetic
+service meshes are not arbitrary random graphs, they fall into a small
+number of shapes that stress different axes of the IPC fabric —
+
+* ``seq_fanout`` — one root calling N-1 services one after another:
+  end-to-end latency is the *sum* of hop costs (aggregation tier);
+* ``par_fanout`` — the same star but children called concurrently on
+  helper threads: latency is the *max* of hop costs, throughput is
+  thread-pool pressure (scatter-gather tier);
+* ``chain_branch`` — a backbone chain with side leaves hanging off the
+  trunk; with no leaves it degenerates to the pure N-stage pipeline
+  (the Figure 8 OLTP chain is exactly ``chain_branch`` with n=3) —
+  the *depth* axis where per-hop costs compound;
+* ``tree`` — a balanced width-ary hierarchy (depth × width together);
+* ``random_tree`` — a probabilistic tree grown by seeded parent
+  selection, the irregular shapes real meshes have;
+* ``mesh`` — a layered DAG with seeded cross-layer shortcut edges, so
+  services have multiple parents (shared dependencies).
+
+Everything is a pure function of ``(pattern, n, seed, params)``: the
+same inputs produce a byte-identical :meth:`TopoSpec.canonical_json`
+in any process on any platform — the generator never touches global
+RNG state, dict iteration order, or wall-clock.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Union
+
+from repro.topo.spec import Edge, ServiceNode, TopoSpec
+
+PATTERNS = ("seq_fanout", "par_fanout", "chain_branch", "tree",
+            "random_tree", "mesh")
+
+
+def _nodes(n: int, work_ns: Union[float, Sequence[float]],
+           names: Optional[Sequence[str]], par_ids=()) -> List[ServiceNode]:
+    if names is not None and len(names) != n:
+        raise ValueError(f"{len(names)} names for {n} services")
+    out = []
+    for i in range(n):
+        work = work_ns[i] if isinstance(work_ns, (list, tuple)) \
+            else work_ns
+        out.append(ServiceNode(
+            id=i, name=names[i] if names is not None else f"svc{i}",
+            work_ns=float(work),
+            mode="par" if i in par_ids else "seq"))
+    return out
+
+
+def generate(pattern: str, n: int, *, seed: int = 0,
+             work_ns: Union[float, Sequence[float]] = 300.0,
+             req_size: int = 128,
+             names: Optional[Sequence[str]] = None,
+             width: int = 2, backbone: Optional[int] = None,
+             max_children: int = 3,
+             extra_edges: float = 0.25) -> TopoSpec:
+    """Generate one of the six patterns as a validated :class:`TopoSpec`.
+
+    ``width`` parameterizes ``tree`` (branching factor) and ``mesh``
+    (layer width); ``backbone`` is the trunk length of ``chain_branch``
+    (default: all of ``n``, i.e. a pure chain); ``max_children`` caps
+    the out-degree of ``random_tree``; ``extra_edges`` is the seeded
+    probability of each possible cross-layer shortcut in ``mesh``.
+    """
+    if pattern not in PATTERNS:
+        raise ValueError(f"unknown pattern {pattern!r} "
+                         f"(choose from {', '.join(PATTERNS)})")
+    if n < 1:
+        raise ValueError("a topology needs at least one service")
+    params: List[tuple] = []
+    edges: List[Edge] = []
+    par_ids: tuple = ()
+
+    if pattern in ("seq_fanout", "par_fanout"):
+        edges = [Edge(0, i, req_size) for i in range(1, n)]
+        if pattern == "par_fanout":
+            par_ids = (0,)
+    elif pattern == "chain_branch":
+        trunk = n if backbone is None else backbone
+        if not 1 <= trunk <= n:
+            raise ValueError(f"backbone {trunk} outside 1..{n}")
+        params.append(("backbone", trunk))
+        edges = [Edge(i - 1, i, req_size) for i in range(1, trunk)]
+        # side leaves hang off the trunk round-robin, root included
+        for j, leaf in enumerate(range(trunk, n)):
+            edges.append(Edge(j % trunk, leaf, req_size))
+    elif pattern == "tree":
+        if width < 1:
+            raise ValueError("tree width must be >= 1")
+        params.append(("width", width))
+        edges = [Edge((i - 1) // width, i, req_size)
+                 for i in range(1, n)]
+    elif pattern == "random_tree":
+        if max_children < 1:
+            raise ValueError("max_children must be >= 1")
+        params.append(("max_children", max_children))
+        rng = random.Random(seed)
+        out_degree = [0] * n
+        for i in range(1, n):
+            open_parents = [j for j in range(i)
+                            if out_degree[j] < max_children]
+            parent = open_parents[rng.randrange(len(open_parents))]
+            out_degree[parent] += 1
+            edges.append(Edge(parent, i, req_size))
+    elif pattern == "mesh":
+        if width < 1:
+            raise ValueError("mesh width must be >= 1")
+        params.append(("extra_edges", extra_edges))
+        params.append(("width", width))
+        rng = random.Random(seed)
+        # layer 0 is the root alone; later layers hold `width` services
+        layer_of = [0] + [1 + (i - 1) // width for i in range(1, n)]
+        for i in range(1, n):
+            above = [j for j in range(i) if layer_of[j] == layer_of[i] - 1]
+            parent = above[rng.randrange(len(above))]
+            edges.append(Edge(parent, i, req_size))
+        # seeded shortcuts: strictly downward, so the graph stays a DAG
+        present = {(e.src, e.dst) for e in edges}
+        for u in range(n):
+            for v in range(u + 1, n):
+                if layer_of[v] <= layer_of[u] or (u, v) in present:
+                    continue
+                if rng.random() < extra_edges:
+                    present.add((u, v))
+                    edges.append(Edge(u, v, req_size))
+
+    spec = TopoSpec(pattern=pattern, n=n, seed=seed,
+                    nodes=tuple(_nodes(n, work_ns, names, par_ids)),
+                    edges=tuple(edges),
+                    params=tuple(sorted(params)))
+    return spec.validate()
+
+
+def sequential_chain(names: Sequence[str], *,
+                     work_ns: Union[float, Sequence[float]] = 300.0,
+                     req_size: int = 128) -> TopoSpec:
+    """The pure N-stage pipeline (``chain_branch`` with no leaves) —
+    Figure 8's apache → php → mariadb chain is ``sequential_chain`` of
+    three names."""
+    return generate("chain_branch", len(names), names=list(names),
+                    work_ns=work_ns, req_size=req_size)

@@ -1,0 +1,224 @@
+"""Declarative service-graph specs with a canonical, hashable identity.
+
+A :class:`TopoSpec` is the contract between the generator, the
+instantiator and the runner cache: a rooted DAG of services where each
+node carries its work model (CPU burned per request) and how it visits
+its children (sequentially or in parallel), and each edge carries the
+request size of that hop.
+
+Identity is *content*, not construction: :meth:`TopoSpec.canonical_json`
+serializes with sorted keys and fixed separators, so two specs built
+from dicts with different key insertion orders hash identically
+(:meth:`TopoSpec.spec_hash`), and a spec embedded in a
+:class:`~repro.runner.points.PointSpec`'s kwargs keys the
+content-addressed result cache exactly like every other point input.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: how a node visits its children: one call after another, or all at
+#: once on helper threads joined before replying
+MODES = ("seq", "par")
+
+ROOT = 0
+
+
+@dataclass(frozen=True)
+class ServiceNode:
+    """One service (one domain/process when instantiated)."""
+
+    id: int
+    name: str
+    #: CPU burned by this service per request, before calling children
+    work_ns: float = 300.0
+    #: child visit order: "seq" or "par"
+    mode: str = "seq"
+
+    def to_dict(self) -> dict:
+        return {"id": self.id, "name": self.name,
+                "work_ns": self.work_ns, "mode": self.mode}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ServiceNode":
+        return cls(id=int(d["id"]), name=str(d["name"]),
+                   work_ns=float(d["work_ns"]), mode=str(d["mode"]))
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed call edge: ``src`` invokes ``dst`` once per request."""
+
+    src: int
+    dst: int
+    #: request bytes carried on this hop (the reply is a small ack)
+    req_size: int = 128
+
+    def to_dict(self) -> dict:
+        return {"src": self.src, "dst": self.dst,
+                "req_size": self.req_size}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Edge":
+        return cls(src=int(d["src"]), dst=int(d["dst"]),
+                   req_size=int(d["req_size"]))
+
+
+@dataclass(frozen=True)
+class TopoSpec:
+    """A rooted service DAG plus the provenance that generated it."""
+
+    pattern: str
+    n: int
+    seed: int
+    nodes: Tuple[ServiceNode, ...]
+    edges: Tuple[Edge, ...]
+    #: pattern-specific generator parameters, kept for provenance
+    params: Tuple[Tuple[str, float], ...] = field(default_factory=tuple)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "pattern": self.pattern,
+            "n": self.n,
+            "seed": self.seed,
+            "params": {k: v for k, v in self.params},
+            "nodes": [node.to_dict() for node in self.nodes],
+            "edges": [edge.to_dict() for edge in self.edges],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TopoSpec":
+        return cls(
+            pattern=str(d["pattern"]), n=int(d["n"]), seed=int(d["seed"]),
+            nodes=tuple(ServiceNode.from_dict(nd) for nd in d["nodes"]),
+            edges=tuple(Edge.from_dict(ed) for ed in d["edges"]),
+            params=tuple(sorted((str(k), v)
+                                for k, v in d.get("params", {}).items())))
+
+    def canonical_json(self) -> str:
+        """Byte-stable JSON: sorted keys, fixed separators — identical
+        regardless of how the source dicts were ordered."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "TopoSpec":
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Stable 16-hex content hash (feeds labels and the cache key)."""
+        digest = hashlib.sha256(self.canonical_json().encode())
+        return digest.hexdigest()[:16]
+
+    # -- graph queries ------------------------------------------------------
+
+    def children(self, node_id: int) -> List[int]:
+        return [e.dst for e in self.edges if e.src == node_id]
+
+    def parents(self, node_id: int) -> List[int]:
+        return [e.src for e in self.edges if e.dst == node_id]
+
+    def edge(self, src: int, dst: int) -> Edge:
+        for e in self.edges:
+            if e.src == src and e.dst == dst:
+                return e
+        raise KeyError(f"no edge {src}->{dst}")
+
+    def depth_of(self) -> Dict[int, int]:
+        """Longest-path depth (in hops) from the root to every node."""
+        depth = {ROOT: 0}
+        for node_id in self.topological_order():
+            for child in self.children(node_id):
+                depth[child] = max(depth.get(child, 0),
+                                   depth[node_id] + 1)
+        return depth
+
+    @property
+    def depth(self) -> int:
+        """Hops on the longest root-to-leaf path (chain of N: N-1)."""
+        return max(self.depth_of().values(), default=0)
+
+    @property
+    def width(self) -> int:
+        """Most nodes sharing one depth level."""
+        levels: Dict[int, int] = {}
+        for d in self.depth_of().values():
+            levels[d] = levels.get(d, 0) + 1
+        return max(levels.values(), default=0)
+
+    def topological_order(self) -> List[int]:
+        """Node ids, parents before children (raises on a cycle)."""
+        remaining = {node.id: len(self.parents(node.id))
+                     for node in self.nodes}
+        ready = sorted(i for i, deg in remaining.items() if deg == 0)
+        order: List[int] = []
+        while ready:
+            node_id = ready.pop(0)
+            order.append(node_id)
+            for child in self.children(node_id):
+                remaining[child] -= 1
+                if remaining[child] == 0:
+                    # insert sorted to keep the order deterministic
+                    lo = 0
+                    while lo < len(ready) and ready[lo] < child:
+                        lo += 1
+                    ready.insert(lo, child)
+        if len(order) != len(self.nodes):
+            raise ValueError("topology contains a cycle")
+        return order
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> "TopoSpec":
+        """Raise :class:`ValueError` unless this is a rooted, connected
+        DAG with exactly ``n`` services; returns self for chaining."""
+        if self.n != len(self.nodes):
+            raise ValueError(f"spec says n={self.n} but has "
+                             f"{len(self.nodes)} nodes")
+        ids = [node.id for node in self.nodes]
+        if ids != list(range(self.n)):
+            raise ValueError(f"node ids must be 0..{self.n - 1} in "
+                             f"order, got {ids}")
+        for node in self.nodes:
+            if node.mode not in MODES:
+                raise ValueError(f"node {node.id}: unknown mode "
+                                 f"{node.mode!r}")
+            if node.work_ns < 0:
+                raise ValueError(f"node {node.id}: negative work_ns")
+        seen = set()
+        for e in self.edges:
+            if not (0 <= e.src < self.n and 0 <= e.dst < self.n):
+                raise ValueError(f"edge {e.src}->{e.dst} out of range")
+            if e.src == e.dst:
+                raise ValueError(f"self-edge on node {e.src}")
+            if (e.src, e.dst) in seen:
+                raise ValueError(f"duplicate edge {e.src}->{e.dst}")
+            if e.req_size < 1:
+                raise ValueError(f"edge {e.src}->{e.dst}: req_size < 1")
+            seen.add((e.src, e.dst))
+        self.topological_order()  # raises on a cycle
+        # connectivity: every service reachable from the root
+        reached = {ROOT}
+        frontier = [ROOT]
+        while frontier:
+            node_id = frontier.pop()
+            for child in self.children(node_id):
+                if child not in reached:
+                    reached.add(child)
+                    frontier.append(child)
+        if len(reached) != self.n:
+            missing = sorted(set(ids) - reached)
+            raise ValueError(f"services unreachable from the root: "
+                             f"{missing}")
+        return self
+
+    def __repr__(self) -> str:
+        return (f"<TopoSpec {self.pattern} n={self.n} "
+                f"depth={self.depth} width={self.width} "
+                f"edges={len(self.edges)} hash={self.spec_hash()}>")

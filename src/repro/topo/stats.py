@@ -1,0 +1,50 @@
+"""Repetition statistics: mean and confidence interval across reps.
+
+The muBench topology-scale replication reports every cell of its run
+table as a mean over seeded repetitions with a confidence interval, so
+a "dIPC is 5x faster" verdict carries its uncertainty. Same discipline
+here: :func:`mean_ci` collapses the per-rep measurements of one
+(topology, size, primitive, load) cell into ``(mean, half_width)``
+using the two-sided 95% Student-t critical value — the right small-n
+statistic for the 2-5 reps a sweep can afford.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+#: two-sided 95% Student-t critical values by degrees of freedom
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+        30: 2.042}
+
+
+def t_critical(df: int) -> float:
+    """95% two-sided critical value (normal limit beyond the table)."""
+    if df < 1:
+        raise ValueError("need at least two samples for an interval")
+    if df in _T95:
+        return _T95[df]
+    for bound in sorted(_T95):
+        if df < bound:
+            return _T95[bound]
+    return 1.96
+
+
+def mean_ci(values: Sequence[float]) -> Tuple[float, float]:
+    """``(mean, 95% CI half-width)`` of a small sample.
+
+    One sample has no spread estimate: the half-width is 0.0 (rendered
+    as an exact value, which it is — the run is deterministic given its
+    seed; reps exist to vary the seed).
+    """
+    n = len(values)
+    if n == 0:
+        return (0.0, 0.0)
+    mean = sum(values) / n
+    if n == 1:
+        return (mean, 0.0)
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = t_critical(n - 1) * math.sqrt(var / n)
+    return (mean, half)

@@ -1,0 +1,60 @@
+"""fig10_topo: decomposition, rendering, and the compounding verdict."""
+
+import json
+
+from repro import units
+from repro.experiments import fig10_topo
+from repro.load.transports import PRIMITIVES
+from repro.runner.points import execute_spec
+
+
+def _cheap_specs():
+    return fig10_topo.points(scenarios=("chain-4", "chain-9"),
+                             rungs=(50.0,), reps=2,
+                             window_ns=0.6 * units.MS,
+                             warmup_ns=0.3 * units.MS)
+
+
+def test_points_embed_the_topology_and_are_json_safe():
+    specs = _cheap_specs()
+    assert len(specs) == 2 * len(PRIMITIVES) * 1 * 2
+    for spec in specs:
+        assert spec.driver == "fig10"
+        json.dumps(spec.kwargs)  # cache-key contract
+        assert spec.kwargs["topo"]["pattern"] == "chain_branch"
+    scenarios = {s.kwargs["scenario"] for s in specs}
+    assert scenarios == {"chain-4", "chain-9"}
+    # the graph itself keys the cache: scenarios differ in their topo
+    hashes = {json.dumps(s.kwargs["topo"], sort_keys=True)
+              for s in specs}
+    assert len(hashes) == 2
+
+
+def test_rep_seeds_differ_so_cis_measure_real_variance():
+    specs = _cheap_specs()
+    seeds = {s.kwargs["rep"]: s.kwargs["seed"] for s in specs}
+    assert len(set(seeds.values())) == 2
+
+
+def test_assembled_report_states_the_compounding_verdict():
+    specs = _cheap_specs()
+    report = fig10_topo.assemble(specs,
+                                 [execute_spec(s) for s in specs])
+    for column in ("tput[kops]", "goodput", "p50[us]", "p99[us]",
+                   "p999[us]"):
+        assert column in report
+    assert "-- chain-4: chain_branch n=4 depth=3" in report
+    assert "-- chain-9: chain_branch n=9 depth=8" in report
+    assert "mean +- 95% CI" in report
+    assert "end-to-end p50 speedup vs socket" in report
+    # chain-9 is depth 8: the >=5x compounding claim must hold there
+    assert "dIPC compounding: PASS (chain-9, depth 8:" in report
+
+
+def test_verdict_fails_without_a_deep_scenario():
+    specs = fig10_topo.points(scenarios=("chain-4",), rungs=(50.0,),
+                              reps=1, window_ns=0.6 * units.MS,
+                              warmup_ns=0.3 * units.MS)
+    report = fig10_topo.assemble(specs,
+                                 [execute_spec(s) for s in specs])
+    assert "dIPC compounding: FAIL (no scenario of depth >= 8" in report

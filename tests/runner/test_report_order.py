@@ -14,6 +14,8 @@ def test_section_order_is_the_canonical_tuple():
         ("Figure 7", "fig7"),
         ("Figure 1", "fig1"),
         ("Figure 8", "fig8"),
+        ("Figure 9", "fig9"),
+        ("Figure 10", "fig10"),
         ("In-text extras", "extras"),
     )
 

@@ -1,0 +1,66 @@
+"""Graph instantiation: every primitive serves every pattern shape."""
+
+import pytest
+
+from repro import units
+from repro.fault import InvariantAuditor
+from repro.load import LoadParams, run_load_point
+from repro.load.transports import PRIMITIVES
+from repro.topo import generate
+
+
+def _params(spec, primitive, **overrides):
+    base = dict(primitive=primitive, mode="open", policy="shed",
+                arrivals="poisson", offered_kops=50.0, n_clients=2,
+                n_conns=4, n_workers=2, queue_depth=8, req_size=128,
+                deadline_ns=2.0 * units.MS, num_cpus=8,
+                warmup_ns=0.3 * units.MS, window_ns=0.6 * units.MS,
+                seed=42, topo=spec.to_dict())
+    base.update(overrides)
+    return LoadParams(**base)
+
+
+@pytest.mark.parametrize("primitive", PRIMITIVES)
+def test_every_primitive_traverses_a_chain(primitive):
+    spec = generate("chain_branch", 4)
+    kernels = []
+    result = run_load_point(
+        _params(spec, primitive, max_requests_per_client=10,
+                drain=True), keep_kernel=kernels)
+    assert result.completed >= 8
+    assert result.completed == result.offered_seen
+    assert result.failed == 0
+    assert result.p50_ns > 3 * 300.0  # at least the 3 hops' work
+    InvariantAuditor(kernels[0]).assert_clean()
+
+
+def test_parallel_fanout_overlaps_children():
+    # parallel visits pay a helper-thread spawn/join per child, so the
+    # overlap only wins where per-hop cost dwarfs it — i.e. on socket
+    seq = run_load_point(_params(generate("seq_fanout", 6), "socket"))
+    par = run_load_point(_params(generate("par_fanout", 6), "socket"))
+    assert seq.completed > 10 and par.completed > 10
+    assert par.p50_ns < seq.p50_ns
+
+
+def test_topo_points_are_deterministic():
+    spec = generate("mesh", 8, width=2, seed=3)
+    a = run_load_point(_params(spec, "socket")).to_point()
+    b = run_load_point(_params(spec, "socket")).to_point()
+    assert a == b
+    assert a["p999_ns"] >= a["p99_ns"] >= a["p50_ns"] > 0
+
+
+def test_dipc_beats_socket_end_to_end_on_a_deep_chain():
+    spec = generate("chain_branch", 8)
+    socket = run_load_point(_params(spec, "socket"))
+    dipc = run_load_point(_params(spec, "dipc"))
+    assert dipc.p50_ns * 5 < socket.p50_ns
+
+
+def test_malformed_topo_spec_is_rejected():
+    spec = generate("chain_branch", 3)
+    broken = spec.to_dict()
+    broken["edges"][0]["dst"] = 17    # dangling edge
+    with pytest.raises(ValueError):
+        run_load_point(_params(spec, "pipe", topo=broken))

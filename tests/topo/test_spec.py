@@ -1,0 +1,160 @@
+"""Topology generation: determinism, DAG structure, spec hashing."""
+
+import json
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.topo import PATTERNS, TopoSpec, generate
+from repro.topo.generate import sequential_chain
+from repro.topo.spec import ROOT
+from repro.topo.stats import mean_ci, t_critical
+
+_KWARGS = {
+    "seq_fanout": {},
+    "par_fanout": {},
+    "chain_branch": {"backbone": 5},
+    "tree": {"width": 3},
+    "random_tree": {"seed": 7, "max_children": 2},
+    "mesh": {"width": 3, "seed": 3, "extra_edges": 0.3},
+}
+
+
+def _all(n=12):
+    return {p: generate(p, n, **_KWARGS[p]) for p in PATTERNS}
+
+
+def test_same_seed_same_bytes_within_process():
+    for pattern in PATTERNS:
+        a = generate(pattern, 10, seed=5, **{
+            k: v for k, v in _KWARGS[pattern].items() if k != "seed"})
+        b = generate(pattern, 10, seed=5, **{
+            k: v for k, v in _KWARGS[pattern].items() if k != "seed"})
+        assert a.canonical_json() == b.canonical_json()
+        assert a.spec_hash() == b.spec_hash()
+
+
+def test_same_seed_byte_identical_json_across_processes():
+    # the cache-key contract: a subprocess (fresh hash randomization,
+    # fresh interpreter) must serialize the same graph to the same bytes
+    program = (
+        "from repro.topo import generate\n"
+        "import sys\n"
+        "spec = generate('mesh', 12, seed=3, width=3, extra_edges=0.3)\n"
+        "sys.stdout.write(spec.canonical_json())\n")
+    outs = {
+        subprocess.run(
+            [sys.executable, "-c", program], check=True,
+            capture_output=True, text=True).stdout
+        for _ in range(2)}
+    assert len(outs) == 1
+    here = generate("mesh", 12, seed=3, width=3,
+                    extra_edges=0.3).canonical_json()
+    assert outs == {here}
+
+
+def test_all_patterns_are_connected_dags_with_exactly_n_services():
+    for pattern, spec in _all(12).items():
+        assert spec.n == 12 and len(spec.nodes) == 12, pattern
+        assert sorted(node.id for node in spec.nodes) == list(range(12))
+        # topological_order succeeding over every node proves acyclic
+        order = spec.topological_order()
+        assert sorted(order) == list(range(12)), pattern
+        # connected: every non-root service reachable from the root
+        seen = {ROOT}
+        for node_id in order:
+            if node_id in seen:
+                seen.update(spec.children(node_id))
+        assert seen == set(range(12)), pattern
+        # and every non-root has at least one parent
+        for node in spec.nodes:
+            if node.id != ROOT:
+                assert spec.parents(node.id), pattern
+
+
+def test_random_tree_edges_match_the_seeded_rng():
+    # replay the generator's draw sequence with the same seeded RNG:
+    # the published algorithm, not incidental state, defines the graph
+    n, seed, max_children = 15, 9, 2
+    spec = generate("random_tree", n, seed=seed,
+                    max_children=max_children)
+    rng = random.Random(seed)
+    out_degree = [0] * n
+    expected = []
+    for i in range(1, n):
+        open_parents = [j for j in range(i)
+                        if out_degree[j] < max_children]
+        parent = open_parents[rng.randrange(len(open_parents))]
+        out_degree[parent] += 1
+        expected.append((parent, i))
+    assert [(e.src, e.dst) for e in spec.edges] == expected
+    assert max(out_degree) <= max_children
+    # a tree has exactly n-1 edges
+    assert len(spec.edges) == n - 1
+
+
+def test_spec_hash_stable_under_dict_order_perturbation():
+    spec = generate("tree", 9, width=2)
+    round_tripped = TopoSpec.from_dict(
+        json.loads(spec.canonical_json()))
+    shuffled = {key: spec.to_dict()[key]
+                for key in reversed(list(spec.to_dict()))}
+    shuffled["nodes"] = [dict(reversed(list(node.items())))
+                         for node in shuffled["nodes"]]
+    perturbed = TopoSpec.from_dict(shuffled)
+    assert round_tripped.spec_hash() == spec.spec_hash()
+    assert perturbed.spec_hash() == spec.spec_hash()
+    assert perturbed.canonical_json() == spec.canonical_json()
+
+
+def test_different_seed_or_shape_changes_the_hash():
+    base = generate("mesh", 12, seed=3, width=3)
+    assert generate("mesh", 12, seed=4, width=3).spec_hash() \
+        != base.spec_hash()
+    assert generate("mesh", 13, seed=3, width=3).spec_hash() \
+        != base.spec_hash()
+
+
+def test_depth_and_width_read_the_shape():
+    chain = generate("chain_branch", 8)
+    assert chain.depth == 7 and chain.width == 1
+    star = generate("seq_fanout", 8)
+    assert star.depth == 1 and star.width == 7
+    tree = generate("tree", 7, width=2)
+    assert tree.depth == 2 and tree.width == 4
+
+
+def test_sequential_chain_names_and_structure():
+    spec = sequential_chain(("apache", "php", "mariadb"))
+    assert spec.pattern == "chain_branch" and spec.n == 3
+    assert [node.name for node in spec.nodes] == \
+        ["apache", "php", "mariadb"]
+    assert [(e.src, e.dst) for e in spec.edges] == [(0, 1), (1, 2)]
+    assert spec.depth == 2
+
+
+def test_generator_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        generate("moebius", 4)
+    with pytest.raises(ValueError):
+        generate("chain_branch", 0)
+    with pytest.raises(ValueError):
+        generate("chain_branch", 4, backbone=9)
+    with pytest.raises(ValueError):
+        generate("tree", 4, width=0)
+    with pytest.raises(ValueError):
+        generate("random_tree", 4, max_children=0)
+    with pytest.raises(ValueError):
+        sequential_chain(())
+
+
+def test_mean_ci_small_sample_statistics():
+    mean, half = mean_ci([10.0])
+    assert (mean, half) == (10.0, 0.0)
+    mean, half = mean_ci([9.0, 11.0])
+    assert mean == 10.0
+    # sample std of [9, 11] is sqrt(2), so the standard error is 1.0
+    assert half == pytest.approx(t_critical(1))
+    assert t_critical(1) > t_critical(9) > t_critical(120)
