@@ -1,0 +1,28 @@
+"""Deterministic concurrency checking (loom/Shuttle-style).
+
+Three cooperating parts, built on the fact that the whole simulation is
+a pure function of its seeds and its schedule decisions:
+
+* **exploration** — :class:`ScheduleController` turns every ready-queue
+  pick and same-timestamp event tie-break into a recorded decision
+  point; seeded strategies walk N alternative interleavings of any
+  figure driver or topo scenario, auditing each (A1–A9 + deadlock
+  detection);
+* **shrinking** — a delta-debugging minimizer reduces a failing fault
+  plan, decision trace and topology toward a local-minimum trigger;
+* **repro bundles** — every failure is captured as a self-contained
+  JSON bundle that ``python -m repro.experiments check --replay``
+  re-executes byte-identically.
+"""
+
+from repro.check.controller import (BaselineStrategy, PerturbStrategy,
+                                    RandomWalkStrategy, ReplayStrategy,
+                                    ScheduleController, strategy_for)
+from repro.check.deadlock import deadlock_victims, install_detector
+from repro.check.session import CheckSession
+
+__all__ = [
+    "BaselineStrategy", "CheckSession", "PerturbStrategy",
+    "RandomWalkStrategy", "ReplayStrategy", "ScheduleController",
+    "deadlock_victims", "install_detector", "strategy_for",
+]

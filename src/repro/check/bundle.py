@@ -1,0 +1,147 @@
+"""Self-contained repro bundles.
+
+A bundle is one JSON file holding everything needed to re-execute a
+failure byte-identically: the package source fingerprint and cost-
+constants hash (so a drifted tree is detected, not silently replayed),
+the target and seeds, the armed fault plans, the recorded schedule
+decision trace, and the findings the original run produced.
+
+Two kinds:
+
+* ``check`` — one explored schedule of a figure/scenario (written by
+  ``python -m repro.experiments check`` for every failing schedule);
+* ``point`` — one runner :class:`~repro.runner.points.PointSpec`
+  (written when ``--point-timeout`` retries are exhausted, so the
+  failure error message can carry a one-line repro command).
+
+``python -m repro.experiments check --replay <bundle>`` re-executes
+either kind and reports whether the recorded outcome reproduced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Tuple
+
+BUNDLE_VERSION = 1
+
+#: where bundles land unless --out overrides it
+DEFAULT_BUNDLE_DIR = ".repro-check"
+
+
+def default_bundle_dir() -> str:
+    """The bundle directory (``REPRO_CHECK_DIR`` overrides the
+    default — used by tests and CI to keep the tree clean)."""
+    return os.environ.get("REPRO_CHECK_DIR", DEFAULT_BUNDLE_DIR)
+
+
+def _stamp() -> dict:
+    from repro.runner.cache import package_fingerprint
+    from repro.trace.meta import constants_hash
+    return {"version": BUNDLE_VERSION,
+            "fingerprint": package_fingerprint(),
+            "constants": constants_hash()}
+
+
+def make_check_bundle(target: str, *, seed: int, chaos: bool,
+                      result: dict,
+                      topo_n: Optional[int] = None) -> dict:
+    """Bundle one failing explored schedule (an ``explore_one`` dict)."""
+    bundle = _stamp()
+    bundle.update({
+        "kind": "check",
+        "target": target,
+        "seed": seed,
+        "chaos": chaos,
+        "schedule": result["schedule"],
+        "strategy": result["strategy"],
+        "decisions": result["decisions"],
+        "plans": result["plans"],
+        "findings": result["findings"],
+    })
+    if topo_n is not None:
+        bundle["topo_n"] = topo_n
+    return bundle
+
+
+def make_point_bundle(spec) -> dict:
+    """Bundle one runner point (the --point-timeout failure path)."""
+    bundle = _stamp()
+    bundle.update({
+        "kind": "point",
+        "spec": {"driver": spec.driver, "module": spec.module,
+                 "func": spec.func, "kwargs": spec.kwargs},
+    })
+    return bundle
+
+
+def render(bundle: dict) -> str:
+    """Canonical bundle text: stable key order, stable formatting."""
+    return json.dumps(bundle, sort_keys=True, indent=1) + "\n"
+
+
+def write(path: str, bundle: dict) -> str:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(render(bundle))
+    return path
+
+
+def bundle_path(out_dir: str, target: str, schedule: int,
+                *, suffix: str = "") -> str:
+    name = f"bundle-{target}-s{schedule:03d}{suffix}.json"
+    return os.path.join(out_dir, name)
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        bundle = json.load(handle)
+    if not isinstance(bundle, dict) or "kind" not in bundle:
+        raise ValueError(f"{path} is not a repro bundle")
+    if bundle.get("version") != BUNDLE_VERSION:
+        raise ValueError(
+            f"{path}: bundle version {bundle.get('version')!r}, "
+            f"this tree expects {BUNDLE_VERSION}")
+    return bundle
+
+
+def stamp_mismatches(bundle: dict) -> List[str]:
+    """Fingerprint/constants drift between the bundle and this tree.
+
+    A drifted replay still runs — the whole point of a bundle is
+    debugging — but the mismatch is reported so "does not reproduce"
+    on changed code is never mistaken for a flake.
+    """
+    current = _stamp()
+    notes = []
+    for field in ("fingerprint", "constants"):
+        if bundle.get(field) != current[field]:
+            notes.append(f"{field} drift: bundle {bundle.get(field)!r} "
+                         f"vs tree {current[field]!r}")
+    return notes
+
+
+def replay(bundle: dict) -> Tuple[dict, bool]:
+    """Re-execute a bundle; returns ``(replay result, reproduced)``.
+
+    ``check`` bundles reproduce when the replayed findings list is
+    *identical* to the recorded one. ``point`` bundles reproduce when
+    the spec completes (the original failure was a stall/crash — a
+    clean completion means it did not reproduce here).
+    """
+    if bundle["kind"] == "point":
+        from repro.runner.points import PointSpec, execute_spec
+        spec = PointSpec(**bundle["spec"])
+        try:
+            result = execute_spec(spec)
+        except BaseException as exc:
+            return ({"error": f"{type(exc).__name__}: {exc}"}, True)
+        return ({"result": result}, False)
+    from repro.check.explore import explore_one
+    result = explore_one(
+        bundle["target"], seed=bundle["seed"],
+        schedule=bundle["schedule"], chaos=bundle["chaos"],
+        decisions=bundle["decisions"], plans=bundle["plans"],
+        topo_n=bundle.get("topo_n"))
+    return (result, result["findings"] == bundle["findings"])

@@ -1,0 +1,102 @@
+"""The ``check`` verb: explore, report, bundle, shrink, replay.
+
+``python -m repro.experiments check <target> --schedules N --seed S``
+runs ``N`` explored interleavings of a figure driver or scenario (see
+:mod:`repro.check.scenarios`), printing one summary line per schedule
+in schedule order — the output is byte-identical whether the schedules
+were computed serially or fanned out with ``--jobs``, because the fan-
+out goes through the same in-order :func:`repro.runner.pool.run_points`
+merge the figures use. Every failing schedule is written as a repro
+bundle; ``--shrink`` additionally minimizes the first failure.
+
+``python -m repro.experiments check --replay <bundle>`` re-executes a
+bundle (either kind) and exits 0 iff the recorded outcome reproduced.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+
+def run_replay(path: str) -> int:
+    """Re-execute one bundle; 0 = the recorded outcome reproduced."""
+    from repro.check import bundle as bundles
+    try:
+        loaded = bundles.load(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load bundle: {exc}", file=sys.stderr)
+        return 2
+    for note in bundles.stamp_mismatches(loaded):
+        print(f"note: {note}")
+    result, reproduced = bundles.replay(loaded)
+    if loaded["kind"] == "point":
+        print(f"point {loaded['spec']['driver']}: "
+              + (result.get("error", "completed cleanly")))
+    else:
+        print(f"check {loaded['target']} schedule "
+              f"{loaded['schedule']}: "
+              f"{len(result['findings'])} finding(s)")
+        for finding in result["findings"]:
+            print(f"  {finding}")
+    print("replay: reproduced" if reproduced
+          else "replay: did NOT reproduce")
+    return 0 if reproduced else 1
+
+
+def run_check(target: str, *, schedules: int, seed: int,
+              chaos: bool = False, strategy: str = "random",
+              jobs: int = 0, shrink: bool = False,
+              out_dir: Optional[str] = None,
+              topo_n: Optional[int] = None, cache=None) -> int:
+    """Explore ``schedules`` interleavings of ``target``; 0 = clean."""
+    from repro.check import bundle as bundles
+    from repro.check import scenarios
+    from repro.check.explore import specs_for, valid_target
+    from repro.runner.pool import run_points
+
+    if not valid_target(target):
+        from repro.runner.registry import SUPPORTED
+        print(f"unknown check target '{target}' (figures: "
+              f"{', '.join(SUPPORTED)}; scenarios: "
+              f"{', '.join(scenarios.names())})", file=sys.stderr)
+        return 2
+    out_dir = out_dir or bundles.default_bundle_dir()
+    specs = specs_for(target, schedules=schedules, seed=seed,
+                      chaos=chaos, strategy=strategy, topo_n=topo_n)
+    results, _stats = run_points(specs, jobs=max(jobs, 1))
+    failures = []
+    for result in results:
+        print(f"schedule {result['schedule']:03d}: "
+              f"{len(result['findings'])} finding(s), "
+              f"{result['decision_count']} decision(s) "
+              f"[{result['strategy']}]")
+        for finding in result["findings"]:
+            print(f"  {finding}")
+        if not result["findings"]:
+            continue
+        made = bundles.make_check_bundle(
+            target, seed=seed, chaos=chaos, result=result,
+            topo_n=topo_n)
+        path = bundles.write(
+            bundles.bundle_path(out_dir, target, result["schedule"]),
+            made)
+        failures.append((made, path))
+        print(f"  bundle: {path}")
+        print(f"  replay: python -m repro.experiments check "
+              f"--replay {path}")
+    print(f"check {target}: {schedules} schedule(s) explored, "
+          f"{len(failures)} failing")
+    if shrink and failures:
+        from repro.check.shrink import shrink_bundle
+        made, _path = failures[0]
+        result = shrink_bundle(made, cache=cache)
+        print(result.summary())
+        min_path = bundles.write(
+            bundles.bundle_path(out_dir, target, made["schedule"],
+                                suffix="-min"),
+            result.bundle)
+        print(f"minimized bundle: {min_path}")
+        print(f"replay: python -m repro.experiments check "
+              f"--replay {min_path}")
+    return 1 if failures else 0

@@ -1,0 +1,162 @@
+"""Decision points and exploration strategies.
+
+Every place the simulation makes an order choice that simulated time
+does not determine — which runnable thread a freed CPU picks, which of
+several same-timestamp events fires first — asks the installed
+:class:`ScheduleController`. The controller delegates to a *strategy*
+and records the ``(kind, n, choice)`` triple, so any explored
+interleaving can be replayed exactly from its decision trace.
+
+Strategies (loom/Shuttle-style):
+
+* :class:`BaselineStrategy` — always picks 0: byte-identical to the
+  uncontrolled run (heap seq order, FIFO runqueues);
+* :class:`RandomWalkStrategy` — a seeded uniform pick at every decision
+  point (Shuttle's random scheduler, the workhorse);
+* :class:`PerturbStrategy` — plays the baseline until one chosen
+  decision index, rotates that single pick, then returns to baseline: a
+  bounded round-robin sweep of "what if exactly this race flipped";
+* :class:`ReplayStrategy` — replays a recorded decision list verbatim
+  (the bundle-replay path), baseline beyond its end.
+
+Decision traces serialize as compact strings — ``"r1,e0,r2"`` — kind
+tag (``r``\\ unqueue / ``e``\\ vent) plus the chosen index.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+#: decision-kind tags used in serialized traces
+KIND_TAGS = {"event": "e", "runqueue": "r"}
+_TAG_KINDS = {tag: kind for kind, tag in KIND_TAGS.items()}
+
+
+class BaselineStrategy:
+    """Always pick 0 — reproduces the uncontrolled schedule."""
+
+    def choose(self, index: int, kind: str, n: int) -> int:
+        return 0
+
+    def describe(self) -> str:
+        return "baseline"
+
+
+class RandomWalkStrategy:
+    """Seeded uniform pick at every decision point."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def choose(self, index: int, kind: str, n: int) -> int:
+        return self._rng.randrange(n)
+
+    def describe(self) -> str:
+        return f"random(seed={self.seed})"
+
+
+class PerturbStrategy:
+    """Baseline with exactly one decision rotated.
+
+    ``flip_at`` is the decision index to perturb; ``rotate`` how far to
+    rotate it (modulo the fan-out at that point). Sweeping ``flip_at``
+    over the first decisions and ``rotate`` over 1..k enumerates the
+    single-flip neighbourhood of the deterministic schedule.
+    """
+
+    def __init__(self, flip_at: int, rotate: int = 1):
+        self.flip_at = flip_at
+        self.rotate = rotate
+
+    def choose(self, index: int, kind: str, n: int) -> int:
+        if index == self.flip_at:
+            return self.rotate % n
+        return 0
+
+    def describe(self) -> str:
+        return f"perturb(flip_at={self.flip_at}, rotate={self.rotate})"
+
+
+class ReplayStrategy:
+    """Replay a recorded decision list; baseline past its end."""
+
+    def __init__(self, choices: Sequence[int]):
+        self.choices = list(choices)
+
+    def choose(self, index: int, kind: str, n: int) -> int:
+        if index < len(self.choices):
+            return self.choices[index] % n
+        return 0
+
+    def describe(self) -> str:
+        return f"replay({len(self.choices)} decisions)"
+
+
+class ScheduleController:
+    """Records every decision point and delegates the pick.
+
+    Installed on an :class:`~repro.sim.engine.Engine` (``.controller``)
+    by :class:`repro.check.session.CheckSession`; the engine's
+    controlled loop and the scheduler's ``_dispatch`` call
+    :meth:`choose` only when there is a real choice (``n > 1``), so the
+    trace stays short and replay is insensitive to decision points that
+    never had fan-out.
+    """
+
+    def __init__(self, strategy):
+        self.strategy = strategy
+        self.choices: List[int] = []
+        self.kinds: List[str] = []
+
+    def choose(self, kind: str, n: int) -> int:
+        index = len(self.choices)
+        choice = self.strategy.choose(index, kind, n)
+        if not 0 <= choice < n:
+            choice %= n
+        self.choices.append(choice)
+        self.kinds.append(KIND_TAGS[kind])
+        return choice
+
+    @property
+    def decision_count(self) -> int:
+        return len(self.choices)
+
+    def trace(self) -> str:
+        """The serialized decision trace, e.g. ``"r1,e0,r2"``."""
+        return ",".join(f"{tag}{choice}" for tag, choice
+                        in zip(self.kinds, self.choices))
+
+
+def parse_trace(text: str) -> List[int]:
+    """Decision choices from a serialized trace (kind tags checked)."""
+    if not text:
+        return []
+    choices = []
+    for token in text.split(","):
+        if not token or token[0] not in _TAG_KINDS:
+            raise ValueError(f"bad decision token {token!r}")
+        choices.append(int(token[1:]))
+    return choices
+
+
+def strategy_for(name: str, seed: int, schedule: int):
+    """The strategy for schedule number ``schedule`` of an exploration.
+
+    Schedule 0 is always the baseline (the exact run every figure
+    normally executes), so a finding summary that includes schedule 0
+    doubles as a plain regression check. Later schedules derive from
+    ``seed`` and ``schedule`` only — exploration order never matters,
+    which is what lets ``--jobs N`` explore in parallel and still print
+    a byte-identical summary.
+    """
+    if schedule == 0:
+        return BaselineStrategy()
+    if name == "random":
+        return RandomWalkStrategy(seed * 65_537 + schedule)
+    if name == "perturb":
+        return PerturbStrategy(flip_at=(schedule - 1) // 3,
+                               rotate=1 + (schedule - 1) % 3)
+    raise ValueError(f"unknown strategy {name!r} "
+                     f"(choose from: random, perturb)")

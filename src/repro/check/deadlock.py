@@ -1,0 +1,63 @@
+"""Deadlock / lost-wakeup detection.
+
+The engine's event queue draining while live threads sit BLOCKED is the
+simulation's picture of a deadlock or a lost wakeup: no pending timer,
+no in-flight IPC, nothing will ever wake them. Before this detector the
+symptom was a silent hang of the workload (the run just returned with
+threads wedged) or a ``max_events`` overrun in drivers that spin.
+
+The detector is opt-in (``Kernel.enable_deadlock_detection()``, or any
+active :class:`repro.check.session.CheckSession`) because many healthy
+workloads park server loops forever by design — those threads are
+spawned with ``daemon=True`` and are exempt.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import DeadlockError
+
+#: thread.state value the scheduler uses for a parked thread
+_BLOCKED = "blocked"
+
+
+def deadlock_victims(kernel) -> List[Tuple[str, str]]:
+    """``(thread name, block reason)`` for every wedged thread.
+
+    A thread is wedged when it is BLOCKED, belongs to a live process,
+    and is not a daemon (server loops that block forever by design).
+    Callers invoke this only when the event queue has drained, so
+    "blocked" genuinely means "nothing will ever wake it".
+    """
+    victims: List[Tuple[str, str]] = []
+    for process in kernel.processes:
+        if not process.alive:
+            continue
+        for thread in process.threads:
+            if thread.state != _BLOCKED or getattr(thread, "daemon",
+                                                   False):
+                continue
+            victims.append((thread.name, thread.block_reason or "?"))
+    return victims
+
+
+def describe_wait_chain(victims: List[Tuple[str, str]]) -> str:
+    """The wait chain as one stable diagnostic line."""
+    return "; ".join(f"{name} waiting on {reason}"
+                     for name, reason in victims)
+
+
+def install_detector(kernel) -> None:
+    """Arm the kernel's engine to raise on an all-blocked drain."""
+    engine = kernel.engine
+
+    def _detect() -> None:
+        victims = deadlock_victims(kernel)
+        if victims:
+            raise DeadlockError(
+                f"{len(victims)} thread(s) blocked with no pending "
+                f"event: {describe_wait_chain(victims)}",
+                victims=victims)
+
+    engine.deadlock_detector = _detect

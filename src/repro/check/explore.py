@@ -1,0 +1,134 @@
+"""Running one explored schedule and fanning out over many.
+
+One *exploration* of a target (a figure driver or a
+:mod:`repro.check.scenarios` workload) is a pure function of
+
+``(target, seed, schedule, chaos, strategy, decisions, plans, topo_n)``
+
+— no wall clock, no object identity — so explorations decompose into
+:class:`~repro.runner.points.PointSpec` rows (``cacheable=False``: like
+chaos storms, they exist to *verify* behaviour) and fan out over the
+existing parallel runner while the findings summary stays
+byte-identical to a serial run.
+
+Finding lines are stable strings, each tagged with a kind prefix:
+
+* ``deadlock: ...`` — the engine drained with threads still blocked;
+* ``crash: ...`` — an unsanctioned simulated error escaped the run;
+* ``wrong-wake: ...`` — a scenario-level semantic assertion failed;
+* ``invariant: ...`` — the post-run A1–A9 auditor flagged a kernel.
+
+The kind prefix is the shrinker's failure signature: a candidate
+reproduces the failure iff it yields the same set of kinds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.check import scenarios
+from repro.check.controller import (ReplayStrategy, parse_trace,
+                                    strategy_for)
+from repro.check.session import CheckSession
+from repro.errors import DeadlockError, ReproError
+from repro.fault.session import (DEFAULT_PROCESSES,
+                                 DEFAULT_THREAD_PREFIXES)
+from repro.runner.points import PointSpec
+from repro import units
+
+#: storm-seed derivation per schedule, mirroring chaos.derived_seed
+def storm_seed_for(seed: int, schedule: int) -> int:
+    return seed * 100_003 + schedule
+
+
+def _session_for(target: str, *, storm_seed: int, chaos: bool,
+                 strategy, plans: Optional[List[list]]) -> CheckSession:
+    if scenarios.is_scenario(target):
+        scenario = scenarios.get(target)
+        return CheckSession(
+            strategy, chaos=chaos, storm_seed=storm_seed,
+            processes=scenario.processes,
+            thread_prefixes=scenario.thread_prefixes,
+            horizon_ns=scenario.horizon_ns,
+            min_rules=scenario.min_rules,
+            max_rules=scenario.max_rules,
+            plan_overrides=plans)
+    return CheckSession(
+        strategy, chaos=chaos, storm_seed=storm_seed,
+        processes=DEFAULT_PROCESSES,
+        thread_prefixes=DEFAULT_THREAD_PREFIXES,
+        horizon_ns=4.0 * units.MS, plan_overrides=plans)
+
+
+def _run_target(target: str, topo_n: Optional[int]) -> List[str]:
+    if scenarios.is_scenario(target):
+        return scenarios.get(target).run(topo_n)
+    from repro.runner import registry
+    from repro.runner.points import execute_spec
+    for spec in registry.specs_for(target, quick=True):
+        execute_spec(spec)
+    return []
+
+
+def explore_one(target: str, *, seed: int, schedule: int,
+                chaos: bool = False, strategy: str = "random",
+                decisions: Optional[str] = None,
+                plans: Optional[List[list]] = None,
+                topo_n: Optional[int] = None) -> dict:
+    """Run ``target`` once under one explored schedule.
+
+    ``decisions`` (a serialized trace) and ``plans`` (explicit per-
+    kernel fault-rule lists) switch the run into replay mode — that is
+    the bundle-replay and shrink-probe path. Returns a JSON-ready dict:
+    schedule number, strategy description, the recorded decision trace,
+    and every finding.
+    """
+    if decisions is not None:
+        picked = ReplayStrategy(parse_trace(decisions))
+    else:
+        picked = strategy_for(strategy, seed, schedule)
+    session = _session_for(
+        target, storm_seed=storm_seed_for(seed, schedule),
+        chaos=chaos, strategy=picked, plans=plans)
+    findings: List[str] = []
+    with session:
+        try:
+            findings.extend(_run_target(target, topo_n))
+        except DeadlockError as exc:
+            findings.append(f"deadlock: {exc}")
+        except ReproError as exc:
+            findings.append(f"crash: {type(exc).__name__}: {exc}")
+        findings.extend(session.audit_findings())
+    return {
+        "schedule": schedule,
+        "strategy": picked.describe(),
+        "decisions": session.controller.trace(),
+        "decision_count": session.controller.decision_count,
+        "findings": findings,
+        "plans": session.plans(),
+    }
+
+
+def compute_point(**kwargs) -> dict:
+    """Pool-worker entry point (one explored schedule per point)."""
+    return explore_one(kwargs.pop("target"), **kwargs)
+
+
+def specs_for(target: str, *, schedules: int, seed: int,
+              chaos: bool = False, strategy: str = "random",
+              topo_n: Optional[int] = None) -> List[PointSpec]:
+    """One spec per schedule number, 0 (baseline) first."""
+    specs = []
+    for schedule in range(schedules):
+        kwargs = {"target": target, "seed": seed, "schedule": schedule,
+                  "chaos": chaos, "strategy": strategy}
+        if topo_n is not None:
+            kwargs["topo_n"] = topo_n
+        specs.append(PointSpec(driver="check", module=__name__,
+                               kwargs=kwargs, cacheable=False))
+    return specs
+
+
+def valid_target(target: str) -> bool:
+    from repro.runner import registry
+    return scenarios.is_scenario(target) or target in registry.SUPPORTED

@@ -1,0 +1,266 @@
+"""Delta-debugging minimizer for failing check bundles.
+
+Given a ``check`` bundle whose run produced findings, shrink three
+axes toward a local minimum that still reproduces the same failure
+*signature* (the sorted set of finding kinds — ``deadlock``,
+``crash``, ``wrong-wake``, ``invariant``):
+
+1. **fault plan** — classic ddmin over the flattened
+   ``(kernel index, rule)`` list;
+2. **decision trace** — binary-search the shortest failing prefix
+   (replay is baseline-0 past the end of the trace, so truncation is
+   always meaningful), then zero out surviving non-zero picks;
+3. **topology size** — for sizeable scenarios, walk ``topo_n`` down
+   while the failure persists.
+
+Every candidate re-executes through :func:`repro.check.explore
+.explore_one` in replay mode; with a :class:`~repro.runner.cache
+.ResultCache` the probes are content-addressed exactly like figure
+points, so re-shrinking after an interrupted session is nearly free.
+The probe budget bounds total work — shrinking is best-effort, the
+result is a *smaller* repro, not necessarily the global minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.check.controller import parse_trace
+from repro.runner.points import PointSpec
+
+
+def signature(findings: List[str]) -> Tuple[str, ...]:
+    """The failure's identity: the sorted set of finding kinds."""
+    kinds = set()
+    for finding in findings:
+        kind, _, _rest = finding.partition(":")
+        kinds.add(kind.strip())
+    return tuple(sorted(kinds))
+
+
+def _render_decisions(kinds: List[str], choices: List[int]) -> str:
+    return ",".join(f"{tag}{choice}"
+                    for tag, choice in zip(kinds, choices))
+
+
+@dataclass
+class ShrinkResult:
+    """What the minimizer achieved, plus the minimized bundle."""
+
+    bundle: dict
+    target_signature: Tuple[str, ...]
+    probes: int = 0
+    from_rules: int = 0
+    to_rules: int = 0
+    from_decisions: int = 0
+    to_decisions: int = 0
+    from_topo_n: Optional[int] = None
+    to_topo_n: Optional[int] = None
+    history: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        line = (f"shrink: {self.from_rules} -> {self.to_rules} fault "
+                f"rule(s), {self.from_decisions} -> "
+                f"{self.to_decisions} decision(s)")
+        if self.from_topo_n is not None:
+            line += f", topo {self.from_topo_n} -> {self.to_topo_n}"
+        line += f" ({self.probes} probe(s))"
+        return line
+
+
+class Shrinker:
+    """Minimize one failing check bundle."""
+
+    def __init__(self, bundle: dict, *, cache=None,
+                 probe_budget: int = 250):
+        if bundle.get("kind") != "check":
+            raise ValueError("only check bundles can be shrunk")
+        self.original = bundle
+        self.cache = cache
+        self.probe_budget = probe_budget
+        self.target_signature = signature(bundle["findings"])
+        self.probes = 0
+        if not self.target_signature or self.target_signature == ("",):
+            raise ValueError("bundle has no findings to shrink toward")
+
+    # -- probing -----------------------------------------------------------
+
+    def _probe(self, plans: List[list], decisions: str,
+               topo_n: Optional[int]) -> bool:
+        """Does this candidate still reproduce the failure signature?"""
+        if self.probes >= self.probe_budget:
+            return False
+        self.probes += 1
+        bundle = self.original
+        kwargs = {"target": bundle["target"], "seed": bundle["seed"],
+                  "schedule": bundle["schedule"], "chaos": bundle["chaos"],
+                  "decisions": decisions, "plans": plans}
+        if topo_n is not None:
+            kwargs["topo_n"] = topo_n
+        spec = PointSpec(driver="check-shrink",
+                         module="repro.check.explore",
+                         func="compute_point", kwargs=kwargs,
+                         cacheable=self.cache is not None)
+        result = None
+        if self.cache is not None:
+            hit, cached = self.cache.lookup(spec)
+            if hit:
+                result = cached
+        if result is None:
+            from repro.check.explore import explore_one
+            result = explore_one(bundle["target"], **{
+                k: v for k, v in kwargs.items() if k != "target"})
+            if self.cache is not None:
+                self.cache.store(spec, result)
+        return signature(result["findings"]) == self.target_signature
+
+    # -- axis 1: fault plan ------------------------------------------------
+
+    def _shrink_plans(self, plans: List[list], decisions: str,
+                      topo_n: Optional[int]) -> List[list]:
+        flat = [(kernel_index, rule)
+                for kernel_index, rules in enumerate(plans)
+                for rule in rules]
+        n_kernels = len(plans)
+
+        def rebuild(entries) -> List[list]:
+            out: List[list] = [[] for _ in range(n_kernels)]
+            for kernel_index, rule in entries:
+                out[kernel_index].append(rule)
+            return out
+
+        def fails(entries) -> bool:
+            return self._probe(rebuild(entries), decisions, topo_n)
+
+        flat = _ddmin(flat, fails)
+        return rebuild(flat)
+
+    # -- axis 2: decision trace --------------------------------------------
+
+    def _shrink_decisions(self, plans: List[list], decisions: str,
+                          topo_n: Optional[int]) -> str:
+        choices = parse_trace(decisions)
+        if not choices:
+            return decisions
+        kinds = [token[0] for token in decisions.split(",")]
+
+        def fails(cand_choices: List[int]) -> bool:
+            cand = _render_decisions(kinds[:len(cand_choices)],
+                                     cand_choices)
+            return self._probe(plans, cand, topo_n)
+
+        # shortest failing prefix: replay is baseline (0) past the end,
+        # so prefix length L means "decisions beyond L are irrelevant"
+        low, high = 0, len(choices)
+        while low < high:
+            mid = (low + high) // 2
+            if fails(choices[:mid]):
+                high = mid
+            else:
+                low = mid + 1
+        choices = choices[:high]
+        # zero surviving non-zero picks, latest first (later decisions
+        # are the likeliest to be incidental)
+        for index in range(len(choices) - 1, -1, -1):
+            if choices[index] == 0:
+                continue
+            candidate = list(choices)
+            candidate[index] = 0
+            if fails(candidate):
+                choices = candidate
+        # a trailing run of zeros is baseline — drop it
+        while choices and choices[-1] == 0 and fails(choices[:-1]):
+            choices = choices[:-1]
+        return _render_decisions(kinds[:len(choices)], choices)
+
+    # -- axis 3: topology size ---------------------------------------------
+
+    def _shrink_topo(self, plans: List[list], decisions: str,
+                     topo_n: Optional[int]) -> Optional[int]:
+        if topo_n is None:
+            return None
+        best = topo_n
+        candidate = best - 1
+        while candidate >= 1 and self._probe(plans, decisions,
+                                             candidate):
+            best = candidate
+            candidate -= 1
+        return best
+
+    # -- driver ------------------------------------------------------------
+
+    def shrink(self) -> ShrinkResult:
+        from repro.check import scenarios
+        bundle = self.original
+        plans = [list(rules) for rules in bundle["plans"]]
+        decisions = bundle["decisions"]
+        topo_n = bundle.get("topo_n")
+        if topo_n is None and scenarios.is_scenario(bundle["target"]):
+            topo_n = scenarios.get(bundle["target"]).default_n
+        result = ShrinkResult(
+            bundle=dict(bundle),
+            target_signature=self.target_signature,
+            from_rules=sum(len(rules) for rules in plans),
+            from_decisions=len(parse_trace(decisions)),
+            from_topo_n=topo_n)
+        if not self._probe(plans, decisions, topo_n):
+            raise ValueError(
+                "bundle does not reproduce its recorded failure "
+                "signature; cannot shrink")
+        plans = self._shrink_plans(plans, decisions, topo_n)
+        decisions = self._shrink_decisions(plans, decisions, topo_n)
+        topo_n = self._shrink_topo(plans, decisions, topo_n)
+        # one more plan pass: a smaller trace/topo may unlock removals
+        plans = self._shrink_plans(plans, decisions, topo_n)
+        result.to_rules = sum(len(rules) for rules in plans)
+        result.to_decisions = len(parse_trace(decisions))
+        result.to_topo_n = topo_n
+        minimized = dict(bundle)
+        minimized["plans"] = plans
+        minimized["decisions"] = decisions
+        if topo_n is not None:
+            minimized["topo_n"] = topo_n
+        # re-run the minimum to record the exact findings it produces
+        # (same signature by construction, possibly different text)
+        from repro.check.explore import explore_one
+        final = explore_one(
+            bundle["target"], seed=bundle["seed"],
+            schedule=bundle["schedule"], chaos=bundle["chaos"],
+            decisions=decisions, plans=plans, topo_n=topo_n)
+        minimized["findings"] = final["findings"]
+        result.bundle = minimized
+        result.probes = self.probes
+        return result
+
+
+def _ddmin(items: list, fails) -> list:
+    """Zeller's ddmin: a 1-minimal sublist on which ``fails`` holds."""
+    if len(items) <= 1:
+        return items
+    granularity = 2
+    while len(items) >= 2:
+        chunk_size = max(1, len(items) // granularity)
+        chunks = [items[i:i + chunk_size]
+                  for i in range(0, len(items), chunk_size)]
+        reduced = False
+        for index in range(len(chunks)):
+            complement = [entry for j, chunk in enumerate(chunks)
+                          if j != index for entry in chunk]
+            if complement and fails(complement):
+                items = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(granularity * 2, len(items))
+    return items
+
+
+def shrink_bundle(bundle: dict, *, cache=None,
+                  probe_budget: int = 250) -> ShrinkResult:
+    """Convenience wrapper: shrink one loaded bundle."""
+    return Shrinker(bundle, cache=cache,
+                    probe_budget=probe_budget).shrink()

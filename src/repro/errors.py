@@ -138,6 +138,21 @@ class SimulationError(ReproError):
     """The discrete-event engine was used incorrectly."""
 
 
+class DeadlockError(SimulationError):
+    """The event queue drained with live threads still blocked.
+
+    Raised by the engine (when a deadlock detector is installed — see
+    ``Kernel.enable_deadlock_detection``) instead of letting an
+    all-blocked thread set surface as a silent hang or a ``max_events``
+    overrun. ``victims`` lists ``(thread name, block reason)`` pairs in
+    spawn order — the wait chain the diagnostic names.
+    """
+
+    def __init__(self, message, *, victims=()):
+        super().__init__(message)
+        self.victims = list(victims)
+
+
 class InvariantViolation(ReproError):
     """A post-run kernel sweep found a conservation property broken.
 

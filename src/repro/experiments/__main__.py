@@ -39,6 +39,16 @@ same seed, and exits non-zero on any invariant violation.
 ``python -m repro.experiments bench [--quick] [--jobs N] [--out DIR]``
 times the quick suite cold-serial, cold-parallel and warm-cached, plus
 an engine micro-benchmark, and writes ``DIR/BENCH_PR6.json``.
+
+``python -m repro.experiments check <target> [--schedules N] [--seed S]
+[--chaos] [--strategy random|perturb] [--jobs N] [--shrink] [--out DIR]
+[--topo-n N]`` explores N interleavings of a figure driver or a
+:mod:`repro.check.scenarios` workload under the deterministic schedule
+controller, running the deadlock detector and the A1-A9 invariant
+auditor after each; failing schedules are written as repro bundles
+(default ``.repro-check/``) and ``--shrink`` delta-debugs the first one
+to a minimal repro. ``check --replay <bundle>`` re-executes a bundle
+and exits 0 iff the recorded outcome reproduced byte-identically.
 """
 
 from __future__ import annotations
@@ -399,10 +409,45 @@ def main(argv=None) -> int:
     parser.add_argument("--storms", type=int, default=25,
                         help="deprecated 'chaos' subcommand: number of "
                              "fault storms (default 25)")
+    parser.add_argument("--schedules", type=int, default=25,
+                        help="'check' verb: number of interleavings to "
+                             "explore per target (default 25)")
+    parser.add_argument("--strategy", default="random",
+                        choices=("random", "perturb"),
+                        help="'check' verb: schedule exploration "
+                             "strategy (default random; schedule 0 is "
+                             "always the uncontrolled baseline)")
+    parser.add_argument("--shrink", action="store_true",
+                        help="'check' verb: delta-debug the first "
+                             "failing schedule down to a minimal repro")
+    parser.add_argument("--replay", metavar="BUNDLE",
+                        help="'check' verb: re-execute a repro bundle "
+                             "and exit 0 iff the recorded outcome "
+                             "reproduced")
+    parser.add_argument("--topo-n", type=int, default=None,
+                        help="'check' verb: topology size for sizeable "
+                             "scenarios (e.g. chain4)")
     args = parser.parse_args(argv)
     names = list(args.names) or ["all"]
 
     # -- verbs ---------------------------------------------------------
+    if names[0] == "check" or args.replay:
+        from repro.check import cli as check_cli
+        if args.replay:
+            return check_cli.run_replay(args.replay)
+        if len(names) != 2:
+            print("usage: python -m repro.experiments check <target> "
+                  "[--schedules N] [--seed S] [--chaos] [--strategy S] "
+                  "[--jobs N] [--shrink] [--out DIR] [--topo-n N]  |  "
+                  "check --replay <bundle>", file=sys.stderr)
+            return 2
+        out_dir = args.out if args.out != "." else None
+        cache = _make_cache(args)
+        return check_cli.run_check(
+            _normalize(names[1]), schedules=args.schedules,
+            seed=args.seed, chaos=args.chaos, strategy=args.strategy,
+            jobs=args.jobs, shrink=args.shrink, out_dir=out_dir,
+            topo_n=args.topo_n, cache=cache)
     if names[0] == "bench" and len(names) == 1:
         return _run_bench_cli(args.quick, args.jobs, args.out)
     if names[0] == "chaos" and len(names) == 1:

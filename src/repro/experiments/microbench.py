@@ -229,7 +229,8 @@ def bench_sem(*, same_cpu: bool = True, size: int = 1,
             yield from buffer.consume(t)
             yield from reply.post(t)
 
-    kernel.spawn(proc_b, server, pin=callee_pin, name="sem-server")
+    kernel.spawn(proc_b, server, pin=callee_pin, name="sem-server",
+                 daemon=True)
     kernel.spawn(proc_a, harness.caller_body(iteration), pin=caller_pin,
                  name="sem-caller")
     kernel.run()
@@ -264,7 +265,8 @@ def bench_pipe(*, same_cpu: bool = True, size: int = 1,
             yield t.compute(STUB_NS + kernel.costs.TOUCH_ARG)
             yield from reply.write(t, 1)
 
-    kernel.spawn(proc_b, server, pin=callee_pin, name="pipe-server")
+    kernel.spawn(proc_b, server, pin=callee_pin, name="pipe-server",
+                 daemon=True)
     kernel.spawn(proc_a, harness.caller_body(iteration), pin=caller_pin,
                  name="pipe-caller")
     kernel.run()
@@ -306,7 +308,7 @@ def bench_rpc(*, same_cpu: bool = True, size: int = 1,
         yield from client.shutdown_server(t)
 
     kernel.spawn(server_proc, server.serve_loop, pin=callee_pin,
-                 name="rpc-svc")
+                 name="rpc-svc", daemon=True)
 
     def body(t):
         yield from harness.caller_body(iteration)(t)
@@ -346,7 +348,8 @@ def bench_l4(*, same_cpu: bool = True, iters: int = DEFAULT_ITERS,
         yield from harness.caller_body(iteration)(t)
         yield from endpoint.call(t, "stop")
 
-    kernel.spawn(server_proc, server, pin=callee_pin, name="l4-srv")
+    kernel.spawn(server_proc, server, pin=callee_pin, name="l4-srv",
+                 daemon=True)
     kernel.spawn(client_proc, body, pin=caller_pin, name="l4-cli")
     kernel.run()
     kernel.check()
@@ -448,7 +451,7 @@ def bench_dipc_user_rpc(*, size: int = 1, iters: int = DEFAULT_ITERS,
         yield from request.wake(t)
         yield from reply.wait(t)
 
-    kernel.spawn(proc, server, pin=1, name="urpc-server")
+    kernel.spawn(proc, server, pin=1, name="urpc-server", daemon=True)
     kernel.spawn(proc, harness.caller_body(iteration), pin=0,
                  name="urpc-caller")
     kernel.run()

@@ -243,7 +243,8 @@ def _build_workload(kernel, manager, rng: random.Random, *,
         return 64, ("ok", payload)
 
     server.register("work", work)
-    kernel.spawn(rpcsrv, server.serve_loop, name="rpcsrv/svc")
+    kernel.spawn(rpcsrv, server.serve_loop, name="rpcsrv/svc",
+                 daemon=True)
     client = RpcClient(kernel, rpccli, namespace, "/chaos/rpc",
                        retries=2, reply_timeout_ns=100_000.0)
 
@@ -295,7 +296,7 @@ def _build_workload(kernel, manager, rng: random.Random, *,
         except KernelError:
             pass
 
-    kernel.spawn(l4srv, l4_server, name="l4srv/s", pin=3)
+    kernel.spawn(l4srv, l4_server, name="l4srv/s", pin=3, daemon=True)
     kernel.spawn(l4cli, l4_client, name="l4cli/c", pin=3)
     return wl
 

@@ -61,6 +61,23 @@ class FaultRule:
             return f"ev={self.at_event}"
         return f"t={self.at_ns:.1f}"
 
+    def to_dict(self) -> dict:
+        """JSON-representable form (repro bundles, shrink candidates)."""
+        entry = {"action": self.action, "target": self.target,
+                 "param": self.param}
+        if self.at_event is not None:
+            entry["at_event"] = self.at_event
+        else:
+            entry["at_ns"] = self.at_ns
+        return entry
+
+    @classmethod
+    def from_dict(cls, entry: dict) -> "FaultRule":
+        return cls(entry["action"], entry["target"],
+                   at_ns=entry.get("at_ns"),
+                   at_event=entry.get("at_event"),
+                   param=entry.get("param", 0))
+
 
 @dataclass
 class InjectionRecord:
@@ -153,3 +170,11 @@ class FaultPlan:
         lines = [f"  {r.action:<14} {r.target:<18} {r.trigger_desc()}"
                  for r in self.rules]
         return "\n".join(lines)
+
+    def to_list(self) -> List[dict]:
+        """JSON-representable rules (repro bundles, shrink candidates)."""
+        return [rule.to_dict() for rule in self.rules]
+
+    @classmethod
+    def from_list(cls, entries: Iterable[dict]) -> "FaultPlan":
+        return cls([FaultRule.from_dict(entry) for entry in entries])

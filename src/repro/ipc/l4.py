@@ -33,6 +33,11 @@ class L4Endpoint:
         #: callers currently waiting for a reply (list, not set: wake
         #: order on hangup must be deterministic)
         self._outstanding: list = []
+        #: per-caller call counter — bumped on every ``call`` entry, so
+        #: a reply can be matched against the *specific* call it answers
+        self._epoch: dict = {}
+        #: the caller epoch in force when the server took each request
+        self._serving: dict = {}
         self.hung_up = False
         self._owner = None
         self._kill_hook_installed = False
@@ -59,6 +64,7 @@ class L4Endpoint:
             if not caller.is_done:
                 self.kernel.wake(caller, _HANGUP)
         self._outstanding.clear()
+        self._serving.clear()
 
     # -- cost fragments ---------------------------------------------------------
 
@@ -87,10 +93,15 @@ class L4Endpoint:
                 tracer.end(span, args={"fault": "hangup"})
             raise PeerResetError("l4 endpoint owner is dead")
         self.calls += 1
+        # each call is a new epoch: a reply to an earlier, timed-out
+        # call of this same thread must never satisfy this one
+        epoch = self._epoch.get(thread, 0) + 1
+        self._epoch[thread] = epoch
         server = self._server
         if server is not None and self._same_cpu(thread, server):
             self._server = None
             self._outstanding.append(thread)
+            self._serving[thread] = epoch
             try:
                 yield from self._switch_cost(thread)
                 reply = yield Handoff(server, (thread, message))
@@ -112,7 +123,7 @@ class L4Endpoint:
         self._outstanding.append(thread)
         if server is not None:
             self._server = None
-            self.kernel.wake(server, self._pending.popleft(),
+            self.kernel.wake(server, self._take_pending(),
                              from_thread=thread)
         try:
             reply = yield thread.block("l4-call")
@@ -132,11 +143,21 @@ class L4Endpoint:
         """Sub-generator: l4_ipc_wait — returns (caller, message)."""
         yield from self._entry(thread)
         if self._pending:
-            return self._pending.popleft()
+            return self._take_pending()
         if self._server is not None:
             raise KernelError("endpoint already has a waiting server")
         self._server = thread
         return (yield thread.block("l4-wait"))
+
+    def _take_pending(self) -> Tuple[Thread, object]:
+        """Pop the next queued request, recording which call epoch the
+        server is now answering. ``_unhook`` prunes a departed caller's
+        queue entries, so anything still queued here belongs to the
+        caller's *current* epoch."""
+        entry = self._pending.popleft()
+        caller = entry[0]
+        self._serving[caller] = self._epoch.get(caller, 0)
+        return entry
 
     def _unhook(self, thread: Thread) -> None:
         """Deregister a caller leaving ``call`` by any path — normal
@@ -152,8 +173,17 @@ class L4Endpoint:
         ``_outstanding``) or crashed has walked away from the
         rendezvous: its reply must be dropped, not delivered — the wake
         would land on whatever that thread blocks on *next* (another
-        call, or a server ``wait``) and be mistaken for its value."""
-        return caller.is_done or caller not in self._outstanding
+        call, or a server ``wait``) and be mistaken for its value.
+
+        Membership in ``_outstanding`` alone is not enough: the caller
+        may have timed out and already *re-registered* for its next
+        call, in which case it is outstanding again — but for a newer
+        epoch than the one this reply answers. Comparing the epoch the
+        server took the request under against the caller's current
+        epoch closes that window."""
+        return (caller.is_done
+                or caller not in self._outstanding
+                or self._serving.get(caller) != self._epoch.get(caller))
 
     def reply_and_wait(self, thread: Thread, caller: Thread, reply=None):
         """Sub-generator: l4_ipc_reply_and_wait — the server fast path."""
@@ -164,7 +194,7 @@ class L4Endpoint:
             # take the next request without blocking
             if not stale:
                 self.kernel.wake(caller, reply, from_thread=thread)
-            return self._pending.popleft()
+            return self._take_pending()
         self._server = thread
         if not stale:
             if self._same_cpu(thread, caller) and caller.state == "blocked":

@@ -15,6 +15,7 @@ from repro.codoms.access import AccessEngine
 from repro.codoms.apl import APLRegistry
 from repro.codoms.aplcache import APLCache
 from repro.codoms.tags import TagAllocator
+from repro.check.session import CheckSession
 from repro.errors import DeadProcessError
 from repro.fault.session import ChaosSession
 from repro.hw.machine import Machine
@@ -41,6 +42,9 @@ class Kernel:
         TraceSession.maybe_attach(self)
         # inside an active ChaosSession, every kernel gets a fault storm
         ChaosSession.maybe_attach(self)
+        # inside an active CheckSession, every kernel is explored:
+        # schedule controller + deadlock detector + optional storm
+        CheckSession.maybe_attach(self)
         self.phys = PhysicalMemory(total_frames=256 * units.MB
                                    // units.PAGE_SIZE)
         self.scheduler = Scheduler(self)
@@ -88,11 +92,16 @@ class Kernel:
     def spawn(self, process: Process,
               body: Callable[[Thread], Generator], *,
               name: str = "", pin: Optional[int] = None,
-              start: bool = True) -> Thread:
-        """Create (and by default start) a thread in ``process``."""
+              start: bool = True, daemon: bool = False) -> Thread:
+        """Create (and by default start) a thread in ``process``.
+
+        ``daemon=True`` marks server loops that block forever by
+        design; the deadlock detector (``repro.check``) ignores them.
+        """
         if not process.alive:
             raise DeadProcessError(f"{process.name} has exited")
-        thread = Thread(self, process, body, name=name, pin=pin)
+        thread = Thread(self, process, body, name=name, pin=pin,
+                        daemon=daemon)
         if start:
             self.scheduler.start(thread)
         return thread
@@ -171,6 +180,13 @@ class Kernel:
             process.domain_tags.add(process.default_tag)
             process.dipc_enabled = True
         return process
+
+    def enable_deadlock_detection(self) -> None:
+        """Raise :class:`repro.errors.DeadlockError` whenever the event
+        queue drains with live non-daemon threads still blocked, instead
+        of returning from ``run()`` as if nothing were wrong."""
+        from repro.check.deadlock import install_detector
+        install_detector(self)
 
     # -- running ---------------------------------------------------------------------------
 

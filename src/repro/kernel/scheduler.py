@@ -132,6 +132,7 @@ class Scheduler:
         """Install ``thread`` on ``cpu``, pay switch costs, then advance."""
         cpu.end_idle(self.engine.now())
         cpu.current = thread
+        thread.block_reason = None
         thread.cpu = cpu
         thread.last_cpu_index = cpu.index
         thread.state = thread_mod.RUNNING
@@ -176,7 +177,15 @@ class Scheduler:
             self.steals += 1
             self._begin_run(cpu, stolen, self.costs.CTX_SWITCH)
             return
-        thread = runqueue.popleft()
+        controller = self.engine.controller
+        if controller is not None and len(runqueue) > 1:
+            # schedule exploration: the ready-queue pick is a decision
+            # point — any queued thread is a legal next choice
+            choice = controller.choose("runqueue", len(runqueue))
+            thread = runqueue[choice]
+            del runqueue[choice]
+        else:
+            thread = runqueue.popleft()
         self.context_switches += 1
         self._begin_run(cpu, thread, self.costs.CTX_SWITCH)
 
@@ -235,6 +244,7 @@ class Scheduler:
             self._do_charge(cpu, thread, effect.ns, effect.block)
         elif isinstance(effect, BlockThread):
             thread.state = thread_mod.BLOCKED
+            thread.block_reason = effect.reason
             thread.cpu = None
             thread.last_ran = self.engine.now()
             self._end_run_span(thread)
@@ -250,6 +260,7 @@ class Scheduler:
                     f"handoff to {target.name} pinned to CPU{target.pin}"))
                 return
             thread.state = thread_mod.BLOCKED
+            thread.block_reason = f"handoff:{target.name}"
             thread.cpu = None
             thread.last_ran = self.engine.now()
             self._end_run_span(thread)

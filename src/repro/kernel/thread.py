@@ -30,12 +30,19 @@ class Thread:
     """One schedulable thread, bound to an owning process."""
 
     def __init__(self, kernel, process, body: Callable[["Thread"], Generator],
-                 *, name: str = "", pin: Optional[int] = None):
+                 *, name: str = "", pin: Optional[int] = None,
+                 daemon: bool = False):
         self.kernel = kernel
         self.process = process
         self.tid = next(_tid_counter)
         self.name = name or f"{process.name}/t{self.tid}"
         self.pin = pin
+        #: daemon threads (server loops that block forever by design)
+        #: are exempt from deadlock detection (repro.check)
+        self.daemon = daemon
+        #: why the thread last blocked (BlockThread reason or handoff
+        #: target), recorded by the scheduler for deadlock diagnostics
+        self.block_reason: Optional[str] = None
         self.state = NEW
         self.gen = body(self)
         self.cpu = None

@@ -102,7 +102,8 @@ class Transport:
 
     def _spawn_worker(self, kernel, index: int):
         thread = kernel.spawn(self.server_proc, self.worker_body(index),
-                              name=f"{WORKER_PREFIX}{index}")
+                              name=f"{WORKER_PREFIX}{index}",
+                              daemon=True)
         self.worker_threads[index] = thread
         if self.supervisor is not None:
             self.supervisor.adopt(

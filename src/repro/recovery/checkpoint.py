@@ -109,6 +109,23 @@ class CheckpointJournal:
         self._fh.flush()
         os.fsync(self._fh.fileno())
 
+    def record_failure(self, index: int, info: Any) -> None:
+        """Append one *failed* point: ``{"i": ..., "failed": ...}``.
+
+        ``load`` skips these lines (no ``"result"`` key), so a failure
+        is never mistaken for a completed point on ``--resume`` — the
+        entry exists purely so the journal tells the whole story of an
+        aborted sweep, including the repro-bundle path for the point
+        that sank it.
+        """
+        if self._fh is None:
+            raise RuntimeError("journal not started")
+        line = json.dumps({"i": index, "failed": info},
+                          sort_keys=True, separators=(",", ":"))
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
     def close(self) -> None:
         """Stop journaling but keep the file (the --resume handle)."""
         if self._fh is not None:

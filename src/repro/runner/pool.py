@@ -18,6 +18,7 @@ raises :class:`PointFailure` naming it.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -32,6 +33,33 @@ from repro.runner.points import PointSpec, _execute_payload, execute_spec
 
 class PointFailure(RuntimeError):
     """One point kept failing after its retry budget was spent."""
+
+
+def _point_failure(spec: PointSpec, index: int, reason: str,
+                   journal: Optional[CheckpointJournal]) -> PointFailure:
+    """Build a :class:`PointFailure` that carries its own repro.
+
+    The message names the point's content-addressed cache hash, writes
+    a ``point`` repro bundle, and quotes the one-line replay command;
+    the same details land in the checkpoint journal as a ``failed``
+    entry so an aborted sweep's journal records *why* it aborted.
+    """
+    from repro.check.bundle import (default_bundle_dir, make_point_bundle,
+                                    write)
+    key = ResultCache().key(spec)
+    path = os.path.join(default_bundle_dir(), f"point-{key}.json")
+    try:
+        write(path, make_point_bundle(spec))
+    except OSError:
+        path = "<bundle write failed>"
+    replay = f"python -m repro.experiments check --replay {path}"
+    if journal is not None and journal._fh is not None:
+        journal.record_failure(index, {
+            "point": spec.label(), "hash": key,
+            "bundle": path, "reason": reason})
+    return PointFailure(
+        f"point {spec.label()} {reason} [cache hash {key}]; "
+        f"repro: {replay}")
 
 
 @dataclass
@@ -110,7 +138,7 @@ def run_points(specs: Sequence[PointSpec], *, jobs: int = 1,
             if jobs > 1 and len(misses) > 1:
                 _run_parallel(specs, misses, jobs, finish, stats,
                               timeout_s=timeout_s, retries=retries,
-                              retry_seed=retry_seed)
+                              retry_seed=retry_seed, journal=journal)
             else:
                 # in-process: an exception here is deterministic
                 # simulation behaviour, not a crashed worker — no retry
@@ -126,7 +154,7 @@ def run_points(specs: Sequence[PointSpec], *, jobs: int = 1,
 
 
 def _run_parallel(specs, misses, jobs, finish, stats, *,
-                  timeout_s, retries, retry_seed) -> None:
+                  timeout_s, retries, retry_seed, journal=None) -> None:
     """Fan outstanding points over a process pool, surviving crashes.
 
     Runs in rounds: each round submits every outstanding point to a
@@ -173,10 +201,11 @@ def _run_parallel(specs, misses, jobs, finish, stats, *,
                         attempts[index] += 1
                         stats.retried += 1
                         if attempts[index] > retries:
-                            raise PointFailure(
-                                f"point {specs[index].label()} failed "
-                                f"{attempts[index]} time(s): "
-                                f"{type(exc).__name__}: {exc}") from exc
+                            raise _point_failure(
+                                specs[index], index,
+                                f"failed {attempts[index]} time(s): "
+                                f"{type(exc).__name__}: {exc}",
+                                journal) from exc
                     else:
                         outstanding.discard(index)
                         finish(index, value)
@@ -189,10 +218,10 @@ def _run_parallel(specs, misses, jobs, finish, stats, *,
                 attempts[index] += 1
                 stats.retried += 1
                 if attempts[index] > retries:
-                    raise PointFailure(
-                        f"point {specs[index].label()} did not complete "
-                        f"after {attempts[index]} attempt(s) "
-                        f"(crashed or stalled pool)")
+                    raise _point_failure(
+                        specs[index], index,
+                        f"did not complete after {attempts[index]} "
+                        f"attempt(s) (crashed or stalled pool)", journal)
 
 
 def summary(stats: RunStats) -> str:

@@ -76,6 +76,15 @@ class Engine:
         #: span/counter recorder; NULL_TRACER unless a TraceSession (or a
         #: caller) installs a live repro.trace.Tracer
         self.tracer = NULL_TRACER
+        #: schedule-exploration hook (repro.check.ScheduleController);
+        #: when set, run() routes through _run_controlled so every
+        #: same-timestamp tie-break becomes a recorded decision point.
+        #: None keeps the inlined hot loop below completely untouched.
+        self.controller = None
+        #: zero-arg callable invoked when run() drains the queue with no
+        #: live event left; raises DeadlockError if threads are wedged
+        #: (installed by Kernel.enable_deadlock_detection)
+        self.deadlock_detector = None
 
     # -- clock --------------------------------------------------------------
 
@@ -213,6 +222,9 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         try:
+            if self.controller is not None:
+                self._run_controlled(until_ns, max_events)
+                return
             # local aliases for the hot loop; _prune() and
             # at_event_count() mutate these lists in place, never rebind
             queue = self._queue
@@ -251,8 +263,87 @@ class Engine:
                     target = min(target, head)
                 if target > self._now:
                     self._now = target
+            self._check_drained()
         finally:
             self._running = False
+
+    def _check_drained(self) -> None:
+        """Run the deadlock detector when the queue has fully drained.
+
+        Only a *true* drain counts: after a ``max_events`` or
+        ``until_ns`` stop, pending events may still wake blocked
+        threads, so the detector stays quiet.
+        """
+        if self.deadlock_detector is not None \
+                and self._next_live_time() is None:
+            self.deadlock_detector()
+
+    def _run_controlled(self, until_ns: Optional[float],
+                        max_events: Optional[int]) -> None:
+        """The :meth:`run` loop with schedule exploration enabled.
+
+        Semantically identical to the inlined hot loop except that when
+        several live events share the earliest timestamp, the installed
+        controller picks which one fires — every such tie-break is a
+        recorded decision point. With a baseline controller (always
+        picks 0) the event order is exactly the hot loop's seq order,
+        which is what makes schedule 0 reproduce the untouched run.
+        """
+        queue = self._queue
+        triggers = self._count_triggers
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        controller = self.controller
+        processed = 0
+        while queue:
+            if max_events is not None and processed >= max_events:
+                break
+            head = queue[0]
+            if head.cancelled:
+                heappop(queue)
+                head.popped = True
+                self._cancelled_in_queue -= 1
+                self._retire(head)
+                continue
+            if until_ns is not None and head.time > until_ns:
+                break
+            # gather every live event at the head timestamp: each is a
+            # legal next step under the simulated-time semantics
+            batch = [heappop(queue)]
+            now_ns = batch[0].time
+            while queue and queue[0].time == now_ns:
+                event = heappop(queue)
+                if event.cancelled:
+                    event.popped = True
+                    self._cancelled_in_queue -= 1
+                    self._retire(event)
+                    continue
+                batch.append(event)
+            if len(batch) > 1:
+                choice = controller.choose("event", len(batch))
+                event = batch.pop(choice)
+                for other in batch:
+                    heappush(queue, other)  # seq preserved: still stable
+            else:
+                event = batch[0]
+            event.popped = True
+            self._now = now_ns
+            self.events_processed += 1
+            fn = event.fn
+            self._retire(event)
+            fn()
+            processed += 1
+            while triggers and triggers[0][0] <= self.events_processed:
+                _count, _seq, trigger_fn = heappop(triggers)
+                trigger_fn()
+        if until_ns is not None and self._now < until_ns:
+            target = until_ns
+            head_time = self._next_live_time()
+            if head_time is not None:
+                target = min(target, head_time)
+            if target > self._now:
+                self._now = target
+        self._check_drained()
 
     def _next_live_time(self) -> Optional[float]:
         """Timestamp of the earliest non-cancelled queued event.

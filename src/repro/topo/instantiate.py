@@ -459,7 +459,7 @@ class TopoTransport(Transport):
         hop, slot = self._worker_slots[index]
         thread = self.kernel.spawn(
             hop.dst_proc, hop.worker_body(slot),
-            name=f"{WORKER_PREFIX}{index}")
+            name=f"{WORKER_PREFIX}{index}", daemon=True)
         self.worker_threads[index] = thread
         if self.supervisor is not None:
             self.supervisor.adopt(

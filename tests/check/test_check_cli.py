@@ -1,0 +1,84 @@
+"""The check verb end-to-end: summaries, bundles, exit codes, replay."""
+
+import os
+
+import pytest
+
+from repro.check import cli
+
+
+def run_main(argv):
+    from repro.experiments.__main__ import main
+    return main(argv)
+
+
+def test_check_writes_bundles_and_exits_nonzero(tmp_path, capsys):
+    code = cli.run_check("lostwake", schedules=6, seed=7, chaos=True,
+                         out_dir=str(tmp_path))
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "failing" in out
+    written = [n for n in os.listdir(str(tmp_path))
+               if n.startswith("bundle-lostwake-")]
+    assert written  # every failing schedule left a bundle
+    assert "check --replay" in out
+
+
+def test_check_clean_target_exits_zero(tmp_path, capsys):
+    code = cli.run_check("l4race", schedules=4, seed=7,
+                         out_dir=str(tmp_path))
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 failing" in out
+    assert os.listdir(str(tmp_path)) == []
+
+
+def test_check_summary_identical_across_jobs(tmp_path, capsys):
+    cli.run_check("lostwake", schedules=5, seed=7, chaos=True,
+                  out_dir=str(tmp_path / "a"))
+    serial = capsys.readouterr().out
+    cli.run_check("lostwake", schedules=5, seed=7, chaos=True,
+                  jobs=2, out_dir=str(tmp_path / "b"))
+    parallel = capsys.readouterr().out
+    assert serial.replace("/a", "/b") == parallel
+
+
+def test_check_rejects_unknown_target(capsys):
+    assert cli.run_check("fig99", schedules=2, seed=7) == 2
+
+
+def test_replay_cli_round_trip(tmp_path, capsys):
+    cli.run_check("lostwake", schedules=6, seed=7, chaos=True,
+                  out_dir=str(tmp_path))
+    capsys.readouterr()
+    bundle = sorted(os.listdir(str(tmp_path)))[0]
+    code = cli.run_replay(os.path.join(str(tmp_path), bundle))
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "replay: reproduced" in out
+
+
+def test_replay_missing_file_is_usage_error(capsys):
+    assert cli.run_replay("/nonexistent/bundle.json") == 2
+
+
+def test_main_dispatches_check_verb(tmp_path, capsys):
+    code = run_main(["check", "lostwake", "--schedules", "4",
+                     "--seed", "7", "--chaos", "--out", str(tmp_path)])
+    assert code == 1  # lostwake storms find the deadlock
+    assert "schedule 000" in capsys.readouterr().out
+
+
+def test_main_check_usage_error(capsys):
+    assert run_main(["check"]) == 2
+
+
+def test_shrink_flag_writes_min_bundle(tmp_path, capsys):
+    code = run_main(["check", "lostwake", "--schedules", "6",
+                     "--seed", "7", "--chaos", "--shrink", "--no-cache",
+                     "--out", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "shrink:" in out
+    assert any(n.endswith("-min.json")
+               for n in os.listdir(str(tmp_path)))

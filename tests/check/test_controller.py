@@ -1,0 +1,75 @@
+"""Schedule-controller unit behaviour: strategies, traces, replay."""
+
+import pytest
+
+from repro.check.controller import (BaselineStrategy, PerturbStrategy,
+                                    RandomWalkStrategy, ReplayStrategy,
+                                    ScheduleController, parse_trace,
+                                    strategy_for)
+
+
+def test_baseline_always_picks_head():
+    controller = ScheduleController(BaselineStrategy())
+    picks = [controller.choose("runqueue", n) for n in (2, 5, 3)]
+    assert picks == [0, 0, 0]
+    assert controller.trace() == "r0,r0,r0"
+    assert controller.decision_count == 3
+
+
+def test_random_walk_is_deterministic_per_seed():
+    def run(seed):
+        controller = ScheduleController(RandomWalkStrategy(seed))
+        return [controller.choose("event", 4) for _ in range(10)]
+
+    assert run(11) == run(11)
+    # different seeds must explore different interleavings (for some n)
+    assert any(run(11)[i] != run(12)[i] for i in range(10))
+
+
+def test_choices_are_always_in_range():
+    controller = ScheduleController(RandomWalkStrategy(3))
+    for n in (2, 3, 7, 2, 5):
+        assert 0 <= controller.choose("runqueue", n) < n
+
+
+def test_trace_round_trips_through_parse():
+    controller = ScheduleController(RandomWalkStrategy(5))
+    picks = [controller.choose("runqueue", 3) for _ in range(4)]
+    picks.append(controller.choose("event", 2))
+    text = controller.trace()
+    assert parse_trace(text) == picks
+
+
+def test_replay_reproduces_and_extends_with_baseline():
+    recorded = [1, 0, 2]
+    controller = ScheduleController(ReplayStrategy(recorded))
+    assert [controller.choose("runqueue", 3) for _ in range(3)] \
+        == recorded
+    # past the end of the trace the replay decays to baseline
+    assert controller.choose("runqueue", 4) == 0
+
+
+def test_perturb_flips_exactly_one_decision():
+    baseline = ScheduleController(BaselineStrategy())
+    base = [baseline.choose("runqueue", 3) for _ in range(5)]
+    perturbed = ScheduleController(PerturbStrategy(flip_at=2, rotate=1))
+    got = [perturbed.choose("runqueue", 3) for _ in range(5)]
+    diffs = [i for i in range(5) if got[i] != base[i]]
+    assert diffs == [2]
+    assert got[2] == 1  # rotated by 1 within range
+
+
+def test_strategy_for_schedule_zero_is_baseline():
+    assert strategy_for("random", 7, 0).describe() == "baseline"
+    assert strategy_for("perturb", 7, 0).describe() == "baseline"
+
+
+def test_strategy_for_seeds_diverge_per_schedule():
+    a = strategy_for("random", 7, 1).describe()
+    b = strategy_for("random", 7, 2).describe()
+    assert a != b
+
+
+def test_strategy_for_rejects_unknown_name():
+    with pytest.raises(ValueError):
+        strategy_for("quantum", 7, 1)

@@ -1,0 +1,54 @@
+"""CheckSession wiring: attach, storms, plan overrides, nesting."""
+
+import pytest
+
+from repro.check.controller import BaselineStrategy
+from repro.check.session import CheckSession
+from repro.kernel import Kernel
+
+
+def test_session_instruments_every_kernel():
+    with CheckSession(BaselineStrategy()) as session:
+        a = Kernel(num_cpus=2)
+        b = Kernel(num_cpus=2)
+    assert session.kernels == [a, b]
+    assert a.engine.controller is session.controller
+    assert b.engine.controller is session.controller
+    assert a.engine.deadlock_detector is not None
+
+
+def test_no_session_means_no_instrumentation():
+    kernel = Kernel(num_cpus=2)
+    assert kernel.engine.controller is None
+    assert kernel.engine.deadlock_detector is None
+
+
+def test_sessions_do_not_nest():
+    with CheckSession(BaselineStrategy()):
+        with pytest.raises(RuntimeError):
+            CheckSession(BaselineStrategy()).__enter__()
+    assert CheckSession.current() is None
+
+
+def test_chaos_arms_deterministic_storms():
+    def plans_for(seed):
+        with CheckSession(BaselineStrategy(), chaos=True,
+                          storm_seed=seed,
+                          processes=("p",),
+                          thread_prefixes=("p/w",)) as session:
+            Kernel(num_cpus=2)
+        return session.plans()
+
+    assert plans_for(3) == plans_for(3)
+    assert plans_for(3) != plans_for(4)
+    assert plans_for(3)[0]  # the storm has at least one rule
+
+
+def test_plan_overrides_replace_sampling():
+    rules = [{"action": "kill_process", "target": "p", "param": 0,
+              "at_ns": 100.0}]
+    with CheckSession(BaselineStrategy(), chaos=True,
+                      plan_overrides=[rules]) as session:
+        Kernel(num_cpus=2)
+        Kernel(num_cpus=2)  # beyond the override list: no storm
+    assert session.plans() == [rules]

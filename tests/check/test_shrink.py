@@ -1,0 +1,81 @@
+"""Shrinker convergence: the seeded lostwake storm must minimize to a
+tiny local-minimum repro, and the minimized bundle must still replay.
+
+This is the CI regression the ISSUE pins: <= 5 fault events and <= 20
+schedule decisions after shrinking.
+"""
+
+import pytest
+
+from repro.check import bundle as bundles
+from repro.check.explore import explore_one
+from repro.check.shrink import Shrinker, _ddmin, shrink_bundle, signature
+from repro.runner.cache import ResultCache
+
+
+@pytest.fixture(scope="module")
+def failing_bundle():
+    for schedule in range(16):
+        result = explore_one("lostwake", seed=7, schedule=schedule,
+                             chaos=True)
+        if result["findings"]:
+            return bundles.make_check_bundle(
+                "lostwake", seed=7, chaos=True, result=result)
+    raise AssertionError("no failing lostwake schedule found")
+
+
+def test_signature_is_kind_set():
+    assert signature(["deadlock: x", "deadlock: y", "crash: z"]) \
+        == ("crash", "deadlock")
+
+
+def test_ddmin_finds_single_culprit():
+    probes = []
+
+    def fails(items):
+        probes.append(list(items))
+        return 13 in items
+
+    assert _ddmin(list(range(20)), fails) == [13]
+
+
+def test_shrinker_converges_to_issue_bounds(failing_bundle):
+    result = shrink_bundle(failing_bundle)
+    assert result.to_rules <= 5
+    assert result.to_decisions <= 20
+    assert result.to_rules <= result.from_rules
+    assert result.to_decisions <= result.from_decisions
+    assert signature(result.bundle["findings"]) \
+        == result.target_signature
+
+
+def test_minimized_bundle_replays_byte_identically(failing_bundle):
+    minimized = shrink_bundle(failing_bundle).bundle
+    replayed, reproduced = bundles.replay(minimized)
+    assert reproduced
+    assert replayed["findings"] == minimized["findings"]
+
+
+def test_shrink_probes_go_through_result_cache(tmp_path, failing_bundle):
+    cache = ResultCache(str(tmp_path))
+    first = shrink_bundle(failing_bundle, cache=cache)
+    # a second shrink replays entirely from cache: same minimum
+    second = shrink_bundle(failing_bundle, cache=cache)
+    assert second.bundle == first.bundle
+    # the cache directory actually holds probe entries
+    import os
+    assert any(name.endswith(".json")
+               for name in os.listdir(str(tmp_path)))
+
+
+def test_shrinker_rejects_clean_bundles(failing_bundle):
+    clean = dict(failing_bundle)
+    clean["findings"] = []
+    with pytest.raises(ValueError):
+        Shrinker(clean)
+
+
+def test_probe_budget_bounds_work(failing_bundle):
+    shrinker = Shrinker(failing_bundle, probe_budget=3)
+    shrinker.shrink()
+    assert shrinker.probes <= 3

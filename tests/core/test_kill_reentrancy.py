@@ -1,7 +1,13 @@
 """Kill re-entrancy: kills arriving twice or in any order never unwind a
-thread twice, and kill hooks observe each death exactly once (§5.2.1)."""
+thread twice, and kill hooks observe each death exactly once (§5.2.1).
 
-from repro.errors import RemoteFault
+Every test arms deadlock detection: the unwind paths under test must
+leave no thread silently wedged — a kill that strands a blocked thread
+now raises :class:`repro.errors.DeadlockError` instead of returning."""
+
+import pytest
+
+from repro.errors import DeadlockError, RemoteFault
 
 from tests.core.conftest import wire_up_call
 
@@ -24,6 +30,7 @@ def test_double_kill_is_idempotent(kernel, manager, web, database):
     kernel.engine.post(5_000, lambda: kernel.kill_process(database))
     kernel.engine.post(5_000, lambda: kernel.kill_process(database))
     kernel.engine.post(6_000, lambda: kernel.kill_process(database))
+    kernel.enable_deadlock_detection()
     kernel.run()
     kernel.check()
     # exactly one unwind reached the caller, not one per kill
@@ -41,6 +48,7 @@ def test_callee_then_caller_kill(kernel, manager, web, database):
     thread = kernel.spawn(web, body, pin=0)
     kernel.engine.post(5_000, lambda: kernel.kill_process(database))
     kernel.engine.post(6_000, lambda: kernel.kill_process(web))
+    kernel.enable_deadlock_detection()
     kernel.run()
     assert thread.is_done
     assert thread.kcs.depth == 0
@@ -56,6 +64,7 @@ def test_caller_then_callee_kill(kernel, manager, web, database):
     thread = kernel.spawn(web, body, pin=0)
     kernel.engine.post(5_000, lambda: kernel.kill_process(web))
     kernel.engine.post(6_000, lambda: kernel.kill_process(database))
+    kernel.enable_deadlock_detection()
     kernel.run()
     assert thread.is_done
     assert thread.kcs.depth == 0
@@ -77,6 +86,7 @@ def test_simultaneous_kill_same_instant(kernel, manager, web, database):
         kernel.kill_process(database)
 
     kernel.engine.post(5_000, kill_both)
+    kernel.enable_deadlock_detection()
     kernel.run()
     assert thread.is_done
     assert thread.kcs.depth == 0
@@ -107,3 +117,31 @@ def test_kill_hook_may_kill_another_process(kernel, manager, web, database):
     kernel.run()
     assert deaths == ["database", "web"]
     assert not web.alive and not database.alive
+
+def test_stranded_thread_raises_deadlock_error(kernel, web):
+    """A thread blocked with nothing left to wake it is a structured
+    DeadlockError naming the victim and its wait reason, not a silent
+    return."""
+    def body(t):
+        yield t.block("never-signalled")
+
+    kernel.spawn(web, body, pin=0, name="web/stuck")
+    kernel.enable_deadlock_detection()
+    with pytest.raises(DeadlockError) as info:
+        kernel.run()
+    assert info.value.victims == [("web/stuck", "never-signalled")]
+    assert "never-signalled" in str(info.value)
+
+
+def test_daemon_thread_is_not_a_deadlock_victim(kernel, web):
+    """Server loops parked forever by design (daemon=True) are exempt;
+    a kill of their process still drains cleanly."""
+    def server(t):
+        yield t.block("serve-forever")
+
+    kernel.spawn(web, server, pin=0, daemon=True)
+    kernel.enable_deadlock_detection()
+    kernel.run()  # must not raise
+    kernel.engine.post(1_000, lambda: kernel.kill_process(web))
+    kernel.run()
+    assert not web.alive

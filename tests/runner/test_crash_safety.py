@@ -149,3 +149,42 @@ def test_stalled_pool_times_out_as_point_failure(tmp_path):
              _spec("ok_point", value=1)]
     with pytest.raises(PointFailure, match="stalled"):
         run_points(specs, jobs=2, timeout_s=0.3, retries=0)
+
+def test_point_failure_names_hash_and_replay(tmp_path, monkeypatch):
+    """An exhausted point's error must be actionable: the cache hash
+    identifies the exact point content, the quoted command replays it."""
+    monkeypatch.setenv("REPRO_CHECK_DIR", str(tmp_path / "bundles"))
+    specs = [_spec("always_fail_point"), _spec("ok_point", value=1)]
+    with pytest.raises(PointFailure) as info:
+        run_points(specs, jobs=2, retries=0)
+    message = str(info.value)
+    assert "cache hash" in message
+    assert "check --replay" in message
+    from repro.runner.cache import ResultCache
+    assert ResultCache().key(specs[0]) in message
+    # the quoted bundle exists and replays as a point bundle
+    bundles = glob.glob(str(tmp_path / "bundles" / "point-*.json"))
+    assert len(bundles) == 1
+    from repro.check.bundle import load
+    assert load(bundles[0])["kind"] == "point"
+    assert load(bundles[0])["spec"]["driver"] == "crashsafe"
+
+
+def test_point_failure_is_journaled(tmp_path, monkeypatch):
+    """The checkpoint journal records the failure (and --resume skips
+    the entry instead of mistaking it for a completed point)."""
+    import json
+    monkeypatch.setenv("REPRO_CHECK_DIR", str(tmp_path / "bundles"))
+    specs = [_spec("always_fail_point"), _spec("ok_point", value=1)]
+    with pytest.raises(PointFailure):
+        run_points(specs, jobs=2, retries=0, checkpoint=str(tmp_path))
+    journal_path = glob.glob(str(tmp_path / "checkpoint-*.jsonl"))[0]
+    failed = [json.loads(line)
+              for line in open(journal_path) if '"failed"' in line]
+    assert len(failed) == 1
+    assert failed[0]["i"] == 0
+    assert failed[0]["failed"]["bundle"].endswith(".json")
+    assert "hash" in failed[0]["failed"]
+    # a resume sees only genuinely completed points
+    recovered = CheckpointJournal(journal_path).load()
+    assert 0 not in recovered
