@@ -22,7 +22,13 @@ One verb, orthogonal flags:
   ``--out``;
 * ``--chaos`` arms a deterministic fault storm (``repro.fault``,
   seeded by ``--seed``) against every kernel the experiment builds,
-  and prints the injection summary after the figure.
+  and prints the injection summary after the figure;
+* ``--shards N`` (fig10 only) partitions every topology point across
+  N shard engines with conservative time-window sync (``repro.shard``)
+  — the rendered figure is byte-identical for any shard count. It
+  composes with ``--chaos`` (seeded service-outage storms, in-process
+  transport) and with ``--resume`` (per-shard mid-window checkpoints
+  under ``--cache-dir``).
 
 ``--trace``/``--chaos`` attach to kernels built *in this process*, so
 either flag forces the serial path (a note is printed when ``--jobs``
@@ -36,9 +42,13 @@ working as deprecated aliases (a warning goes to stderr):
 log to ``--out``/chaos.log, verifies the log is byte-identical for the
 same seed, and exits non-zero on any invariant violation.
 
-``python -m repro.experiments bench [--quick] [--jobs N] [--out DIR]``
-times the quick suite cold-serial, cold-parallel and warm-cached, plus
-an engine micro-benchmark, and writes ``DIR/BENCH_PR6.json``.
+``python -m repro.experiments bench [--quick] [--jobs N] [--out DIR]
+[--label L]`` times the quick suite cold-serial, cold-parallel and
+warm-cached, an engine micro-benchmark, and one sharded mesh-12 point
+(1 shard vs min(4, cpu_count)); it writes ``DIR/BENCH_PR8.json`` and
+appends the payload to the ``bench/results/`` history. ``bench
+--compare [--tolerance F]`` diffs the two newest history entries and
+exits non-zero on a regression beyond the tolerance.
 
 ``python -m repro.experiments check <target> [--schedules N] [--seed S]
 [--chaos] [--strategy random|perturb] [--jobs N] [--shrink] [--out DIR]
@@ -252,85 +262,58 @@ def _run_traced(name: str, quick: bool, out_dir: str,
     return 0
 
 
-def _engine_events_per_sec(n: int = 200_000) -> float:
-    """Post-and-fire throughput of the bare event loop (events/sec)."""
-    from repro.sim.engine import Engine
-    engine = Engine()
-
-    def tick():
-        if engine.events_processed < n:
-            engine.post(1.0, tick)
-
-    engine.post(0.0, tick)
-    start = time.perf_counter()
-    engine.run()
-    return engine.events_processed / (time.perf_counter() - start)
+def _run_bench_cli(args) -> int:
+    """The ``bench`` verb (see :mod:`repro.experiments.bench`)."""
+    from repro.experiments import bench
+    if args.compare:
+        return bench.compare(tolerance=args.tolerance)
+    return bench.run_bench(args.quick, args.jobs, args.out,
+                           label=args.label)
 
 
-def _run_bench_cli(quick: bool, jobs: int, out_dir: str) -> int:
-    """Time the suite cold-serial / cold-parallel / warm-cached and the
-    engine micro-loop; write ``BENCH_PR6.json``."""
-    import json
-    import platform
-    import tempfile
+def _run_fig10_shards_cli(args) -> int:
+    """Run fig10 with every topology point sharded across N engines.
 
-    from repro.runner import registry
-    from repro.runner.cache import ResultCache
-    from repro.runner.pool import run_points, summary
+    The sharded coordinator (repro.shard) parallelizes *inside* one
+    simulation point, so the figure itself runs serially in this
+    process; checkpoints land under --cache-dir and ``--resume`` picks
+    up a killed sweep mid-window. Output is byte-identical to the
+    unsharded path.
+    """
+    from repro.experiments import fig10_topo
+    from repro.runner.points import execute_spec
+    from repro.shard import runner as shard_runner
 
-    jobs = jobs if jobs > 1 else 4
-    specs = [spec for name in registry.SUPPORTED
-             for spec in registry.specs_for(name, quick)]
-    print(f"\n{'=' * 78}\nbench: {len(specs)} points, jobs={jobs}, "
-          f"{'quick' if quick else 'full'} mode\n{'=' * 78}")
-
-    def timed(run_jobs: int, cache, label: str):
-        start = time.perf_counter()
-        results, stats = run_points(specs, jobs=run_jobs, cache=cache)
-        elapsed = time.perf_counter() - start
-        print(f"{label}: {elapsed:.1f}s  ({summary(stats)})")
-        return elapsed, results, stats
-
-    with tempfile.TemporaryDirectory() as tmp:
-        serial_cache = ResultCache(os.path.join(tmp, "serial"))
-        parallel_cache = ResultCache(os.path.join(tmp, "parallel"))
-        cold_serial_s, serial_results, _ = timed(1, serial_cache,
-                                                 "cold serial")
-        cold_parallel_s, parallel_results, _ = timed(jobs, parallel_cache,
-                                                     "cold parallel")
-        warm_cached_s, warm_results, warm_stats = timed(1, serial_cache,
-                                                        "warm cached")
-    identical = serial_results == parallel_results == warm_results
-    events_per_sec = _engine_events_per_sec()
-    print(f"engine micro-loop: {events_per_sec:,.0f} events/sec")
-
-    payload = {
-        "bench_version": 1,
-        "mode": "quick" if quick else "full",
-        "jobs": jobs,
-        "points": len(specs),
-        "cold_serial_s": round(cold_serial_s, 3),
-        "cold_parallel_s": round(cold_parallel_s, 3),
-        "warm_cached_s": round(warm_cached_s, 3),
-        "parallel_speedup": round(cold_serial_s / cold_parallel_s, 3)
-        if cold_parallel_s else None,
-        "warm_skipped_fraction": round(warm_stats.skipped_fraction, 4),
-        "engine_events_per_sec": round(events_per_sec),
-        "results_identical": identical,
-        "python": sys.version.split()[0],
-        "platform": platform.platform(),
-        "cpu_count": os.cpu_count(),
-    }
-    os.makedirs(out_dir, exist_ok=True)
-    path = os.path.join(out_dir, "BENCH_PR6.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    print(f"\nwrote {path}")
-    if not identical:
-        print("ERROR: serial/parallel/cached results diverged",
-              file=sys.stderr)
-        return 1
+    start = time.time()
+    print(f"\n{'=' * 78}\nfig10 --shards {args.shards}\n{'=' * 78}")
+    specs = fig10_topo.points(
+        shards=args.shards,
+        **fig10_topo.Fig10Driver.cli_params(args.quick))
+    os.makedirs(args.cache_dir, exist_ok=True)
+    shard_runner.POINT_CHECKPOINT.update(
+        {"dir": args.cache_dir, "resume": args.resume})
+    try:
+        if args.chaos:
+            from repro.fault.session import ChaosSession
+            with ChaosSession(seed=args.seed) as chaos_session:
+                results = [execute_spec(spec) for spec in specs]
+            print(fig10_topo.assemble(specs, results))
+            print(chaos_session.summary())
+            violations = chaos_session.audit_kernels()
+            if violations:
+                for violation in violations:
+                    print(f"VIOLATION: {violation}")
+                print(f"chaos audit: FAILED "
+                      f"({len(violations)} violation(s))")
+                return 1
+            print("chaos audit: all invariants held")
+        else:
+            results = [execute_spec(spec) for spec in specs]
+            print(fig10_topo.assemble(specs, results))
+    finally:
+        shard_runner.POINT_CHECKPOINT.update(
+            {"dir": None, "resume": False})
+    print(f"\n[fig10 took {time.time() - start:.1f}s]")
     return 0
 
 
@@ -370,6 +353,12 @@ def main(argv=None) -> int:
                              "and compute them on N worker processes "
                              "(also enables the result cache); "
                              "0 = original serial path (default)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="fig10 only: partition every topology "
+                             "point across N shard engines with "
+                             "conservative time-window sync "
+                             "(repro.shard); the rendered figure is "
+                             "byte-identical for any shard count")
     parser.add_argument("--trace", action="store_true",
                         help="record a span trace of the (single) "
                              "experiment; artifacts go to --out")
@@ -409,6 +398,19 @@ def main(argv=None) -> int:
     parser.add_argument("--storms", type=int, default=25,
                         help="deprecated 'chaos' subcommand: number of "
                              "fault storms (default 25)")
+    parser.add_argument("--compare", action="store_true",
+                        help="'bench' verb: compare the two newest "
+                             "bench/results/ history entries instead "
+                             "of running; exits non-zero on a "
+                             "regression beyond --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="'bench --compare': allowed fractional "
+                             "regression per gated metric "
+                             "(default 0.10)")
+    parser.add_argument("--label", default="run",
+                        help="'bench' verb: label for the appended "
+                             "bench/results/ history entry "
+                             "(default 'run')")
     parser.add_argument("--schedules", type=int, default=25,
                         help="'check' verb: number of interleavings to "
                              "explore per target (default 25)")
@@ -449,7 +451,7 @@ def main(argv=None) -> int:
             jobs=args.jobs, shrink=args.shrink, out_dir=out_dir,
             topo_n=args.topo_n, cache=cache)
     if names[0] == "bench" and len(names) == 1:
-        return _run_bench_cli(args.quick, args.jobs, args.out)
+        return _run_bench_cli(args)
     if names[0] == "chaos" and len(names) == 1:
         print("warning: the 'chaos' subcommand is deprecated; the "
               "storm harness keeps it working, and 'run <fig> --chaos' "
@@ -475,6 +477,27 @@ def main(argv=None) -> int:
             print(f"unknown experiment '{name}' "
                   f"(choose from {', '.join(RUNNERS)})", file=sys.stderr)
             return 2
+
+    # -- sharded fig10 (PDES-lite): parallelism inside one point -------
+    if args.shards:
+        if names != ["fig10"]:
+            print("--shards applies to the fig10 topology sweep only "
+                  f"(got: {', '.join(names)})", file=sys.stderr)
+            return 2
+        if args.trace or args.supervise:
+            print("--shards composes with --chaos only; --trace and "
+                  "--supervise attach to single-engine kernels",
+                  file=sys.stderr)
+            return 2
+        if args.resume and args.chaos:
+            print("--resume cannot be combined with --chaos",
+                  file=sys.stderr)
+            return 2
+        if args.jobs > 0:
+            print("note: --shards parallelizes inside each point; "
+                  "running points serially (--jobs ignored)",
+                  file=sys.stderr)
+        return _run_fig10_shards_cli(args)
 
     # -- orthogonal flags ----------------------------------------------
     if args.resume and (args.chaos or args.supervise or args.trace):

@@ -1,0 +1,30 @@
+"""PDES-lite: sharded single-simulation parallelism (PR 8 tentpole).
+
+Until now parallelism existed only *across* independent sweep points;
+one large topology point still ran on one core. ``repro.shard``
+partitions a :class:`~repro.topo.spec.TopoSpec`'s service graph across
+engines (:mod:`repro.shard.partition`), models each shard's services at
+hop granularity with content-keyed event ordering
+(:mod:`repro.shard.model`), and synchronizes shards with conservative
+time windows whose lookahead comes from the cost model's minimum
+cross-shard hop latency (:mod:`repro.shard.costs`,
+:mod:`repro.shard.runner`). The merged result is byte-identical for
+any shard count and either transport — see DESIGN.md §13.
+"""
+
+from repro.shard.costs import (edge_legs, lookahead_ns, reply_leg_ns,
+                               request_leg_ns)
+from repro.shard.model import ShardModel, ShardParams, storm_plan
+from repro.shard.partition import (CLIENT, Partition, edge_weights,
+                                   node_weights, partition_spec,
+                                   visit_rates)
+from repro.shard.runner import (audit_states, build_shard_model,
+                                merge_states, run_shard_point)
+
+__all__ = [
+    "CLIENT", "Partition", "ShardModel", "ShardParams",
+    "audit_states", "build_shard_model", "edge_legs", "edge_weights",
+    "lookahead_ns", "merge_states", "node_weights", "partition_spec",
+    "reply_leg_ns", "request_leg_ns", "run_shard_point", "storm_plan",
+    "visit_rates",
+]

@@ -1,0 +1,128 @@
+"""Hop-leg latencies and conservative lookahead for ``repro.shard``.
+
+The shard backend models a topology at *hop* granularity: one leg is
+the one-way delivery of a request (or reply) across an edge, composed
+from the same :class:`~repro.hw.costs.CostModel` constants the
+cycle-accurate simulation charges. Two things matter here:
+
+* **per-edge delivery latency** — every message between services (and
+  between the client and the root) is a future-time event exactly one
+  leg away, which is what makes the model partitionable at all: shards
+  interact only through messages that cannot take effect immediately;
+* **lookahead** — the *minimum* leg latency over a partition's cut
+  edges. No cross-shard message sent at or after simulated time ``t``
+  can be applied before ``t + L``, so every shard may safely process
+  its local queue up to ``(global minimum next event) + L`` without
+  waiting for the others. This is the classic conservative-PDES bound
+  (Chandy/Misra lookahead), instantiated from the paper's cost model.
+
+The compositions below intentionally mirror the per-primitive order of
+the Figure 5 calibration (dIPC << L4 < pipe < socket < RPC); the shard
+model is a hop-granularity abstraction, not the block-level simulation,
+so the absolute values are anchored but not cycle-exact. dIPC's leg is
+tens of nanoseconds — faithful to the paper, and exactly why its
+lookahead window is tiny (see DESIGN.md §13 on why dIPC points prefer
+the in-process execution mode).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.hw.cache import CacheModel
+from repro.hw.costs import CostModel
+from repro.load.transports import REPLY_SIZE
+from repro.topo.spec import TopoSpec
+
+from repro.shard.partition import CLIENT, Partition
+
+
+def _copy_ns(cache: CacheModel, size: int) -> float:
+    return cache.copy_ns(size)
+
+
+def request_leg_ns(costs: CostModel, cache: CacheModel,
+                   primitive: str, size: int) -> float:
+    """One-way latency of a ``size``-byte request over ``primitive``."""
+    sys2 = 2.0 * costs.syscall_empty()
+    stub2 = 2.0 * costs.USER_STUB
+    if primitive == "pipe":
+        return (stub2 + sys2 + costs.PIPE_WRITE_WORK
+                + costs.PIPE_READ_WORK + 2.0 * _copy_ns(cache, size))
+    if primitive == "socket":
+        return (stub2 + sys2 + costs.SOCK_SEND_WORK
+                + costs.SOCK_RECV_WORK + 2.0 * _copy_ns(cache, size))
+    if primitive == "rpc":
+        # socket transport plus XDR (un)marshalling and the client/server
+        # library halves of one direction
+        return (request_leg_ns(costs, cache, "socket", size)
+                + 2.0 * costs.XDR_BASE + _copy_ns(cache, size)
+                + (costs.RPC_CLIENT_USER + costs.RPC_SERVER_USER) / 2.0)
+    if primitive == "l4":
+        return (2.0 * costs.L4_USER_STUB + costs.L4_KERNEL_PATH
+                + costs.L4_DIRECT_SWITCH + _copy_ns(cache, size))
+    if primitive == "dipc":
+        # call direction of the dIPC+proc High decomposition: user stub
+        # (register save/zero, stack caps) + trusted proxy (stack/DCS
+        # switch, KCS push, process tracking, TLS) — arguments travel by
+        # capability, so there is no per-byte copy term
+        return (costs.STUB_REG_SAVE + costs.STUB_REG_ZERO
+                + costs.STUB_STACK_CAPS + costs.PROXY_MIN_CALL
+                + costs.PROXY_STACK_SWITCH + costs.PROXY_DCS_ADJUST
+                + costs.PROXY_DCS_SWITCH + costs.PROXY_STACK_LOCATE
+                + costs.TRACK_PROCESS_CALL + costs.TRACK_DONATION
+                + costs.TLS_SWITCH + costs.CAP_CREATE)
+    raise ValueError(f"unknown primitive {primitive!r}")
+
+
+def reply_leg_ns(costs: CostModel, cache: CacheModel,
+                 primitive: str) -> float:
+    """One-way latency of the small fixed-size reply/ack."""
+    if primitive == "dipc":
+        # return direction: proxy KCS pop + register restore/zero +
+        # process-tracking restore + TLS switch back
+        return (costs.PROXY_MIN_RET + costs.STUB_REG_RESTORE
+                + costs.STUB_REG_ZERO + costs.TRACK_PROCESS_RET
+                + costs.PROXY_DCS_SWITCH + costs.TLS_SWITCH)
+    return request_leg_ns(costs, cache, primitive, REPLY_SIZE)
+
+
+def edge_legs(spec: TopoSpec, *, primitive: str, client_req_size: int,
+              costs: Optional[CostModel] = None,
+              cache: Optional[CacheModel] = None,
+              ) -> Tuple[Dict[Tuple[int, int], float], float]:
+    """``({(src, dst): request leg}, reply leg)`` for every hop.
+
+    Includes the pseudo-edge ``(CLIENT, ROOT)`` carrying the harness's
+    request size. Computed once per model build so both the serial and
+    every sharded run share the exact same float values.
+    """
+    costs = costs or CostModel.default()
+    cache = cache or CacheModel()
+    legs = {(CLIENT, 0): request_leg_ns(costs, cache, primitive,
+                                        client_req_size)}
+    for edge in spec.edges:
+        legs[(edge.src, edge.dst)] = request_leg_ns(
+            costs, cache, primitive, edge.req_size)
+    return legs, reply_leg_ns(costs, cache, primitive)
+
+
+def lookahead_ns(spec: TopoSpec, partition: Partition, *,
+                 primitive: str, client_req_size: int,
+                 costs: Optional[CostModel] = None,
+                 cache: Optional[CacheModel] = None) -> Optional[float]:
+    """Minimum one-way latency across the partition's cut edges.
+
+    ``None`` means no edge crosses shards (single shard, or a partition
+    that swallowed the whole graph): the lookahead is unbounded and the
+    whole horizon is one window. Both directions of a cut edge carry
+    messages, so the bound takes the min of the request leg and the
+    reply leg.
+    """
+    legs, reply = edge_legs(spec, primitive=primitive,
+                            client_req_size=client_req_size,
+                            costs=costs, cache=cache)
+    cut = partition.cut_edges(spec)
+    if not cut:
+        return None
+    return min(min(legs[edge], reply) for edge in cut)

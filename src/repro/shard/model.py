@@ -1,0 +1,580 @@
+"""The hop-granularity topology model that shards without changing.
+
+One :class:`ShardModel` owns one :class:`~repro.sim.engine.Engine` and
+the services a :class:`~repro.shard.partition.Partition` assigned to
+its shard, plus — on exactly one shard — the open-loop client. The
+model is the *same object* whether it runs alone (``shards=1``) or as
+one of N windowed peers; nothing in it knows how many shards exist
+beyond where to route a message.
+
+**Partition invariance by construction.** Byte-identical results
+across shard counts fall out of three rules, not of luck:
+
+1. every event carries a content-derived key ``(rank, vid)`` — ``vid``
+   is the request-path tuple ``(client, seq, node, node, ...)`` — so
+   same-timestamp events fire in an order that is a pure function of
+   simulation content, never of posting order (which *does* differ
+   between serial and sharded runs);
+2. services interact only through messages one hop-leg in the future
+   (every leg latency is strictly positive), so same-timestamp events
+   at different services touch disjoint state and commute;
+3. every float accumulation happens on the shard that owns its state —
+   end-to-end latencies only on the client's shard, per-service busy
+   time only on the service's shard — so no sum ever depends on a
+   cross-shard interleaving. The merge adds disjoint pieces in
+   canonical node order.
+
+**State is a value.** Everything mutable round-trips through
+:meth:`snapshot`/:meth:`restore` as plain JSON (pending events are
+``(t, rank, vid, ok)`` descriptors, client RNGs serialize their
+``getstate()``), which is what per-shard checkpoints, the
+multiprocessing transport and ``--resume`` mid-window all ride on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hw.cache import CacheModel
+from repro.hw.costs import CostModel
+from repro.load.arrivals import OpenLoopArrivals
+from repro.sim.engine import Engine
+from repro.topo.spec import ROOT, TopoSpec
+from repro.trace.histogram import LatencyHistogram
+
+from repro.shard.costs import edge_legs
+from repro.shard.partition import CLIENT, Partition
+
+#: event-kind ranks: the leading element of every ordering key. Client
+#: arrivals sort before deliveries, completions before replies, so the
+#: serial tie-break order is stable and documented.
+ARRIVAL, CALL, DONE, REPLY, TIMEOUT, DOWN, UP = range(7)
+
+
+@dataclass(frozen=True)
+class ShardParams:
+    """The open-loop harness knobs a sharded point understands."""
+
+    primitive: str
+    policy: str
+    arrivals: str
+    offered_kops: float
+    n_clients: int
+    n_conns: int
+    n_workers: int
+    queue_depth: int
+    req_size: int
+    deadline_ns: float
+    warmup_ns: float
+    window_ns: float
+    num_cpus: int
+    seed: int
+
+    @property
+    def horizon_ns(self) -> float:
+        return self.warmup_ns + self.window_ns
+
+    @classmethod
+    def from_kwargs(cls, kwargs: dict) -> "ShardParams":
+        if kwargs.get("mode", "open") != "open":
+            raise ValueError("repro.shard models open-loop points only")
+        if kwargs.get("policy", "shed") != "shed":
+            raise ValueError("repro.shard models the shed policy only")
+        return cls(
+            primitive=kwargs["primitive"],
+            policy=kwargs.get("policy", "shed"),
+            arrivals=kwargs.get("arrivals", "poisson"),
+            offered_kops=float(kwargs["offered_kops"]),
+            n_clients=int(kwargs["n_clients"]),
+            n_conns=int(kwargs["n_conns"]),
+            n_workers=int(kwargs["n_workers"]),
+            queue_depth=int(kwargs["queue_depth"]),
+            req_size=int(kwargs["req_size"]),
+            deadline_ns=float(kwargs["deadline_ns"]),
+            warmup_ns=float(kwargs["warmup_ns"]),
+            window_ns=float(kwargs["window_ns"]),
+            num_cpus=int(kwargs.get("num_cpus", 8)),
+            seed=int(kwargs["seed"]))
+
+
+def _listify(value):
+    """Recursively turn tuples into lists (JSON encoding)."""
+    if isinstance(value, tuple):
+        return [_listify(v) for v in value]
+    return value
+
+
+def _tuplify(value):
+    """Recursively turn lists into tuples (JSON decoding)."""
+    if isinstance(value, list):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+class _Station:
+    """One service's worker pool: capacity, FIFO backlog, outage flag."""
+
+    __slots__ = ("capacity", "free", "fifo", "active", "down",
+                 "visits", "busy_ns", "queue_peak", "crashes",
+                 "rejected", "restarts")
+
+    def __init__(self, capacity: Optional[int]):
+        self.capacity = capacity          # None = unlimited (dIPC)
+        self.free = capacity
+        self.fifo: List[tuple] = []
+        self.active: set = set()
+        self.down = False
+        self.visits = 0
+        self.busy_ns = 0.0
+        self.queue_peak = 0
+        self.crashes = 0
+        self.rejected = 0
+        self.restarts = 0
+
+
+class ShardModel:
+    """One shard's engine, services and (maybe) the client."""
+
+    def __init__(self, spec: TopoSpec, params: ShardParams,
+                 partition: Partition, shard_id: int, *,
+                 costs: Optional[CostModel] = None,
+                 cache: Optional[CacheModel] = None,
+                 outages: Optional[List[tuple]] = None):
+        self.spec = spec
+        self.params = params
+        self.partition = partition
+        self.shard_id = shard_id
+        self.engine = Engine()
+        self.horizon = params.horizon_ns
+        self.legs, self.reply_leg = edge_legs(
+            spec, primitive=params.primitive,
+            client_req_size=params.req_size, costs=costs, cache=cache)
+        self.children: Dict[int, List[int]] = {
+            node.id: spec.children(node.id) for node in spec.nodes}
+        self.work_ns: Dict[int, float] = {
+            node.id: node.work_ns for node in spec.nodes}
+        self.mode: Dict[int, str] = {
+            node.id: node.mode for node in spec.nodes}
+        capacity = (None if params.primitive == "dipc"
+                    else params.n_workers)
+        self.stations: Dict[int, _Station] = {
+            nid: _Station(capacity) for nid in sorted(partition.nodes_of(
+                shard_id))}
+        self.frames: Dict[tuple, list] = {}
+        #: outage plan rows (node, t_down, t_up, idx) touching this shard
+        self.outages = [row for row in (outages or [])
+                        if row[0] in self.stations]
+        #: pending local events as descriptors: (rank, vid) -> [t, ok]
+        self._pending: Dict[tuple, list] = {}
+        #: cross-shard messages produced since the last take_outbox()
+        self.outbox: List[tuple] = []
+        self.msgs_sent = 0
+        self.msgs_applied = 0
+
+        self.has_client = partition.shard_of(CLIENT) == shard_id
+        if self.has_client:
+            rate_per_ns = (params.offered_kops / 1e6) / params.n_clients
+            self.streams = [OpenLoopArrivals(
+                process=params.arrivals, rate_per_ns=rate_per_ns,
+                seed=params.seed, client_id=cid)
+                for cid in range(params.n_clients)]
+            self.free_conns = params.n_conns
+            self.queue: List[tuple] = []
+            self.in_flight: Dict[tuple, list] = {}
+            self.hist = LatencyHistogram()
+            self.c = {"offered": 0, "offered_total": 0, "completed": 0,
+                      "completed_total": 0, "shed": 0, "shed_total": 0,
+                      "failed": 0, "failed_total": 0, "peak_backlog": 0}
+
+    # -- routing -------------------------------------------------------------
+
+    def _dest_shard(self, rank: int, vid: tuple) -> int:
+        if rank in (ARRIVAL, TIMEOUT):
+            return self.partition.shard_of(CLIENT)
+        if rank == REPLY:
+            caller = CLIENT if len(vid) == 3 else vid[-2]
+            return self.partition.shard_of(caller)
+        if rank in (DOWN, UP):
+            return self.partition.shard_of(vid[0])
+        return self.partition.shard_of(vid[-1])
+
+    def _post(self, t: float, rank: int, vid: tuple, ok: bool = True):
+        """Schedule locally or emit a cross-shard message; returns the
+        engine handle for local posts (None for remote)."""
+        if self._dest_shard(rank, vid) != self.shard_id:
+            self.outbox.append((t, rank, vid, ok))
+            self.msgs_sent += 1
+            return None
+        self._pending[(rank, vid)] = [t, ok]
+        return self.engine.post_at(
+            t, lambda: self._fire(rank, vid, ok), key=(rank, vid))
+
+    def deliver(self, message: tuple) -> None:
+        """Apply one inbound cross-shard message (S3: the window
+        protocol guarantees its timestamp is at or after this shard's
+        clock — Engine.post_at raises if that is ever violated)."""
+        t, rank, vid, ok = message
+        self.msgs_applied += 1
+        self._pending[(rank, vid)] = [t, ok]
+        self.engine.post_at(t, lambda: self._fire(rank, vid, ok),
+                            key=(rank, vid))
+
+    def take_outbox(self) -> List[tuple]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def prime(self) -> None:
+        """Post the initial arrivals and the outage transitions."""
+        if self.has_client:
+            for cid, stream in enumerate(self.streams):
+                t = stream.next_gap_ns()
+                if t < self.horizon:
+                    self._post(t, ARRIVAL, (cid, 0))
+        for node, t_down, t_up, idx in self.outages:
+            # the storm plan is static shared knowledge: every shard
+            # holds the full list but primes only its own stations, so
+            # outages never ride the message exchange
+            if self.partition.shard_of(node) != self.shard_id:
+                continue
+            if t_down < self.horizon:
+                self._post(t_down, DOWN, (node, idx))
+                if t_up < self.horizon:
+                    self._post(t_up, UP, (node, idx))
+
+    def _fire(self, rank: int, vid: tuple, ok: bool) -> None:
+        self._pending.pop((rank, vid), None)
+        if rank == ARRIVAL:
+            self._on_arrival(vid)
+        elif rank == CALL:
+            self._on_call(vid)
+        elif rank == DONE:
+            self._on_done(vid)
+        elif rank == REPLY:
+            self._on_reply(vid, ok)
+        elif rank == TIMEOUT:
+            self._on_timeout(vid)
+        elif rank == DOWN:
+            self._on_down(vid)
+        else:
+            self._on_up(vid)
+
+    # -- client --------------------------------------------------------------
+
+    def _on_arrival(self, vid: tuple) -> None:
+        cid, seq = vid
+        t = self.engine.now()
+        measured = t >= self.params.warmup_ns
+        self.c["offered_total"] += 1
+        if measured:
+            self.c["offered"] += 1
+        gap = self.streams[cid].next_gap_ns()
+        if t + gap < self.horizon:
+            self._post(t + gap, ARRIVAL, (cid, seq + 1))
+        if self.free_conns > 0:
+            self._dispatch((cid, seq), t, measured, t)
+        elif len(self.queue) < self.params.queue_depth:
+            self.queue.append((cid, seq, t, measured))
+            if len(self.queue) > self.c["peak_backlog"]:
+                self.c["peak_backlog"] = len(self.queue)
+        else:
+            self.c["shed_total"] += 1
+            if measured:
+                self.c["shed"] += 1
+
+    def _dispatch(self, rid: tuple, t_arr: float, measured: bool,
+                  t_now: float) -> None:
+        self.free_conns -= 1
+        handle = self._post(t_now + self.params.deadline_ns,
+                            TIMEOUT, rid)
+        self.in_flight[rid] = [t_arr, measured, handle]
+        self._post(t_now + self.legs[(CLIENT, ROOT)], CALL,
+                   rid + (ROOT,))
+
+    def _release_conn(self) -> None:
+        self.free_conns += 1
+        if self.queue:
+            cid, seq, t_arr, measured = self.queue.pop(0)
+            self._dispatch((cid, seq), t_arr, measured,
+                           self.engine.now())
+
+    def _client_reply(self, vid: tuple, ok: bool) -> None:
+        rid = vid[:2]
+        entry = self.in_flight.pop(rid, None)
+        if entry is None:
+            return  # already timed out; the late reply is dropped
+        t_arr, measured, handle = entry
+        self._pending.pop((TIMEOUT, rid), None)
+        if handle is not None:
+            self.engine.cancel(handle)
+        bucket = "completed" if ok else "failed"
+        self.c[bucket + "_total"] += 1
+        if measured:
+            self.c[bucket] += 1
+            if ok:
+                self.hist.add(self.engine.now() - t_arr)
+        self._release_conn()
+
+    def _on_timeout(self, rid: tuple) -> None:
+        entry = self.in_flight.pop(rid, None)
+        if entry is None:
+            return
+        _t_arr, measured, _handle = entry
+        self.c["failed_total"] += 1
+        if measured:
+            self.c["failed"] += 1
+        self._release_conn()
+
+    # -- services ------------------------------------------------------------
+
+    def _on_call(self, vid: tuple) -> None:
+        node = vid[-1]
+        station = self.stations[node]
+        t = self.engine.now()
+        if station.down:
+            station.rejected += 1
+            self._post(t + self.reply_leg, REPLY, vid, ok=False)
+            return
+        if station.free is None or station.free > 0:
+            self._start(vid, t)
+        else:
+            station.fifo.append(vid)
+            if len(station.fifo) > station.queue_peak:
+                station.queue_peak = len(station.fifo)
+
+    def _start(self, vid: tuple, t: float) -> None:
+        node = vid[-1]
+        station = self.stations[node]
+        if station.free is not None:
+            station.free -= 1
+        station.active.add(vid)
+        self.frames[vid] = [0, 0, True, t]  # next, pending, ok, t_start
+        self._post(t + self.work_ns[node], DONE, vid)
+
+    def _on_done(self, vid: tuple) -> None:
+        frame = self.frames.get(vid)
+        if frame is None:
+            return  # the frame was aborted by an outage mid-work
+        node = vid[-1]
+        children = self.children[node]
+        t = self.engine.now()
+        if not children:
+            self._finish(vid, True)
+        elif self.mode[node] == "par":
+            frame[1] = len(children)
+            for child in children:
+                self._post(t + self.legs[(node, child)], CALL,
+                           vid + (child,))
+        else:
+            frame[0] = 1
+            child = children[0]
+            self._post(t + self.legs[(node, child)], CALL,
+                       vid + (child,))
+
+    def _child_reply(self, vid: tuple, ok: bool) -> None:
+        fvid = vid[:-1]
+        frame = self.frames.get(fvid)
+        if frame is None:
+            return  # parent aborted; drop the orphan reply
+        node = fvid[-1]
+        if self.mode[node] == "par":
+            if not ok:
+                frame[2] = False
+            frame[1] -= 1
+            if frame[1] == 0:
+                self._finish(fvid, frame[2])
+            return
+        if not ok:
+            self._finish(fvid, False)
+            return
+        children = self.children[node]
+        nxt = frame[0]
+        if nxt < len(children):
+            frame[0] = nxt + 1
+            child = children[nxt]
+            self._post(self.engine.now() + self.legs[(node, child)],
+                       CALL, vid[:-1] + (child,))
+        else:
+            self._finish(fvid, True)
+
+    def _on_reply(self, vid: tuple, ok: bool) -> None:
+        if len(vid) == 3:
+            self._client_reply(vid, ok)
+        else:
+            self._child_reply(vid, ok)
+
+    def _finish(self, vid: tuple, ok: bool) -> None:
+        node = vid[-1]
+        station = self.stations[node]
+        frame = self.frames.pop(vid)
+        station.active.discard(vid)
+        t = self.engine.now()
+        station.visits += 1
+        station.busy_ns += t - frame[3]
+        self._post(t + self.reply_leg, REPLY, vid, ok)
+        if station.free is not None:
+            station.free += 1
+            if station.fifo and not station.down:
+                self._start(station.fifo.pop(0), t)
+
+    # -- outages (chaos) -----------------------------------------------------
+
+    def _on_down(self, vid: tuple) -> None:
+        node = vid[0]
+        station = self.stations[node]
+        station.down = True
+        t = self.engine.now()
+        for active_vid in sorted(station.active):
+            frame = self.frames.pop(active_vid)
+            station.busy_ns += t - frame[3]
+            station.crashes += 1
+            self._post(t + self.reply_leg, REPLY, active_vid, ok=False)
+        station.active.clear()
+        for queued_vid in station.fifo:
+            station.rejected += 1
+            self._post(t + self.reply_leg, REPLY, queued_vid, ok=False)
+        station.fifo.clear()
+
+    def _on_up(self, vid: tuple) -> None:
+        station = self.stations[vid[0]]
+        station.down = False
+        station.free = station.capacity
+        station.restarts += 1
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats_state(self) -> dict:
+        """JSON-able per-shard measurements for the canonical merge."""
+        state = {
+            "shard": self.shard_id,
+            "events": self.engine.events_processed,
+            "msgs_sent": self.msgs_sent,
+            "msgs_applied": self.msgs_applied,
+            "nodes": {str(nid): {
+                "visits": st.visits,
+                "busy_ns": st.busy_ns,
+                "queue_peak": st.queue_peak,
+                "crashes": st.crashes,
+                "rejected": st.rejected,
+                "restarts": st.restarts,
+            } for nid, st in sorted(self.stations.items())},
+        }
+        if self.has_client:
+            state["client"] = dict(
+                self.c, in_flight=len(self.in_flight),
+                queued=len(self.queue), hist=self.hist.to_state())
+        return state
+
+    # -- snapshot / restore --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Everything needed to resume this shard mid-window, as JSON."""
+        state = {
+            "now": self.engine.now(),
+            "events": self.engine.events_processed,
+            "msgs_sent": self.msgs_sent,
+            "msgs_applied": self.msgs_applied,
+            "pending": [[t, rank, _listify(vid), ok]
+                        for (rank, vid), (t, ok)
+                        in sorted(self._pending.items())],
+            "stations": {str(nid): {
+                "free": st.free, "down": st.down,
+                "fifo": [_listify(v) for v in st.fifo],
+                "visits": st.visits, "busy_ns": st.busy_ns,
+                "queue_peak": st.queue_peak, "crashes": st.crashes,
+                "rejected": st.rejected, "restarts": st.restarts,
+            } for nid, st in sorted(self.stations.items())},
+            "frames": [[_listify(vid), list(frame)]
+                       for vid, frame in sorted(self.frames.items())],
+        }
+        if self.has_client:
+            state["client"] = {
+                "counters": dict(self.c),
+                "free_conns": self.free_conns,
+                "queue": [_listify(q) for q in self.queue],
+                "in_flight": [[_listify(rid), [t, m]]
+                              for rid, (t, m, _h)
+                              in sorted(self.in_flight.items())],
+                "streams": [_listify(s.rng.getstate())
+                            for s in self.streams],
+                "hist": self.hist.to_state(),
+            }
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Rebuild from :meth:`snapshot` output (fresh model only)."""
+        if self.engine.events_processed or self._pending:
+            raise RuntimeError("restore() needs a freshly built model")
+        self.engine._now = float(state["now"])
+        self.engine.events_processed = int(state["events"])
+        self.msgs_sent = int(state["msgs_sent"])
+        self.msgs_applied = int(state["msgs_applied"])
+        for nid_text, st_state in state["stations"].items():
+            station = self.stations[int(nid_text)]
+            station.free = st_state["free"]
+            station.down = st_state["down"]
+            station.fifo = [_tuplify(v) for v in st_state["fifo"]]
+            station.visits = st_state["visits"]
+            station.busy_ns = st_state["busy_ns"]
+            station.queue_peak = st_state["queue_peak"]
+            station.crashes = st_state["crashes"]
+            station.rejected = st_state["rejected"]
+            station.restarts = st_state["restarts"]
+        self.frames = {_tuplify(vid): list(frame)
+                       for vid, frame in state["frames"]}
+        # active sets: frames owned by each local station
+        for station in self.stations.values():
+            station.active = set()
+        for vid in self.frames:
+            self.stations[vid[-1]].active.add(vid)
+        if self.has_client:
+            client = state["client"]
+            self.c = dict(client["counters"])
+            self.free_conns = int(client["free_conns"])
+            self.queue = [_tuplify(q) for q in client["queue"]]
+            self.in_flight = {_tuplify(rid): [t, m, None]
+                              for rid, (t, m) in client["in_flight"]}
+            for stream, rng_state in zip(self.streams,
+                                         client["streams"]):
+                stream.rng.setstate(_tuplify(rng_state))
+            self.hist = LatencyHistogram.from_state(client["hist"])
+        for t, rank, vid_list, ok in state["pending"]:
+            vid = _tuplify(vid_list)
+            handle = self._post(float(t), rank, vid, ok)
+            if rank == TIMEOUT and vid in self.in_flight:
+                self.in_flight[vid][2] = handle
+
+
+def storm_plan(spec: TopoSpec, params: ShardParams,
+               chaos_seed: int) -> List[tuple]:
+    """A seeded service-outage storm: ``(node, t_down, t_up, idx)``.
+
+    The shard analogue of :meth:`repro.fault.plan.FaultPlan.storm`:
+    deterministic in the seed, per-node intervals merged so DOWN/UP
+    transitions strictly alternate.
+    """
+    rng = random.Random(chaos_seed * 1_009 + 17)
+    horizon = params.horizon_ns
+    n_rules = 2 + rng.randrange(3)
+    raw: Dict[int, List[Tuple[float, float]]] = {}
+    for _ in range(n_rules):
+        node = rng.randrange(spec.n)
+        t_down = rng.uniform(0.10, 0.80) * horizon
+        t_up = t_down + rng.uniform(0.02, 0.15) * horizon
+        raw.setdefault(node, []).append((t_down, t_up))
+    plan: List[tuple] = []
+    idx = 0
+    for node in sorted(raw):
+        merged: List[List[float]] = []
+        for t_down, t_up in sorted(raw[node]):
+            if merged and t_down <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], t_up)
+            else:
+                merged.append([t_down, t_up])
+        for t_down, t_up in merged:
+            plan.append((node, t_down, t_up, idx))
+            idx += 1
+    return plan

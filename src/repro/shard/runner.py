@@ -1,0 +1,504 @@
+"""Conservative time-window execution of a sharded topology point.
+
+The coordinator owns the window protocol; shards own the simulation.
+One round:
+
+1. **exchange** — deliver every cross-shard message produced by the
+   previous window to its destination shard (each is a future-time
+   event at least one lookahead away, so delivery can never land in a
+   shard's past — asserted by ``Engine.post_at``), then collect every
+   shard's next-event time;
+2. **bound** — the next window may safely end at
+   ``min(horizon, global_min_next_event + lookahead)``: any message a
+   shard could still send is timestamped at or after the global
+   minimum and travels at least one lookahead;
+3. **run** — every shard processes its local queue strictly below the
+   bound (:meth:`repro.sim.engine.Engine.run_window`), buffering
+   outbound messages.
+
+Windows are *adaptive*: dense event regions produce lookahead-sized
+windows, idle regions jump straight to the next event. The loop ends
+when no shard holds an event below the horizon.
+
+Two transports execute the same protocol: in-process (shards run
+round-robin on one core — used for ``--chaos``/``check`` runs and for
+points whose window count would swamp process messaging, e.g. dIPC's
+tens-of-nanoseconds lookahead) and a multiprocessing pool (one worker
+per shard over pipes — the actual parallelism). Both are driven by the
+identical coordinator loop over the identical per-shard model, so the
+merged result is byte-identical across transports and shard counts.
+
+Per-shard checkpoints: every ``checkpoint_every`` windows the
+coordinator snapshots all shards right after an exchange (outboxes
+empty, all state local) into one JSON file keyed by the point + the
+partition hash; ``resume=True`` restores mid-window after a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing as mp
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.topo.spec import TopoSpec
+from repro.trace.histogram import LatencyHistogram
+
+from repro.shard.costs import lookahead_ns
+from repro.shard.model import (CLIENT, ShardModel, ShardParams,
+                               storm_plan)
+from repro.shard.partition import Partition, partition_spec
+
+#: auto-mode gates for the multiprocessing transport: below either, the
+#: per-window barrier (pipe round-trips) would dominate the per-shard
+#: work inside one lookahead window and processes only add overhead
+_MP_MIN_LOOKAHEAD_NS = 500.0
+_MP_MIN_EST_EVENTS = 50_000.0
+
+#: windows between checkpoints
+DEFAULT_CHECKPOINT_EVERY = 64
+
+#: process-global checkpoint plumbing for figure-driver points (set by
+#: the experiments CLI around a sharded run): checkpoint location and
+#: resume intent must not live in point kwargs, or they would pollute
+#: the content-addressed cache keys
+POINT_CHECKPOINT = {"dir": None, "resume": False,
+                    "every": DEFAULT_CHECKPOINT_EVERY}
+
+
+def build_shard_model(kwargs: dict, shards: int, shard_id: int, *,
+                      chaos_seed: Optional[int] = None) -> ShardModel:
+    """Deterministically rebuild one shard's model anywhere.
+
+    Pure function of its arguments — the coordinator and every worker
+    process call this with identical inputs and get identical models,
+    which is what lets workers be spawned from nothing but the point
+    kwargs.
+    """
+    spec = TopoSpec.from_dict(kwargs["topo"]).validate()
+    params = ShardParams.from_kwargs(kwargs)
+    partition = partition_spec(spec, shards, seed=params.seed)
+    outages = (storm_plan(spec, params, chaos_seed)
+               if chaos_seed is not None else None)
+    return ShardModel(spec, params, partition, shard_id,
+                      outages=outages)
+
+
+def _route(partition: Partition, message: tuple) -> int:
+    """Destination shard of a cross-shard message (coordinator side)."""
+    from repro.shard.model import ARRIVAL, DOWN, REPLY, TIMEOUT, UP
+    _t, rank, vid, _ok = message
+    if rank in (ARRIVAL, TIMEOUT):
+        return partition.shard_of(CLIENT)
+    if rank == REPLY:
+        caller = CLIENT if len(vid) == 3 else vid[-2]
+        return partition.shard_of(caller)
+    if rank in (DOWN, UP):
+        # outages are primed locally by every shard; present only for
+        # routing completeness
+        return partition.shard_of(vid[0])
+    return partition.shard_of(vid[-1])
+
+
+# -- shard transports --------------------------------------------------------
+
+
+class _LocalShard:
+    """In-process transport: the model lives right here."""
+
+    def __init__(self, model: ShardModel):
+        self.model = model
+
+    def init(self) -> None:
+        self.model.prime()
+
+    def restore(self, state: dict) -> None:
+        self.model.restore(state)
+
+    def exchange(self, inbound: List[tuple]) -> Optional[float]:
+        for message in inbound:
+            self.model.deliver(message)
+        return self.model.engine.next_event_time()
+
+    def run(self, end_ns: float) -> List[tuple]:
+        self.model.engine.run_window(end_ns)
+        return self.model.take_outbox()
+
+    def snapshot(self) -> dict:
+        return self.model.snapshot()
+
+    def finish(self, horizon_ns: float) -> dict:
+        self.model.engine.run_window(horizon_ns)
+        return self.model.stats_state()
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker(conn, kwargs: dict, shards: int, shard_id: int,
+                  chaos_seed: Optional[int]) -> None:
+    """One worker process: rebuild the shard, then serve the protocol."""
+    model = build_shard_model(kwargs, shards, shard_id,
+                              chaos_seed=chaos_seed)
+    while True:
+        message = conn.recv()
+        op = message[0]
+        if op == "init":
+            model.prime()
+            conn.send(("ok",))
+        elif op == "restore":
+            model.restore(message[1])
+            conn.send(("ok",))
+        elif op == "exchange":
+            for msg in message[1]:
+                model.deliver(msg)
+            conn.send(("next", model.engine.next_event_time()))
+        elif op == "run":
+            model.engine.run_window(message[1])
+            conn.send(("out", model.take_outbox()))
+        elif op == "snapshot":
+            conn.send(("state", model.snapshot()))
+        elif op == "finish":
+            model.engine.run_window(message[1])
+            conn.send(("stats", model.stats_state()))
+        elif op == "stop":
+            conn.close()
+            return
+
+
+class _ProcShard:
+    """Multiprocessing transport: the model lives in a worker process."""
+
+    def __init__(self, kwargs: dict, shards: int, shard_id: int,
+                 chaos_seed: Optional[int]):
+        parent, child = mp.Pipe()
+        self.conn = parent
+        self.process = mp.Process(
+            target=_shard_worker,
+            args=(child, kwargs, shards, shard_id, chaos_seed),
+            daemon=True)
+        self.process.start()
+        child.close()
+
+    def _call(self, *message):
+        self.conn.send(message)
+        return self.conn.recv()
+
+    def init(self) -> None:
+        self._call("init")
+
+    def restore(self, state: dict) -> None:
+        self._call("restore", state)
+
+    def exchange(self, inbound: List[tuple]) -> Optional[float]:
+        return self._call("exchange", inbound)[1]
+
+    def run(self, end_ns: float) -> List[tuple]:
+        return self._call("run", end_ns)[1]
+
+    def snapshot(self) -> dict:
+        return self._call("snapshot")[1]
+
+    def finish(self, horizon_ns: float) -> dict:
+        return self._call("finish", horizon_ns)[1]
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("stop",))
+            self.conn.close()
+        except OSError:
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.terminate()
+
+
+# -- checkpoints -------------------------------------------------------------
+
+
+def checkpoint_key(kwargs: dict, shards: int,
+                   partition: Partition) -> str:
+    """Content hash binding a checkpoint to its exact point."""
+    payload = json.dumps(
+        {"kwargs": kwargs, "shards": shards,
+         "partition": partition.partition_hash()},
+        sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _checkpoint_path(directory: str, key: str) -> str:
+    return os.path.join(directory, f"shard-{key}.json")
+
+
+def _write_checkpoint(path: str, key: str, windows: int,
+                      states: List[dict]) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump({"key": key, "windows": windows, "states": states},
+                  fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _read_checkpoint(path: str, key: str) -> Optional[dict]:
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if payload.get("key") != key:
+        return None
+    return payload
+
+
+# -- the merge ---------------------------------------------------------------
+
+
+def merge_states(states: List[dict], params: ShardParams) -> dict:
+    """Fold per-shard stats into one LoadResult-shaped point dict.
+
+    Deterministic regardless of shard count: integer counters commute,
+    and the only float sums (per-service busy time) are accumulated in
+    *global node-id order*, which is the same order the single-shard
+    run produces. The latency histogram lives whole on the client's
+    shard — it is never merged across shards, so its float sums carry
+    the exact serial accumulation order.
+    """
+    client = next(s["client"] for s in states if "client" in s)
+    hist = LatencyHistogram.from_state(client["hist"])
+    nodes: Dict[int, dict] = {}
+    for state in states:
+        for nid_text, entry in state["nodes"].items():
+            nodes[int(nid_text)] = entry
+    busy = 0.0
+    crashes = restarts = fast_fails = 0
+    for nid in sorted(nodes):
+        busy += nodes[nid]["busy_ns"]
+        crashes += nodes[nid]["crashes"]
+        restarts += nodes[nid]["restarts"]
+        fast_fails += nodes[nid]["rejected"]
+    window_s = params.window_ns / 1e9
+    offered = client["offered"]
+    completed = client["completed"]
+    summary = hist.summary()
+    return {
+        "primitive": params.primitive,
+        "mode": "open",
+        "policy": params.policy,
+        "offered_kops": params.offered_kops,
+        "n_clients": params.n_clients,
+        "offered_seen": offered,
+        "completed": completed,
+        "shed": client["shed"],
+        "failed": client["failed"],
+        "throughput_kops": completed / window_s / 1e3,
+        "goodput_ratio": completed / offered if offered else 0.0,
+        "mean_ns": summary["mean_ns"],
+        "p50_ns": summary["p50_ns"],
+        "p95_ns": summary["p95_ns"],
+        "p99_ns": summary["p99_ns"],
+        "p999_ns": summary["p999_ns"],
+        "max_ns": summary["max_ns"],
+        "cpu_busy_fraction": min(
+            1.0, busy / (params.horizon_ns * params.num_cpus)),
+        "peak_backlog": client["peak_backlog"],
+        "backlog_at_end": client["queued"],
+        "worker_crashes": crashes,
+        "worker_restarts": restarts,
+        "pool_rebuilds": 0,
+        "breaker_fast_fails": fast_fails,
+        "reclamation_violations": 0,
+    }
+
+
+def audit_states(states: List[dict]) -> List[str]:
+    """The shard conservation audit (S1–S2; S3 is asserted inline).
+
+    * S1 — every client arrival is accounted for exactly once:
+      offered = completed + shed + failed + still in flight + queued;
+    * S2 — no cross-shard message was lost or duplicated:
+      messages sent = messages applied, summed over shards.
+    """
+    violations: List[str] = []
+    client = next((s["client"] for s in states if "client" in s), None)
+    if client is None:
+        violations.append("S1: no shard owns the client")
+    else:
+        accounted = (client["completed_total"] + client["shed_total"]
+                     + client["failed_total"] + client["in_flight"]
+                     + client["queued"])
+        if client["offered_total"] != accounted:
+            violations.append(
+                f"S1: conservation broken: offered "
+                f"{client['offered_total']} != accounted {accounted}")
+    sent = sum(s["msgs_sent"] for s in states)
+    applied = sum(s["msgs_applied"] for s in states)
+    if sent != applied:
+        violations.append(f"S2: cross-shard messages sent {sent} != "
+                          f"applied {applied}")
+    return violations
+
+
+# -- the coordinator ---------------------------------------------------------
+
+
+def _estimated_events(spec: TopoSpec, params: ShardParams) -> float:
+    """Rough event count: requests x (client events + per-edge trio)."""
+    requests = params.offered_kops / 1e6 * params.horizon_ns
+    return requests * (3.0 + 3.0 * len(spec.edges))
+
+
+def choose_mode(mode: str, shards: int, lookahead: Optional[float],
+                spec: TopoSpec, params: ShardParams,
+                forced_inprocess: bool) -> str:
+    """Pick the transport: ``inprocess`` or ``processes``.
+
+    ``auto`` takes processes only when the per-window work can amortize
+    the barrier: a real lookahead (dIPC's ~50 ns windows would mean
+    tens of thousands of pipe round-trips) and enough total events.
+    An active Chaos/Check session forces in-process — sessions are
+    process-local state.
+    """
+    override = os.environ.get("REPRO_SHARD_MODE")
+    if override in ("inprocess", "processes") and not forced_inprocess:
+        return override
+    if forced_inprocess or shards <= 1 or mode == "inprocess":
+        return "inprocess"
+    if mode == "processes":
+        return "processes"
+    if lookahead is not None and lookahead >= _MP_MIN_LOOKAHEAD_NS \
+            and _estimated_events(spec, params) >= _MP_MIN_EST_EVENTS:
+        return "processes"
+    return "inprocess"
+
+
+def run_shard_point(kwargs: dict, *, shards: int, mode: str = "auto",
+                    checkpoint_dir: Optional[str] = None,
+                    resume: bool = False,
+                    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+                    chaos_seed: Optional[int] = None,
+                    info_sink: Optional[dict] = None) -> dict:
+    """Run one topology point on ``shards`` engines; return its point
+    dict (byte-identical for any ``shards`` and either transport).
+
+    While a :class:`~repro.fault.session.ChaosSession` is active, a
+    seeded service-outage storm is armed and the S1–S2 conservation
+    audit is registered on the session (the CLI fails on violations
+    exactly like the kernel A1–A9 audit). While a
+    :class:`~repro.check.session.CheckSession` is active, its
+    controller is installed on every shard engine so same-timestamp
+    tie-breaks become explorable decision points. Both force the
+    in-process transport.
+
+    ``info_sink`` (a dict, test/bench hook) receives run metadata:
+    windows, lookahead, transport, partition hash, total events.
+    """
+    from repro.check.session import CheckSession
+    from repro.fault.session import ChaosSession
+
+    spec = TopoSpec.from_dict(kwargs["topo"]).validate()
+    params = ShardParams.from_kwargs(kwargs)
+    partition = partition_spec(spec, shards, seed=params.seed)
+    eff_shards = partition.n_shards
+    lookahead = lookahead_ns(spec, partition,
+                             primitive=params.primitive,
+                             client_req_size=params.req_size)
+    horizon = params.horizon_ns
+
+    chaos_session = ChaosSession.current()
+    check_session = CheckSession.current()
+    if chaos_seed is None and chaos_session is not None:
+        chaos_seed = (chaos_session.seed * 1_009
+                      + 500_000 + len(chaos_session.shard_runs))
+    if chaos_seed is None and check_session is not None \
+            and check_session.chaos:
+        chaos_seed = check_session.storm_seed * 1_009 + 500_000
+    forced_inprocess = (chaos_session is not None
+                        or check_session is not None)
+    transport = choose_mode(mode, eff_shards, lookahead, spec, params,
+                            forced_inprocess)
+
+    if transport == "processes":
+        shard_handles = [
+            _ProcShard(kwargs, eff_shards, sid, chaos_seed)
+            for sid in range(eff_shards)]
+    else:
+        shard_handles = []
+        for sid in range(eff_shards):
+            model = build_shard_model(kwargs, eff_shards, sid,
+                                      chaos_seed=chaos_seed)
+            if check_session is not None:
+                model.engine.controller = check_session.controller
+            shard_handles.append(_LocalShard(model))
+
+    key = checkpoint_key(kwargs, eff_shards, partition)
+    ckpt_path = (None if checkpoint_dir is None
+                 else _checkpoint_path(checkpoint_dir, key))
+    windows = 0
+    restored = None
+    if resume and ckpt_path is not None:
+        restored = _read_checkpoint(ckpt_path, key)
+
+    try:
+        if restored is not None:
+            windows = restored["windows"]
+            for handle, state in zip(shard_handles,
+                                     restored["states"]):
+                handle.restore(state)
+        else:
+            for handle in shard_handles:
+                handle.init()
+
+        inbound: List[List[tuple]] = [[] for _ in shard_handles]
+        while True:
+            nexts = [handle.exchange(inbound[sid])
+                     for sid, handle in enumerate(shard_handles)]
+            inbound = [[] for _ in shard_handles]
+            live = [t for t in nexts if t is not None]
+            gmin = min(live) if live else None
+            if gmin is None or gmin >= horizon:
+                break
+            if ckpt_path is not None and windows \
+                    and windows % checkpoint_every == 0:
+                _write_checkpoint(
+                    ckpt_path, key, windows,
+                    [handle.snapshot() for handle in shard_handles])
+            end = (horizon if lookahead is None
+                   else min(horizon, gmin + lookahead))
+            for sid, handle in enumerate(shard_handles):
+                for message in handle.run(end):
+                    inbound[_route(partition, message)].append(message)
+            windows += 1
+        states = [handle.finish(horizon) for handle in shard_handles]
+    finally:
+        for handle in shard_handles:
+            handle.close()
+
+    if ckpt_path is not None and os.path.exists(ckpt_path):
+        os.unlink(ckpt_path)
+
+    result = merge_states(states, params)
+    violations = audit_states(states)
+    if info_sink is not None:
+        info_sink.update({
+            "windows": windows,
+            "lookahead_ns": lookahead,
+            "transport": transport,
+            "shards": eff_shards,
+            "partition_hash": partition.partition_hash(),
+            "events": sum(s["events"] for s in states),
+            "violations": violations,
+        })
+    if chaos_session is not None:
+        chaos_session.register_shard_run(
+            {"shards": eff_shards, "windows": windows,
+             "chaos_seed": chaos_seed,
+             "crashes": result["worker_crashes"],
+             "events": sum(s["events"] for s in states)},
+            violations)
+    elif violations:
+        raise AssertionError("shard audit failed: "
+                             + "; ".join(violations))
+    return result

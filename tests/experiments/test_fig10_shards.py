@@ -1,0 +1,50 @@
+"""fig10 --shards wiring: cache-keyed specs, identical reports."""
+
+import json
+
+from repro.experiments import fig10_topo
+
+
+def _mini_points(shards=None):
+    return fig10_topo.points(
+        scenarios=("chain-4",), rungs=(25.0,), reps=1,
+        window_ns=0.4e6, warmup_ns=0.1e6, shards=shards)
+
+
+def test_unsharded_specs_unchanged():
+    for spec in _mini_points():
+        assert "shards" not in spec.kwargs
+        assert "partition_hash" not in spec.kwargs
+
+
+def test_sharded_specs_carry_partition_hash():
+    for spec in _mini_points(shards=2):
+        assert spec.kwargs["shards"] == 2
+        assert len(spec.kwargs["partition_hash"]) == 16
+
+
+def test_partition_hash_differs_by_shard_count():
+    two = {spec.kwargs["partition_hash"]
+           for spec in _mini_points(shards=2)}
+    three = {spec.kwargs["partition_hash"]
+             for spec in _mini_points(shards=3)}
+    assert two.isdisjoint(three)
+
+
+def test_sharded_report_identical_to_single_shard():
+    one = _mini_points(shards=1)
+    two = _mini_points(shards=2)
+    results_one = [fig10_topo.compute_point(**dict(spec.kwargs))
+                   for spec in one]
+    results_two = [fig10_topo.compute_point(**dict(spec.kwargs))
+                   for spec in two]
+    assert json.dumps(results_one) == json.dumps(results_two)
+    assert fig10_topo.assemble(one, results_one) == \
+        fig10_topo.assemble(two, results_two)
+
+
+def test_compute_point_reattaches_scenario_and_rep():
+    spec = _mini_points(shards=2)[0]
+    point = fig10_topo.compute_point(**dict(spec.kwargs))
+    assert point["scenario"] == "chain-4"
+    assert point["rep"] == 0

@@ -1,0 +1,70 @@
+"""Sharded runs under seeded service-outage storms."""
+
+import json
+
+from repro.fault.session import ChaosSession
+from repro.shard.model import storm_plan
+from repro.shard.runner import run_shard_point
+
+from tests.shard.workloads import point_kwargs
+
+
+def _canon(result: dict) -> str:
+    return json.dumps(result, sort_keys=True)
+
+
+def _stormy(kwargs, shards, seed=11):
+    with ChaosSession(seed=seed) as session:
+        result = run_shard_point(dict(kwargs), shards=shards)
+        violations = session.audit_kernels()
+        summary = session.summary()
+    return result, violations, summary
+
+
+def test_storm_identical_across_shard_counts():
+    kwargs = point_kwargs("chain")
+    r1, v1, _ = _stormy(kwargs, 1)
+    r2, v2, _ = _stormy(kwargs, 2)
+    r4, v4, _ = _stormy(kwargs, 4)
+    assert v1 == v2 == v4 == []
+    assert _canon(r1) == _canon(r2) == _canon(r4)
+
+
+def test_storm_actually_injects_and_audits_clean():
+    result, violations, summary = _stormy(point_kwargs("chain"), 2)
+    assert violations == []
+    assert result["worker_crashes"] > 0
+    assert result["worker_restarts"] > 0
+    assert "sharded run(s) stormed" in summary
+
+
+def test_storm_seed_changes_outages():
+    kwargs = point_kwargs("chain")
+    base, _, _ = _stormy(kwargs, 2, seed=11)
+    other, _, _ = _stormy(kwargs, 2, seed=12)
+    assert _canon(base) != _canon(other)
+
+
+def test_session_registers_shard_runs():
+    with ChaosSession(seed=11) as session:
+        run_shard_point(point_kwargs("chain"), shards=2)
+        run_shard_point(point_kwargs("fanout"), shards=2)
+        assert len(session.shard_runs) == 2
+        summaries = [summary for summary, _v in session.shard_runs]
+        assert all(s["shards"] == 2 for s in summaries)
+        # the second run draws a distinct derived storm seed
+        assert summaries[0]["chaos_seed"] != summaries[1]["chaos_seed"]
+
+
+def test_storm_plan_deterministic_and_bounded():
+    from repro.shard.model import ShardParams
+    from repro.topo.spec import TopoSpec
+    kwargs = point_kwargs("chain")
+    spec = TopoSpec.from_dict(kwargs["topo"]).validate()
+    params = ShardParams.from_kwargs(kwargs)
+    first = storm_plan(spec, params, 123)
+    second = storm_plan(spec, params, 123)
+    assert first == second
+    for node, t_down, t_up, _idx in first:
+        assert 0 <= node < spec.n
+        assert 0.0 < t_down < t_up

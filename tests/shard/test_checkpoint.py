@@ -1,0 +1,93 @@
+"""Per-shard checkpoints: crash mid-sweep, resume mid-window."""
+
+import json
+import os
+
+import pytest
+
+from repro.shard import runner as shard_runner
+from repro.shard.runner import run_shard_point
+
+from tests.shard.workloads import point_kwargs
+
+
+def _canon(result: dict) -> str:
+    return json.dumps(result, sort_keys=True)
+
+
+def test_checkpoint_written_and_cleaned(tmp_path):
+    kwargs = point_kwargs("chain")
+    result = run_shard_point(dict(kwargs), shards=2,
+                             checkpoint_dir=str(tmp_path),
+                             checkpoint_every=50)
+    # a clean finish removes its checkpoint
+    assert list(tmp_path.glob("shard-*.json")) == []
+    assert result["completed"] > 0
+
+
+def test_resume_after_crash_matches_uninterrupted(tmp_path,
+                                                  monkeypatch):
+    kwargs = point_kwargs("chain")
+    uninterrupted = run_shard_point(dict(kwargs), shards=2)
+
+    real_write = shard_runner._write_checkpoint
+    writes = {"n": 0}
+
+    def crashing_write(path, key, windows, states):
+        real_write(path, key, windows, states)
+        writes["n"] += 1
+        if writes["n"] == 3:
+            raise KeyboardInterrupt("simulated operator kill")
+
+    monkeypatch.setattr(shard_runner, "_write_checkpoint",
+                        crashing_write)
+    with pytest.raises(KeyboardInterrupt):
+        run_shard_point(dict(kwargs), shards=2,
+                        checkpoint_dir=str(tmp_path),
+                        checkpoint_every=50)
+    monkeypatch.setattr(shard_runner, "_write_checkpoint", real_write)
+
+    leftovers = list(tmp_path.glob("shard-*.json"))
+    assert len(leftovers) == 1  # the crash left a checkpoint behind
+
+    resumed = run_shard_point(dict(kwargs), shards=2,
+                              checkpoint_dir=str(tmp_path),
+                              resume=True, checkpoint_every=50)
+    assert _canon(resumed) == _canon(uninterrupted)
+    assert list(tmp_path.glob("shard-*.json")) == []
+
+
+def test_resume_ignores_foreign_checkpoint(tmp_path):
+    kwargs = point_kwargs("chain")
+    expected = run_shard_point(dict(kwargs), shards=2)
+    # a checkpoint whose embedded key does not match is ignored, not
+    # restored: the point recomputes from scratch
+    from repro.shard.model import ShardParams
+    from repro.shard.partition import partition_spec
+    from repro.topo.spec import TopoSpec
+    spec = TopoSpec.from_dict(kwargs["topo"]).validate()
+    partition = partition_spec(
+        spec, 2, seed=ShardParams.from_kwargs(kwargs).seed)
+    key = shard_runner.checkpoint_key(kwargs, 2, partition)
+    path = tmp_path / f"shard-{key}.json"
+    path.write_text(json.dumps(
+        {"key": "0000000000000000", "windows": 10, "states": []}))
+    resumed = run_shard_point(dict(kwargs), shards=2,
+                              checkpoint_dir=str(tmp_path),
+                              resume=True)
+    assert _canon(resumed) == _canon(expected)
+
+
+def test_checkpoint_key_sensitive_to_point_and_partition():
+    from repro.shard.model import ShardParams
+    from repro.shard.partition import partition_spec
+    from repro.topo.spec import TopoSpec
+    kwargs = point_kwargs("chain")
+    spec = TopoSpec.from_dict(kwargs["topo"]).validate()
+    seed = ShardParams.from_kwargs(kwargs).seed
+    partition = partition_spec(spec, 2, seed=seed)
+    base = shard_runner.checkpoint_key(kwargs, 2, partition)
+    other_kwargs = point_kwargs("chain", seed=7)
+    assert shard_runner.checkpoint_key(other_kwargs, 2,
+                                       partition) != base
+    assert shard_runner.checkpoint_key(kwargs, 3, partition) != base

@@ -1,0 +1,64 @@
+"""Lookahead derivation from the hw cost model."""
+
+import pytest
+
+from repro.hw.cache import CacheModel
+from repro.hw.costs import CostModel
+from repro.shard.costs import (edge_legs, lookahead_ns, reply_leg_ns,
+                               request_leg_ns)
+from repro.shard.partition import CLIENT, partition_spec
+
+from tests.shard.workloads import topo_spec
+
+COSTS = CostModel.default()
+CACHE = CacheModel()
+
+
+def test_primitive_leg_ordering_matches_fig5():
+    # the per-hop gap the paper measures: dIPC ~ns, L4 fast-path,
+    # then the kernel-mediated primitives
+    legs = {primitive: request_leg_ns(COSTS, CACHE, primitive, 128)
+            for primitive in ("pipe", "socket", "rpc", "l4", "dipc")}
+    assert legs["dipc"] < legs["l4"] < legs["pipe"]
+    assert legs["pipe"] < legs["socket"] < legs["rpc"]
+    assert all(leg > 0.0 for leg in legs.values())
+
+
+def test_reply_leg_positive_and_small_for_dipc():
+    assert 0.0 < reply_leg_ns(COSTS, CACHE, "dipc") < \
+        reply_leg_ns(COSTS, CACHE, "socket")
+
+
+def test_unknown_primitive_rejected():
+    with pytest.raises(ValueError):
+        request_leg_ns(COSTS, CACHE, "carrier-pigeon", 128)
+
+
+def test_edge_legs_cover_every_edge_and_client():
+    spec = topo_spec("chain")
+    legs, reply = edge_legs(spec, primitive="socket",
+                            client_req_size=128)
+    assert (CLIENT, 0) in legs
+    for edge in spec.edges:
+        assert (edge.src, edge.dst) in legs
+    assert reply > 0.0
+
+
+@pytest.mark.parametrize("primitive", ["socket", "dipc"])
+def test_lookahead_is_min_over_cut(primitive):
+    spec = topo_spec("mesh")
+    partition = partition_spec(spec, 3, seed=0)
+    lookahead = lookahead_ns(spec, partition, primitive=primitive,
+                             client_req_size=128)
+    legs, reply = edge_legs(spec, primitive=primitive,
+                            client_req_size=128)
+    expected = min(min(legs[edge], reply)
+                   for edge in partition.cut_edges(spec))
+    assert lookahead == expected
+
+
+def test_lookahead_none_without_cut_edges():
+    spec = topo_spec("chain")
+    partition = partition_spec(spec, 1, seed=0)
+    assert lookahead_ns(spec, partition, primitive="socket",
+                        client_req_size=128) is None

@@ -1,0 +1,82 @@
+"""The central PDES-lite contract: byte-identical for any shard count
+and either transport."""
+
+import json
+
+import pytest
+
+from repro.shard.runner import run_shard_point
+
+from tests.shard.workloads import point_kwargs
+
+
+def _canon(result: dict) -> str:
+    return json.dumps(result, sort_keys=True)
+
+
+@pytest.mark.parametrize("label", ["chain", "fanout", "mesh"])
+def test_sharded_byte_identical_to_single_shard(label):
+    kwargs = point_kwargs(label)
+    serial = run_shard_point(dict(kwargs), shards=1)
+    two = run_shard_point(dict(kwargs), shards=2)
+    four = run_shard_point(dict(kwargs), shards=4)
+    assert _canon(serial) == _canon(two) == _canon(four)
+
+
+def test_dipc_primitive_identical_across_shards():
+    kwargs = point_kwargs("chain", primitive="dipc")
+    serial = run_shard_point(dict(kwargs), shards=1)
+    sharded = run_shard_point(dict(kwargs), shards=2)
+    assert _canon(serial) == _canon(sharded)
+
+
+def test_transports_agree():
+    kwargs = point_kwargs("mesh")
+    info_in, info_mp = {}, {}
+    inproc = run_shard_point(dict(kwargs), shards=2,
+                             mode="inprocess", info_sink=info_in)
+    viamp = run_shard_point(dict(kwargs), shards=2,
+                            mode="processes", info_sink=info_mp)
+    assert info_in["transport"] == "inprocess"
+    assert info_mp["transport"] == "processes"
+    assert _canon(inproc) == _canon(viamp)
+
+
+def test_rerun_is_deterministic():
+    kwargs = point_kwargs("fanout")
+    first = run_shard_point(dict(kwargs), shards=3)
+    second = run_shard_point(dict(kwargs), shards=3)
+    assert _canon(first) == _canon(second)
+
+
+def test_seed_changes_the_point():
+    base = run_shard_point(point_kwargs("chain"), shards=2)
+    other = run_shard_point(point_kwargs("chain", seed=7), shards=2)
+    assert _canon(base) != _canon(other)
+
+
+def test_result_shape_matches_load_point_schema():
+    result = run_shard_point(point_kwargs("chain"), shards=2)
+    # the exact key set LoadResult.to_point() produces, so the fig10
+    # assemble/report code paths need no sharding awareness
+    assert set(result) == {
+        "primitive", "mode", "policy", "offered_kops", "n_clients",
+        "offered_seen", "completed", "shed", "failed",
+        "throughput_kops", "goodput_ratio", "mean_ns", "p50_ns",
+        "p95_ns", "p99_ns", "p999_ns", "max_ns", "cpu_busy_fraction",
+        "peak_backlog", "backlog_at_end", "worker_crashes",
+        "worker_restarts", "pool_rebuilds", "breaker_fast_fails",
+        "reclamation_violations"}
+    assert result["completed"] > 0
+    assert result["p50_ns"] > 0.0
+
+
+def test_info_sink_reports_window_protocol():
+    info = {}
+    run_shard_point(point_kwargs("chain"), shards=2, info_sink=info)
+    assert info["shards"] == 2
+    assert info["windows"] > 1
+    assert info["lookahead_ns"] > 0.0
+    assert info["events"] > 0
+    assert info["violations"] == []
+    assert len(info["partition_hash"]) == 16

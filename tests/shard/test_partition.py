@@ -1,0 +1,70 @@
+"""Partitioner: determinism, balance, canonical hashing."""
+
+from repro.shard.partition import (CLIENT, edge_weights, node_weights,
+                                   partition_spec, visit_rates)
+from repro.topo.spec import ROOT
+
+from tests.shard.workloads import topo_spec
+
+
+def test_visit_rates_root_is_one():
+    spec = topo_spec("chain")
+    rates = visit_rates(spec)
+    assert rates[ROOT] == 1.0
+    assert all(rate > 0.0 for rate in rates.values())
+
+
+def test_partition_deterministic_and_dense():
+    spec = topo_spec("mesh")
+    first = partition_spec(spec, 4, seed=3)
+    second = partition_spec(spec, 4, seed=3)
+    assert first == second
+    assert first.partition_hash() == second.partition_hash()
+    # dense, first-seen shard ids along the topological order
+    seen = []
+    for node_id in spec.topological_order():
+        shard = first.assign[node_id]
+        if shard not in seen:
+            seen.append(shard)
+    assert seen == list(range(first.n_shards))
+
+
+def test_partition_hash_depends_on_seed_and_count():
+    spec = topo_spec("mesh")
+    base = partition_spec(spec, 2, seed=0).partition_hash()
+    assert partition_spec(spec, 3, seed=0).partition_hash() != base
+    assert partition_spec(spec, 2, seed=9).partition_hash() != base
+
+
+def test_shard_count_clamped_to_node_count():
+    spec = topo_spec("chain")
+    partition = partition_spec(spec, 64, seed=0)
+    assert partition.n_shards <= spec.n
+    assert all(len(partition.nodes_of(s)) >= 1
+               for s in range(partition.n_shards))
+
+
+def test_client_colocated_with_root():
+    spec = topo_spec("mesh")
+    partition = partition_spec(spec, 4, seed=0)
+    assert partition.shard_of(CLIENT) == partition.shard_of(ROOT)
+
+
+def test_balance_within_tolerance():
+    spec = topo_spec("mesh")
+    partition = partition_spec(spec, 2, seed=0)
+    weights = node_weights(spec)
+    loads = [sum(weights[n] for n in partition.nodes_of(s))
+             for s in range(partition.n_shards)]
+    target = sum(weights.values()) / partition.n_shards
+    assert max(loads) <= target * 1.6  # coarse sanity, not the knob
+
+
+def test_cut_weight_consistent_with_cut_edges():
+    spec = topo_spec("mesh")
+    partition = partition_spec(spec, 3, seed=1)
+    weights = edge_weights(spec)
+    assert partition.cut_weight(spec) == sum(
+        weights[edge] for edge in partition.cut_edges(spec))
+    single = partition_spec(spec, 1, seed=1)
+    assert single.cut_edges(spec) == []

@@ -1,0 +1,31 @@
+"""Shared workload builders for the repro.shard test suite."""
+
+from repro import units
+from repro.topo import generate
+
+#: (pattern label, generate args) for the determinism matrix
+TOPOLOGIES = {
+    "chain": ("chain_branch", 8, {}),
+    "fanout": ("par_fanout", 8, {}),
+    "mesh": ("mesh", 12, {"width": 3, "seed": 3}),
+}
+
+
+def topo_spec(label):
+    pattern, n, kwargs = TOPOLOGIES[label]
+    return generate(pattern, n, **kwargs)
+
+
+def point_kwargs(label="chain", primitive="socket", *,
+                 offered_kops=400.0, window_ms=0.5, seed=42):
+    """One small-but-busy topology point (finishes in well under a
+    second per shard count on one core)."""
+    return {
+        "primitive": primitive, "mode": "open", "policy": "shed",
+        "arrivals": "poisson", "offered_kops": offered_kops,
+        "n_clients": 4, "n_conns": 8, "n_workers": 2,
+        "queue_depth": 16, "req_size": 128,
+        "deadline_ns": 2.0 * units.MS, "num_cpus": 8,
+        "warmup_ns": 0.2 * units.MS,
+        "window_ns": window_ms * units.MS,
+        "seed": seed, "topo": topo_spec(label).to_dict()}

@@ -1,0 +1,45 @@
+"""Histogram serialization round-trip (feeds shard snapshots)."""
+
+import json
+
+from repro.trace.histogram import LatencyHistogram
+
+
+def _filled():
+    hist = LatencyHistogram()
+    for value in (120.0, 4_500.0, 4_501.0, 9e6, 0.5, 77.7):
+        hist.add(value)
+    return hist
+
+
+def test_state_round_trip_preserves_summary():
+    hist = _filled()
+    clone = LatencyHistogram.from_state(hist.to_state())
+    assert clone.summary() == hist.summary()
+    assert clone.to_state() == hist.to_state()
+
+
+def test_state_is_json_safe():
+    state = _filled().to_state()
+    assert json.loads(json.dumps(state)) == state
+
+
+def test_empty_histogram_round_trips():
+    empty = LatencyHistogram()
+    clone = LatencyHistogram.from_state(empty.to_state())
+    assert clone.summary() == empty.summary()
+
+
+def test_round_trip_then_add_matches_never_serialized():
+    straight = LatencyHistogram()
+    hopped = LatencyHistogram()
+    first = (10.0, 250.0, 3e4)
+    second = (17.0, 9_999.0)
+    for value in first:
+        straight.add(value)
+        hopped.add(value)
+    hopped = LatencyHistogram.from_state(hopped.to_state())
+    for value in second:
+        straight.add(value)
+        hopped.add(value)
+    assert hopped.summary() == straight.summary()
