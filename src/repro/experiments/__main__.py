@@ -6,8 +6,9 @@
 One verb, orthogonal flags:
 
 * ``names`` — table1, fig1, fig2, fig5, fig6, fig7, fig8, fig9 (alias
-  fig09_load), fig10 (alias fig10_topo), extras, ablation, microbench,
-  report, or ``all``;
+  fig09_load), fig10 (alias fig10_topo), fig11 (alias
+  fig11_isolation), fig12 (alias fig12_bracket), extras, ablation,
+  microbench, report, or ``all``;
 * ``--quick`` shrinks iteration counts / windows (for smoke runs);
 * ``--jobs N`` routes each experiment through the sharded point runner
   (``repro.runner``): the figure is decomposed into independent
@@ -128,6 +129,16 @@ def _run_fig10(quick: bool) -> str:
     return fig10_topo.run(quick)
 
 
+def _run_fig11(quick: bool) -> str:
+    from repro.experiments import fig11_isolation
+    return fig11_isolation.run(quick)
+
+
+def _run_fig12(quick: bool) -> str:
+    from repro.experiments import fig12_bracket
+    return fig12_bracket.run(quick)
+
+
 def _run_extras(quick: bool) -> str:
     from repro.experiments import extras
     return extras.render()
@@ -190,6 +201,8 @@ RUNNERS = {
     "fig8": _run_fig8,
     "fig9": _run_fig9,
     "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
     "extras": _run_extras,
     "ablation": _run_ablation,
     "microbench": _run_microbench,
@@ -207,6 +220,8 @@ _ALIASES = {
     "fig09_load": "fig9",
     "fig9_load": "fig9",
     "fig10_topo": "fig10",
+    "fig11_isolation": "fig11",
+    "fig12_bracket": "fig12",
 }
 
 
@@ -366,7 +381,7 @@ def main(argv=None) -> int:
                         help="arm a deterministic fault storm (seeded "
                              "by --seed) against every kernel the "
                              "experiment builds; exits non-zero if the "
-                             "post-run invariant audit (A1-A9) fails")
+                             "post-run invariant audit (A1-A10) fails")
     parser.add_argument("--supervise", action="store_true",
                         help="run load experiments with supervised "
                              "server pools and circuit breakers: killed "

@@ -22,9 +22,11 @@ and exits non-zero when a gated metric regressed by more than
 warm-cached ms/point up.
 
 Verdicts are honest about the host: with ``cpu_count == 1`` neither
-process pool can speed anything up, so the cold-parallel and shard
-verdicts read ``skipped (single-cpu host)`` instead of reporting a
-misleading ~1x as a regression (the raw numbers are still recorded).
+process pool can speed anything up, so the cold-parallel *leg is not
+run at all* (its verdict reads ``skipped (single-cpu host)`` and
+``cold_parallel_s`` is recorded as null) and the shard verdict reads
+the same — instead of spending minutes to report a misleading ~1x as
+a regression.
 """
 
 from __future__ import annotations
@@ -289,11 +291,19 @@ def run_bench(quick: bool, jobs: int, out_dir: str, *,
 
     with tempfile.TemporaryDirectory() as tmp:
         serial_cache = ResultCache(os.path.join(tmp, "serial"))
-        parallel_cache = ResultCache(os.path.join(tmp, "parallel"))
         cold_serial_s, serial_results, _ = timed(1, serial_cache,
                                                  "cold serial")
-        cold_parallel_s, parallel_results, _ = timed(jobs, parallel_cache,
-                                                     "cold parallel")
+        if cpu == 1:
+            # a process pool cannot speed anything up here; don't spend
+            # a second cold pass proving it — identity is still checked
+            # across the serial and warm-cached passes
+            cold_parallel_s = None
+            parallel_results = serial_results
+            print("cold parallel: skipped (single-cpu host)")
+        else:
+            parallel_cache = ResultCache(os.path.join(tmp, "parallel"))
+            cold_parallel_s, parallel_results, _ = timed(
+                jobs, parallel_cache, "cold parallel")
         warm_cached_s, warm_results, warm_stats = timed(1, serial_cache,
                                                         "warm cached")
     identical = serial_results == parallel_results == warm_results
@@ -315,7 +325,8 @@ def run_bench(quick: bool, jobs: int, out_dir: str, *,
         "jobs": jobs,
         "points": len(specs),
         "cold_serial_s": round(cold_serial_s, 3),
-        "cold_parallel_s": round(cold_parallel_s, 3),
+        "cold_parallel_s": round(cold_parallel_s, 3)
+        if cold_parallel_s is not None else None,
         "warm_cached_s": round(warm_cached_s, 3),
         "parallel_speedup": round(speedup, 3) if speedup else None,
         "parallel_speedup_per_cpu": round(

@@ -144,7 +144,15 @@ def _agg(rows: List[dict], field: str) -> Tuple[float, float]:
     return mean_ci([row[field] for row in rows])
 
 
-def assemble(specs, results) -> str:
+#: pretty names for verdict headlines
+_DISPLAY = {"dipc": "dIPC", "odipc": "odIPC"}
+
+
+def assemble(specs, results, *, subject: str = "dipc",
+             baseline: str = "socket") -> str:
+    """``subject``/``baseline`` name the primitives the compounding
+    verdict compares (defaults: the paper's headline pair); fig12
+    reuses this with its own bracket members."""
     cells = _cells(specs, results)
     names = []
     for spec in specs:
@@ -188,17 +196,18 @@ def assemble(specs, results) -> str:
 
     lines += [
         "",
-        f"end-to-end p50 speedup vs socket at {low:.0f} kops "
+        f"end-to-end p50 speedup vs {baseline} at {low:.0f} kops "
         f"(mean +- 95% CI across {reps} reps):",
-        f"{'scenario':<14}{'depth':>6}{'socket p50[us]':>16}"
-        f"{'dipc p50[us]':>14}{'speedup':>13}",
+        f"{'scenario':<14}{'depth':>6}"
+        f"{baseline + ' p50[us]':>16}"
+        f"{subject + ' p50[us]':>14}{'speedup':>13}",
         "-" * 63,
     ]
     best = None     # (ci_clears_floor, speedup_mean, ci, name, depth)
     for name in names:
         spec = scenario_spec(name)
-        soc = cells.get((name, "socket", low))
-        dip = cells.get((name, "dipc", low))
+        soc = cells.get((name, baseline, low))
+        dip = cells.get((name, subject, low))
         if not soc or not dip:
             continue
         # speedup per rep (paired by seed), then mean +- CI of those
@@ -220,15 +229,16 @@ def assemble(specs, results) -> str:
             if best is None or cand[:2] > best[:2]:
                 best = cand
 
+    headline = _DISPLAY.get(subject, subject)
     if best is None:
-        lines.append(f"dIPC compounding: FAIL (no scenario of depth "
-                     f">= {DEPTH_FLOOR} in the sweep)")
+        lines.append(f"{headline} compounding: FAIL (no scenario of "
+                     f"depth >= {DEPTH_FLOOR} in the sweep)")
     else:
         _, ratio, ratio_ci, name, depth = best
         verdict = "PASS" if ratio >= SPEEDUP_FLOOR else "FAIL"
         lines.append(
-            f"dIPC compounding: {verdict} ({name}, depth {depth}: "
-            f"{ratio:.1f}x +- {ratio_ci:.1f} end-to-end vs socket, "
+            f"{headline} compounding: {verdict} ({name}, depth {depth}: "
+            f"{ratio:.1f}x +- {ratio_ci:.1f} end-to-end vs {baseline}, "
             f"floor {SPEEDUP_FLOOR:.0f}x)")
     return "\n".join(lines)
 

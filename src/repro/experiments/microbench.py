@@ -370,18 +370,24 @@ def _policy(name: str) -> IsolationPolicy:
 
 def bench_dipc(*, policy: str = "low", cross_process: bool = False,
                size: int = 1, iters: int = DEFAULT_ITERS,
-               warmup: int = DEFAULT_WARMUP, costs=None) -> BenchResult:
+               warmup: int = DEFAULT_WARMUP, costs=None,
+               callee_read_ns: Optional[float] = None,
+               label: Optional[str] = None) -> BenchResult:
     """dIPC synchronous call: same-process domains or cross-process
     (Figure 5's dIPC and dIPC +proc bars; Low vs High policies).
 
     ``costs`` overrides the cost model (used by the ablation studies,
     e.g. zeroing TLS_SWITCH to model the optimized TLS mode of §6.1.2).
+    ``callee_read_ns`` replaces the callee's inline argument read with
+    a fixed charge (fig11 uses it to model the DMA-offloaded copy of
+    the odipc variant); ``label`` overrides the result label.
     """
     kernel = _fresh_kernel(1, costs=costs)
     manager = kernel.dipc
     costs = kernel.costs
     cache = kernel.machine.cache
-    label = f"dipc_{'proc_' if cross_process else ''}{policy}"
+    if label is None:
+        label = f"dipc_{'proc_' if cross_process else ''}{policy}"
     harness = _Harness(kernel, label, warmup=warmup, iters=iters)
     caller_proc = kernel.spawn_process("dipc-caller", dipc=True)
     if cross_process:
@@ -392,7 +398,9 @@ def bench_dipc(*, policy: str = "low", cross_process: bool = False,
         callee_dom = manager.dom_create(caller_proc)
 
     def target(t, payload):
-        if size > 1:
+        if callee_read_ns is not None:
+            yield t.compute(callee_read_ns)
+        elif size > 1:
             yield t.compute(cache.touch_ns(size))  # callee reads by ref
         else:
             yield t.compute(0.0)

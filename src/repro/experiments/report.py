@@ -36,6 +36,8 @@ SECTION_ORDER: Tuple[Tuple[str, str], ...] = (
     ("Figure 8", "fig8"),
     ("Figure 9", "fig9"),
     ("Figure 10", "fig10"),
+    ("Figure 11", "fig11"),
+    ("Figure 12", "fig12"),
     ("In-text extras", "extras"),
 )
 
@@ -63,9 +65,10 @@ def _section_params(name: str, quick: bool) -> dict:
     if name == "fig8":
         concurrencies = (4, 16, 64) if quick else (4, 16, 64, 256, 512)
         return {"concurrencies": concurrencies, "scale": scale}
-    if name in ("fig9", "fig10"):
-        # the load/topology sweeps share the CLI's parameterization —
-        # their points then hit the same cache as `run fig9`/`run fig10`
+    if name in ("fig9", "fig10", "fig11", "fig12"):
+        # the load/topology/isolation sweeps share the CLI's
+        # parameterization — their points then hit the same cache as
+        # `run fig9`/`run fig10`/`run fig11`/`run fig12`
         from repro.runner import registry
         return registry.cli_params(name, quick)
     if name == "extras":

@@ -21,6 +21,9 @@ paper's fault model promises survive any kill (§5.2.1, P1-P5):
 * **A9 reclamation** — nothing of a dead process lingers: no live grant
   touches its domains, no live thread's KCS still names it (the check
   the supervisor also runs before spawning a replacement).
+* **A10 tagged contexts** — no DPTI tagged-page-table context (PCID)
+  still maps a dead process: a dangling tag would let a later domain
+  call resume through the corpse's page tables.
 
 ``audit()`` returns the violations as strings; ``assert_clean()`` wraps
 them in a single :class:`InvariantViolation`.
@@ -53,6 +56,7 @@ class InvariantAuditor:
         self._check_grants(violations)
         self._check_crashes(violations)
         self._check_reclamation(violations)
+        self._check_dpti_contexts(violations)
         return violations
 
     def assert_clean(self) -> None:
@@ -148,3 +152,12 @@ class InvariantAuditor:
                 continue
             out.extend(f"A9: {violation}" for violation in
                        reclamation_violations(self.kernel, process))
+
+    def _check_dpti_contexts(self, out: List[str]) -> None:
+        # kernels that never bound a DPTI domain have no table at all
+        for pcid, process in getattr(self.kernel, "dpti_domains",
+                                     {}).items():
+            if not process.alive:
+                out.append(
+                    f"A10: dpti pcid {pcid} still maps dead process "
+                    f"{process.name} (tagged-PT context not retired)")

@@ -174,6 +174,32 @@ class CostModel:
     #: cold path: upcall into the target's management thread + syscall
     TRACK_UPCALL: float = 6000.0
 
+    # -- DPTI: tagged-page-table domain switching (arxiv 2111.10876) --------------
+    #: block 6: PCID-tagged CR3 write with no TLB flush — the tagged
+    #: entries of the target domain survive, so the switch is a bare
+    #: CR3 load plus a handful of warm TLB refills (vs 95 ns for the
+    #: flushing PT_SWITCH)
+    DPTI_SWITCH: float = 30.0
+    #: block 4: kernel gate of a domain call — descriptor lookup,
+    #: permission check, tagged-PT selection; shorter than L4's
+    #: rendezvous path (177 ns) because no thread switch is needed,
+    #: but far more than dIPC's proxy, because it still traps
+    DPTI_KERNEL_PATH: float = 90.0
+    #: block 1: user-side stub around the domain-call trap
+    DPTI_USER_STUB: float = 6.0
+
+    # -- bulk-copy offload engine (arxiv 2601.06331) ------------------------------
+    #: fixed cost of submitting one DMA descriptor to the offload
+    #: engine (doorbell write, descriptor setup, completion check)
+    DMA_SUBMIT: float = 250.0
+    #: sustained offload-engine copy bandwidth, bytes per nanosecond
+    DMA_BYTES_PER_NS: float = 64.0
+    #: smallest transfer worth a descriptor: below this the submission
+    #: cost dwarfs the copy and the CPU does it inline (at 16 KB the
+    #: offload costs 432.7 ns vs a 512 ns inline touch; at 8 KB the
+    #: 250 ns submission still loses, 304.7 ns vs 256 ns)
+    OFFLOAD_THRESHOLD: int = 16384
+
     # -- alternative architectures (Table 1) ----------------------------------------
     #: processor exception + return (CHERI domain crossing, per direction)
     EXCEPTION: float = 150.0
@@ -226,6 +252,47 @@ class CostModel:
     def cross_cpu_wake(self) -> float:
         """Latency from wake initiation to the remote thread running."""
         return self.IPI_FLIGHT + self.IPI_HANDLE + self.IDLE_WAKE_SCHED
+
+    def dipc_call_leg_ns(self) -> float:
+        """User stub + trusted-proxy work of one dIPC call direction —
+        the request leg the shard model charges on a cut edge, and the
+        CPU-side window a DMA offload can hide its transfer behind."""
+        return (self.STUB_REG_SAVE + self.STUB_REG_ZERO
+                + self.STUB_STACK_CAPS + self.PROXY_MIN_CALL
+                + self.PROXY_STACK_SWITCH + self.PROXY_DCS_ADJUST
+                + self.PROXY_DCS_SWITCH + self.PROXY_STACK_LOCATE
+                + self.TRACK_PROCESS_CALL + self.TRACK_DONATION
+                + self.TLS_SWITCH + self.CAP_CREATE)
+
+    def dipc_return_leg_ns(self) -> float:
+        """Proxy + stub work of the matching dIPC return direction."""
+        return (self.PROXY_MIN_RET + self.STUB_REG_RESTORE
+                + self.STUB_REG_ZERO + self.TRACK_PROCESS_RET
+                + self.PROXY_DCS_SWITCH + self.TLS_SWITCH)
+
+    def dpti_call_leg_ns(self) -> float:
+        """One DPTI domain call: stub, trap, kernel gate, tagged switch
+        (the data copy is charged separately, per size)."""
+        return (self.DPTI_USER_STUB + self.SYSCALL_HW
+                + self.DPTI_KERNEL_PATH + self.DPTI_SWITCH)
+
+    def dpti_return_leg_ns(self) -> float:
+        """The DPTI return direction: the gate re-validates nothing
+        (descriptor already checked on entry) so the kernel path
+        halves; the tagged switch and trap exit are paid in full."""
+        return (0.5 * self.DPTI_KERNEL_PATH + self.DPTI_SWITCH
+                + self.SYSCALL_HW)
+
+    def offload_copy_ns(self, size: int) -> float:
+        """Effective synchronous cost of offloading a ``size``-byte
+        copy to the DMA engine: descriptor submission, plus whatever
+        part of the transfer is *not* hidden behind the proxy call path
+        it overlaps with.  Callers gate on ``OFFLOAD_THRESHOLD``; this
+        is the cost *given* the offload was chosen."""
+        if size <= 0:
+            return 0.0
+        dma = size / self.DMA_BYTES_PER_NS
+        return self.DMA_SUBMIT + max(0.0, dma - self.dipc_call_leg_ns())
 
     @classmethod
     def default(cls) -> "CostModel":

@@ -182,9 +182,13 @@ def run_load_point(params: LoadParams, *,
     # in-flight requests are bounded by the runner pool (open) or the
     # gate (closed); keep the bytes they can park in any one pipe far
     # below its capacity — a full pipe whose head message has not
-    # started draining would head-of-line-block the framed reader
-    if max(params.n_conns, params.queue_depth) * params.req_size \
-            > 32 * units.KB:
+    # started draining would head-of-line-block the framed reader.
+    # In-process primitives (registry ``in_process`` capability) never
+    # park request bytes in a kernel buffer, so the bound is moot.
+    from repro import primitives
+    if not primitives.get(params.primitive).capabilities.in_process \
+            and max(params.n_conns, params.queue_depth) \
+            * params.req_size > 32 * units.KB:
         raise ValueError("n_conns/queue_depth * req_size must stay "
                          "under half the pipe buffer")
 

@@ -55,7 +55,8 @@ _REGISTRY: Dict[str, FigureDriver] = {}
 #: experiments the point runner can shard, in presentation order
 #: (``report`` and ``chaos`` have their own plumbing)
 SUPPORTED = ("table1", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8",
-             "fig9", "fig10", "extras", "ablation", "microbench")
+             "fig9", "fig10", "fig11", "fig12", "extras", "ablation",
+             "microbench")
 
 _MODULES = {
     "table1": "repro.experiments.table01_arch",
@@ -67,6 +68,8 @@ _MODULES = {
     "fig8": "repro.experiments.fig08_oltp",
     "fig9": "repro.experiments.fig09_load",
     "fig10": "repro.experiments.fig10_topo",
+    "fig11": "repro.experiments.fig11_isolation",
+    "fig12": "repro.experiments.fig12_bracket",
     "extras": "repro.experiments.extras",
     "ablation": "repro.experiments.ablation",
     "microbench": "repro.experiments.microbench",

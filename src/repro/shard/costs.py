@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro import primitives
 from repro.hw.cache import CacheModel
 from repro.hw.costs import CostModel
 from repro.load.transports import REPLY_SIZE
@@ -37,54 +38,31 @@ from repro.topo.spec import TopoSpec
 from repro.shard.partition import CLIENT, Partition
 
 
-def _copy_ns(cache: CacheModel, size: int) -> float:
-    return cache.copy_ns(size)
-
-
 def request_leg_ns(costs: CostModel, cache: CacheModel,
                    primitive: str, size: int) -> float:
-    """One-way latency of a ``size``-byte request over ``primitive``."""
-    sys2 = 2.0 * costs.syscall_empty()
-    stub2 = 2.0 * costs.USER_STUB
-    if primitive == "pipe":
-        return (stub2 + sys2 + costs.PIPE_WRITE_WORK
-                + costs.PIPE_READ_WORK + 2.0 * _copy_ns(cache, size))
-    if primitive == "socket":
-        return (stub2 + sys2 + costs.SOCK_SEND_WORK
-                + costs.SOCK_RECV_WORK + 2.0 * _copy_ns(cache, size))
-    if primitive == "rpc":
-        # socket transport plus XDR (un)marshalling and the client/server
-        # library halves of one direction
-        return (request_leg_ns(costs, cache, "socket", size)
-                + 2.0 * costs.XDR_BASE + _copy_ns(cache, size)
-                + (costs.RPC_CLIENT_USER + costs.RPC_SERVER_USER) / 2.0)
-    if primitive == "l4":
-        return (2.0 * costs.L4_USER_STUB + costs.L4_KERNEL_PATH
-                + costs.L4_DIRECT_SWITCH + _copy_ns(cache, size))
-    if primitive == "dipc":
-        # call direction of the dIPC+proc High decomposition: user stub
-        # (register save/zero, stack caps) + trusted proxy (stack/DCS
-        # switch, KCS push, process tracking, TLS) — arguments travel by
-        # capability, so there is no per-byte copy term
-        return (costs.STUB_REG_SAVE + costs.STUB_REG_ZERO
-                + costs.STUB_STACK_CAPS + costs.PROXY_MIN_CALL
-                + costs.PROXY_STACK_SWITCH + costs.PROXY_DCS_ADJUST
-                + costs.PROXY_DCS_SWITCH + costs.PROXY_STACK_LOCATE
-                + costs.TRACK_PROCESS_CALL + costs.TRACK_DONATION
-                + costs.TLS_SWITCH + costs.CAP_CREATE)
-    raise ValueError(f"unknown primitive {primitive!r}")
+    """One-way latency of a ``size``-byte request over ``primitive``.
+
+    The per-primitive compositions are registered alongside the
+    transports (``repro.load.transports``) as each
+    :class:`~repro.primitives.PrimitiveSpec`'s ``request_leg``.
+    """
+    try:
+        spec = primitives.get(primitive)
+    except KeyError:
+        raise ValueError(f"unknown primitive {primitive!r}") from None
+    return spec.request_leg(costs, cache, size)
 
 
 def reply_leg_ns(costs: CostModel, cache: CacheModel,
                  primitive: str) -> float:
     """One-way latency of the small fixed-size reply/ack."""
-    if primitive == "dipc":
-        # return direction: proxy KCS pop + register restore/zero +
-        # process-tracking restore + TLS switch back
-        return (costs.PROXY_MIN_RET + costs.STUB_REG_RESTORE
-                + costs.STUB_REG_ZERO + costs.TRACK_PROCESS_RET
-                + costs.PROXY_DCS_SWITCH + costs.TLS_SWITCH)
-    return request_leg_ns(costs, cache, primitive, REPLY_SIZE)
+    try:
+        spec = primitives.get(primitive)
+    except KeyError:
+        raise ValueError(f"unknown primitive {primitive!r}") from None
+    if spec.reply_leg is not None:
+        return spec.reply_leg(costs, cache, REPLY_SIZE)
+    return spec.request_leg(costs, cache, REPLY_SIZE)
 
 
 def edge_legs(spec: TopoSpec, *, primitive: str, client_req_size: int,

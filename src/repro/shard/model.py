@@ -37,6 +37,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import primitives
 from repro.hw.cache import CacheModel
 from repro.hw.costs import CostModel
 from repro.load.arrivals import OpenLoopArrivals
@@ -157,8 +158,11 @@ class ShardModel:
             node.id: node.work_ns for node in spec.nodes}
         self.mode: Dict[int, str] = {
             node.id: node.mode for node in spec.nodes}
-        capacity = (None if params.primitive == "dipc"
-                    else params.n_workers)
+        # in-process primitives (thread-migrating dIPC, inline DPTI)
+        # have no worker pool: their station capacity is unbounded and
+        # only CPU time limits concurrency
+        caps = primitives.get(params.primitive).capabilities
+        capacity = params.n_workers if caps.bounded_capacity else None
         self.stations: Dict[int, _Station] = {
             nid: _Station(capacity) for nid in sorted(partition.nodes_of(
                 shard_id))}

@@ -21,7 +21,17 @@ domain); per spec edge it wires one *hop* over the chosen primitive:
   request is one thread migrating node to node through proxies. The
   baselines' end-to-end concurrency is capped by the smallest worker
   pool along the path; dIPC's only cap is CPU capacity — which is
-  exactly why deep graphs compound its per-hop advantage.
+  exactly why deep graphs compound its per-hop advantage;
+* **dpti** — one :class:`~repro.ipc.dpti.DptiEndpoint` per edge: the
+  caller's thread traps and runs the destination inline behind a
+  PCID-tagged page-table switch (no workers, like dIPC, but every hop
+  still pays trap + gate + kernel copies);
+* **odipc** — dIPC hops whose argument read is offloaded to the DMA
+  engine above the crossover size (below it, identical to dipc).
+
+Which hop class serves which primitive — and whether a primitive needs
+the trusted dIPC runtime, worker pools, or neither — comes from the
+:mod:`repro.primitives` registry, not from string comparisons here.
 
 A node's service body burns its ``work_ns``, then visits its children:
 ``seq`` nodes call them one after another (latency adds), ``par``
@@ -36,6 +46,7 @@ supervisor after a kill.
 
 from __future__ import annotations
 
+from repro import primitives
 from repro.errors import KernelError, PeerResetError
 from repro.ipc.l4 import L4Endpoint
 from repro.ipc.pipe import Pipe
@@ -346,12 +357,73 @@ class _DipcHop(_Hop):
     def worker_body(self, slot: int):  # pragma: no cover - never spawned
         raise NotImplementedError("dIPC hops have no workers")
 
+    def _data_extra_ns(self) -> float:
+        """CPU the callee spends reading the capability-passed argument
+        buffer. Small payloads are folded into the node's ``work_ns``
+        like every other hop; above the offload threshold the inline
+        read is charged explicitly (the cost odipc attacks)."""
+        costs = self.kernel.costs
+        if self.req_size >= costs.OFFLOAD_THRESHOLD:
+            return self.kernel.machine.cache.touch_ns(self.req_size)
+        return 0.0
+
     def call(self, thread, payload):
-        return self.transport.manager.call(thread, self.address, payload)
+        extra = self._data_extra_ns()
+        if not extra:
+            return self.transport.manager.call(thread, self.address,
+                                               payload)
+
+        def _with_read():
+            yield thread.compute(extra)
+            return (yield from self.transport.manager.call(
+                thread, self.address, payload))
+
+        return _with_read()
 
 
-_HOPS = {"pipe": _PipeHop, "socket": _SocketHop, "rpc": _RpcHop,
-         "l4": _L4Hop, "dipc": _DipcHop}
+class _OdipcHop(_DipcHop):
+    """A dIPC hop with the bulk-copy offload engine: above the
+    crossover size the argument read becomes a DMA descriptor whose
+    transfer overlaps the proxy call path; below it, exactly
+    :class:`_DipcHop`."""
+
+    def _data_extra_ns(self) -> float:
+        costs = self.kernel.costs
+        if self.req_size >= costs.OFFLOAD_THRESHOLD:
+            return costs.offload_copy_ns(self.req_size)
+        return 0.0
+
+
+class _DptiHop(_Hop):
+    """A kernel-mediated domain call: trap, PCID-tagged page-table
+    switch into the destination domain, then the service body runs
+    inline on the caller's thread — no workers anywhere in the graph,
+    but every hop still pays trap + gate + kernel copies."""
+
+    def build(self) -> None:
+        from repro.ipc.dpti import DptiEndpoint
+
+        def visit(t, payload):
+            verdict = "ok"
+            try:
+                yield from self._serve(t, payload)
+            except LOAD_SURVIVABLE:
+                verdict = "err"
+            return verdict
+
+        self.endpoint = DptiEndpoint(self.kernel, visit)
+        self.endpoint.bind_owner(self.dst_proc)
+
+    def worker_body(self, slot: int):  # pragma: no cover - never spawned
+        raise NotImplementedError("dpti hops have no workers")
+
+    def call(self, thread, payload):
+        reply = yield from self.endpoint.call(
+            thread, payload, size=self.req_size, reply_size=REPLY_SIZE)
+        if reply == "err":
+            raise DownstreamFault(f"hop {self.label}: downstream "
+                                  f"failure")
+        return reply
 
 
 # ---------------------------------------------------------------------------
@@ -366,13 +438,17 @@ class TopoTransport(Transport):
 
     def __init__(self, params):
         super().__init__(params)
-        if params.primitive not in _HOPS:
-            raise ValueError(f"unknown hop primitive "
-                             f"{params.primitive!r} (choose from "
-                             f"{', '.join(sorted(_HOPS))})")
+        try:
+            spec = primitives.get(params.primitive)
+        except KeyError:
+            raise ValueError(
+                f"unknown hop primitive {params.primitive!r} (choose "
+                f"from {', '.join(sorted(primitives.names()))})") \
+                from None
         self.spec = TopoSpec.from_dict(params.topo).validate()
         self.primitive = params.primitive
-        self.has_worker_threads = self.primitive != "dipc"
+        self._hop_spec = spec
+        self.has_worker_threads = spec.capabilities.has_worker_threads
         self.procs = {}
         self.hops = {}
         self.entries = {}
@@ -399,23 +475,25 @@ class TopoTransport(Transport):
     def build(self, kernel) -> None:
         self.kernel = kernel
         self.ns = SocketNamespace()
-        dipc = self.primitive == "dipc"
-        if dipc:
+        trusted = self._hop_spec.capabilities.trusted
+        if trusted:
             from repro.core.api import DipcManager
             self.manager = DipcManager(kernel)
-        self.client_proc = kernel.spawn_process(CLIENT_PROCESS, dipc=dipc)
+        self.client_proc = kernel.spawn_process(CLIENT_PROCESS,
+                                                dipc=trusted)
         for node in self.spec.nodes:
             self.procs[node.id] = kernel.spawn_process(
-                self._proc_name(node.id), dipc=dipc)
+                self._proc_name(node.id), dipc=trusted)
         self.server_proc = self.procs[ROOT]
-        if dipc:
+        if trusted:
             # children before parents, mirroring the OLTP chain: every
             # node exports one entry, then every edge imports a proxy
             for node_id in reversed(self.spec.topological_order()):
                 self._register_entry(node_id)
+        hop_cls = self._hop_spec.hop()
         for index, edge in enumerate(self._all_edges()):
             src, dst, req_size = edge
-            hop = _HOPS[self.primitive](self, index, src, dst, req_size)
+            hop = hop_cls(self, index, src, dst, req_size)
             hop.build()
             self.hops[(src, dst)] = hop
             if self.has_worker_threads:
@@ -542,12 +620,12 @@ class TopoTransport(Transport):
         fresh entry registrations, fresh workers."""
         dead = [node.id for node in self.spec.nodes
                 if not self.procs[node.id].alive]
-        dipc = self.primitive == "dipc"
+        trusted = self._hop_spec.capabilities.trusted
         for node_id in dead:
             self.procs[node_id] = self.kernel.spawn_process(
-                self._proc_name(node_id), dipc=dipc)
+                self._proc_name(node_id), dipc=trusted)
         self.server_proc = self.procs[ROOT]
-        if dipc:
+        if trusted:
             # re-export entries of the reborn nodes (children first so a
             # parent's re-import below finds the fresh registration)
             for node_id in reversed(self.spec.topological_order()):

@@ -7,8 +7,8 @@ from repro.experiments.__main__ import DEFAULT_SET, RUNNERS, main
 
 def test_runner_registry_covers_every_artifact():
     assert {"table1", "fig1", "fig2", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "fig10", "extras", "ablation", "microbench",
-            "report", "chaos"} == set(RUNNERS)
+            "fig9", "fig10", "fig11", "fig12", "extras", "ablation",
+            "microbench", "report", "chaos"} == set(RUNNERS)
 
 
 def test_default_set_excludes_report_chaos_and_microbench():

@@ -1,0 +1,57 @@
+"""fig11_isolation: bench coverage, decomposition, the three verdicts."""
+
+import json
+
+from repro import primitives
+from repro.experiments import fig11_isolation
+from repro.hw.costs import CostModel
+from repro.runner.points import execute_spec
+
+
+def _cheap_specs(sizes=(64,)):
+    return fig11_isolation.points(sizes=sizes, iters=3, warmup=1)
+
+
+def test_points_cover_every_registered_primitive():
+    specs = _cheap_specs(sizes=(64, 16384))
+    assert len(specs) == 2 * len(primitives.names())
+    for spec in specs:
+        assert spec.driver == "fig11"
+        json.dumps(spec.kwargs)  # cache-key contract
+    swept = {s.kwargs["primitive"] for s in specs}
+    assert swept == set(primitives.names())
+
+
+def test_compute_point_reports_the_six_columns():
+    spec = _cheap_specs()[0]
+    row = execute_spec(spec)
+    assert row["mean_ns"] > 0
+    assert set(row["blocks"]) >= {b.name
+                                  for b in fig11_isolation._COLUMNS}
+
+
+def test_assembled_report_states_all_three_verdicts():
+    threshold = CostModel.default().OFFLOAD_THRESHOLD
+    specs = _cheap_specs(sizes=(64, threshold))
+    report = fig11_isolation.assemble(specs,
+                                      [execute_spec(s) for s in specs])
+    for primitive in primitives.names():
+        assert primitive in report
+    assert ("per-call ordering (every process-switch baseline > dpti "
+            "> dIPC): PASS") in report
+    assert (f"offload crossover (odIPC <= dIPC at size >= {threshold} "
+            "B, identical below): PASS") in report
+    assert ("decomposition: block columns sum to the reported busy "
+            "totals: PASS") in report
+
+
+def test_unregistered_primitive_without_a_bench_is_an_error():
+    import pytest
+    saved = dict(fig11_isolation._BENCHES)
+    try:
+        del fig11_isolation._BENCHES["dpti"]
+        with pytest.raises(RuntimeError, match="dpti"):
+            fig11_isolation.points()
+    finally:
+        fig11_isolation._BENCHES.clear()
+        fig11_isolation._BENCHES.update(saved)

@@ -103,3 +103,46 @@ def test_targets_cover_all_fig5_bars():
                 "dipc_proc_low", "dipc_proc_high", "rpc_same_cpu",
                 "rpc_cross_cpu", "dipc_user_rpc", "l4_same_cpu"}
     assert set(FIG5_TARGETS_NS) == expected
+
+
+def test_dpti_sits_between_dipc_and_a_trap_heavy_baseline(costs):
+    # a tagged-PT switch trap must cost more than dIPC's trusted proxy
+    # path but avoid the full context-switch machinery of L4/pipes
+    dipc_rt = costs.dipc_call_leg_ns() + costs.dipc_return_leg_ns()
+    dpti_rt = costs.dpti_call_leg_ns() + costs.dpti_return_leg_ns()
+    assert dipc_rt < dpti_rt
+    assert dpti_rt < FIG5_TARGETS_NS["l4_same_cpu"]
+
+
+def test_dpti_return_leg_halves_the_kernel_gate(costs):
+    assert costs.dpti_return_leg_ns() == pytest.approx(
+        0.5 * costs.DPTI_KERNEL_PATH + costs.DPTI_SWITCH
+        + costs.SYSCALL_HW)
+
+
+def test_offload_copy_zero_below_one_byte(costs):
+    assert costs.offload_copy_ns(0) == 0.0
+    assert costs.offload_copy_ns(-4096) == 0.0
+
+
+def test_offload_overlap_hides_the_call_leg(costs):
+    # small transfers finish inside the proxy-call window: only the
+    # submission cost remains visible
+    tiny = 16 * costs.DMA_BYTES_PER_NS  # 16ns of DMA, window is ~73ns
+    assert costs.offload_copy_ns(int(tiny)) == pytest.approx(
+        costs.DMA_SUBMIT)
+    # huge transfers degenerate to submission + (dma - hidden window)
+    big = 1 << 20
+    assert costs.offload_copy_ns(big) == pytest.approx(
+        costs.DMA_SUBMIT + big / costs.DMA_BYTES_PER_NS
+        - costs.dipc_call_leg_ns())
+
+
+def test_offload_threshold_is_the_crossover_point(costs):
+    from repro.hw.cache import CacheModel
+    cache = CacheModel()
+    thr = costs.OFFLOAD_THRESHOLD
+    # at the threshold the DMA engine beats touching the bytes inline;
+    # one power-of-two below, the fixed submission cost still loses
+    assert costs.offload_copy_ns(thr) < cache.touch_ns(thr)
+    assert costs.offload_copy_ns(thr // 2) > cache.touch_ns(thr // 2)

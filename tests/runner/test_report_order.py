@@ -16,6 +16,8 @@ def test_section_order_is_the_canonical_tuple():
         ("Figure 8", "fig8"),
         ("Figure 9", "fig9"),
         ("Figure 10", "fig10"),
+        ("Figure 11", "fig11"),
+        ("Figure 12", "fig12"),
         ("In-text extras", "extras"),
     )
 

@@ -62,3 +62,22 @@ def test_lookahead_none_without_cut_edges():
     partition = partition_spec(spec, 1, seed=0)
     assert lookahead_ns(spec, partition, primitive="socket",
                         client_req_size=128) is None
+
+
+def test_new_primitive_legs_slot_into_the_fig5_ordering():
+    legs = {primitive: request_leg_ns(COSTS, CACHE, primitive, 128)
+            for primitive in ("l4", "dipc", "dpti", "odipc")}
+    # dpti avoids the thread switch but still traps: between dIPC
+    # and the L4 fast path
+    assert legs["dipc"] < legs["dpti"] < legs["l4"]
+    # below the offload threshold odIPC copies inline, exactly as dIPC
+    assert legs["odipc"] == pytest.approx(legs["dipc"])
+
+
+def test_odipc_leg_adds_the_dma_transfer_above_the_threshold():
+    # lookahead must not promise arrival before the DMA engine is done:
+    # above the threshold the leg grows by the visible offload cost
+    size = COSTS.OFFLOAD_THRESHOLD
+    assert request_leg_ns(COSTS, CACHE, "odipc", size) == pytest.approx(
+        request_leg_ns(COSTS, CACHE, "dipc", size)
+        + COSTS.offload_copy_ns(size))
