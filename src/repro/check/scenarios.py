@@ -186,6 +186,58 @@ def _run_shard2(topo_n: Optional[int]) -> List[str]:
             for violation in info.get("violations", ())]
 
 
+# -- topostorm: supervised chain under adversarial kill schedules -----------
+
+def _run_topostorm(topo_n: Optional[int]) -> List[str]:
+    # the seed-11 shape: a supervised dIPC service chain whose root is
+    # killed and pool-rebuilt mid-traffic. No goodput floor here: the
+    # storm may legally fire enough kills that every request sheds —
+    # the findings that matter are the supervisor's pre-rebuild
+    # reclamation audit (returned here) and the session's A1-A10 sweep
+    from repro.recovery.conformance import run_cell_workload
+    return run_cell_workload("dipc", "chain", topo_n,
+                             goodput_floor=None)
+
+
+# -- killpoint-<phase>-<primitive>-<pattern>: conformance cells -------------
+
+_KILLPOINT_PREFIX = "killpoint-"
+
+
+def _killpoint_scenario(target: str) -> Optional[Scenario]:
+    """Build a conformance-cell scenario on the fly from its name.
+
+    The workload is fully determined by the name (the kills arrive via
+    the session's plan overrides), which is what lets a failing cell's
+    bundle replay through the ordinary ``check --replay`` path.
+    """
+    if not target.startswith(_KILLPOINT_PREFIX):
+        return None
+    parts = target[len(_KILLPOINT_PREFIX):].split("-")
+    if len(parts) != 3:
+        return None
+    phase, primitive, pattern = parts
+    from repro import primitives
+    from repro.recovery import conformance
+    if (phase not in conformance.PHASES
+            or pattern not in conformance.PATTERNS
+            or primitive not in primitives.names()):
+        return None
+
+    def run(topo_n: Optional[int],
+            _primitive: str = primitive,
+            _pattern: str = pattern) -> List[str]:
+        return conformance.run_cell_workload(_primitive, _pattern,
+                                             topo_n)
+
+    return Scenario(
+        name=target, run=run,
+        processes=(_SERVER_PROCESS,),
+        thread_prefixes=(_WORKER_PREFIX,),
+        horizon_ns=0.7 * units.MS,
+        default_n=conformance.pattern_default_n(pattern))
+
+
 _SCENARIOS: Dict[str, Scenario] = {}
 
 
@@ -213,17 +265,28 @@ _register(Scenario(
     processes=(_SERVER_PROCESS,),
     thread_prefixes=(_WORKER_PREFIX,),
     horizon_ns=4_500.0, min_rules=1, max_rules=3))
+_register(Scenario(
+    name="topostorm", run=_run_topostorm,
+    processes=_chain_processes(4),
+    thread_prefixes=(_WORKER_PREFIX,),
+    horizon_ns=0.7 * units.MS, default_n=4,
+    min_rules=2, max_rules=4))
 
 
 def is_scenario(target: str) -> bool:
-    return target in _SCENARIOS
+    return (target in _SCENARIOS
+            or _killpoint_scenario(target) is not None)
 
 
 def get(target: str) -> Scenario:
-    if target not in _SCENARIOS:
-        raise KeyError(f"unknown scenario {target!r} (choose from "
-                       f"{', '.join(sorted(_SCENARIOS))})")
-    return _SCENARIOS[target]
+    if target in _SCENARIOS:
+        return _SCENARIOS[target]
+    scenario = _killpoint_scenario(target)
+    if scenario is not None:
+        return scenario
+    raise KeyError(f"unknown scenario {target!r} (choose from "
+                   f"{', '.join(sorted(_SCENARIOS))} or "
+                   f"killpoint-<phase>-<primitive>-<pattern>)")
 
 
 def names() -> List[str]:

@@ -296,6 +296,21 @@ class DipcManager:
         thread.pending_exception = CalleeTerminated(victim)
         self.kernel.wake(thread)
 
+    def unwind_dead(self, victim) -> List:
+        """Synchronously prune every live thread's KCS frames naming the
+        dead ``victim`` (§5.2.1), delivering each chain's cut at its
+        oldest live frame. Returns ``[(thread, pruned_frames), ...]``
+        for threads that had something to repair."""
+        repaired = []
+        for process in self.kernel.processes:
+            for thread in process.threads:
+                if thread.is_done or thread.kcs is None:
+                    continue
+                pruned = thread.kcs.unwind_dead(victim)
+                if pruned:
+                    repaired.append((thread, pruned))
+        return repaired
+
     # -- misc ------------------------------------------------------------------------------------
 
     def _process_by_pid(self, pid: int):
@@ -306,5 +321,5 @@ class DipcManager:
 
     def kcs_of(self, thread) -> KernelControlStack:
         if thread.kcs is None:
-            thread.kcs = KernelControlStack()
+            thread.kcs = KernelControlStack(owner=thread)
         return thread.kcs

@@ -7,12 +7,29 @@ the way out. Because the KCS lives in kernel memory, a malicious callee
 cannot corrupt the caller's resume state; and when a thread crashes or a
 process dies, the kernel unwinds the KCS to the oldest calling domain
 still alive and resumes execution at the proxy recorded there.
+
+Every frame is stamped with the caller's and callee's process
+*generation* (a kernel-wide monotonic epoch assigned at process
+creation). The stamp is what lets a proxy return path distinguish a
+reply belonging to the current incarnation of a service from one that
+raced a supervisor pool rebuild: a stale reply is dropped instead of
+popping someone else's frame. :meth:`KernelControlStack.unwind_dead`
+is the kernel-side sweep that prunes frames naming a dead process the
+moment it dies — the asynchronous per-thread unwind then finds its
+frames already retired and only restores execution state.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
+
+from repro.errors import DipcError
+
+#: Test-only switch restoring the pre-epoch unwind behaviour (no kill
+#: -time pruning, raw pop on return). Regression tests flip this to
+#: reproduce the historical A8 underflow / stale-frame bugs.
+LEGACY_UNWIND = False
 
 
 @dataclass
@@ -30,15 +47,53 @@ class KCSEntry:
     saved_dcs: Optional[object] = None      # caller's DCS (confidentiality)
     callee_process: Optional[object] = None
     donated_slice: float = 0.0
+    #: process generations at push time (0 = unstamped, e.g. unit tests)
+    caller_generation: int = 0
+    callee_generation: int = 0
+    #: set once the kernel retired this frame (pruned by ``unwind_dead``,
+    #: popped, or abandoned by an outer unwind); a retired frame must
+    #: never be popped again
+    unwound: bool = False
+    unwound_reason: str = ""
+
+    def describe(self) -> str:
+        """``caller(g1)->callee(g2)`` with † marking dead processes."""
+        def side(process, generation):
+            if process is None:
+                return "local"
+            name = getattr(process, "name", "?")
+            dead = "" if getattr(process, "alive", True) else "†"
+            return f"{name}{dead}(g{generation})"
+        return (f"{side(self.caller_process, self.caller_generation)}->"
+                f"{side(self.callee_process, self.callee_generation)}")
 
 
 class KernelControlStack:
     """Per-thread stack of cross-domain call frames."""
 
-    def __init__(self, limit: int = 512):
+    def __init__(self, limit: int = 512, owner: Optional[object] = None):
         self.limit = limit
+        #: the Thread this stack belongs to (diagnostics only)
+        self.owner = owner
         self._frames: List[KCSEntry] = []
         self.max_depth_seen = 0
+        #: frames retired by ``unwind_dead`` / outer unwinds rather than
+        #: by their own proxy's pop
+        self.pruned_frames = 0
+
+    # -- diagnostics ---------------------------------------------------------
+
+    @property
+    def owner_name(self) -> str:
+        return getattr(self.owner, "name", None) or "<unowned>"
+
+    def describe_chain(self) -> str:
+        """Base-to-top frame summary with generations and death marks."""
+        if not self._frames:
+            return "<empty>"
+        return " | ".join(f.describe() for f in self._frames)
+
+    # -- push / pop ----------------------------------------------------------
 
     def push(self, entry: KCSEntry) -> None:
         if len(self._frames) >= self.limit:
@@ -48,8 +103,110 @@ class KernelControlStack:
 
     def pop(self) -> KCSEntry:
         if not self._frames:
-            raise IndexError("KCS underflow: return without call")
+            raise IndexError(
+                f"KCS underflow: return without call (thread "
+                f"{self.owner_name}, {self.pruned_frames} frame(s) "
+                f"pruned by the kill-time unwind)")
         return self._frames.pop()
+
+    def pop_frame(self, frame: KCSEntry) -> bool:
+        """Retire ``frame`` on behalf of its proxy's return path.
+
+        Returns ``True`` when the frame was live and is now popped, and
+        ``False`` when the reply is *stale* and must be dropped: the
+        frame was already retired by :meth:`unwind_dead` (its process
+        died) or by an outer unwind, or its callee generation no longer
+        matches the process's — the reply raced a supervisor rebuild.
+
+        Frames abandoned above ``frame`` (an inner unwind interrupted
+        mid-restore) are pruned wholesale, mirroring the kernel walking
+        the KCS rather than trusting per-frame user code (§5.2.1).
+        """
+        if LEGACY_UNWIND:
+            popped = self.pop()
+            if popped is not frame:
+                raise DipcError("KCS imbalance: popped a foreign frame")
+            return True
+        if frame.unwound:
+            return False
+        index = None
+        for i in range(len(self._frames) - 1, -1, -1):
+            if self._frames[i] is frame:
+                index = i
+                break
+        if index is None:
+            raise DipcError(
+                f"KCS imbalance on thread {self.owner_name}: frame "
+                f"{frame.describe()} is neither on the stack nor marked "
+                f"unwound; chain: {self.describe_chain()}")
+        for abandoned in self._frames[index + 1:]:
+            abandoned.unwound = True
+            abandoned.unwound_reason = "abandoned by outer unwind"
+            self.pruned_frames += 1
+        del self._frames[index:]
+        frame.unwound = True
+        stale = self._generation_mismatch(frame)
+        if stale:
+            self.pruned_frames += 1
+            frame.unwound_reason = stale
+            return False
+        frame.unwound_reason = "popped"
+        return True
+
+    @staticmethod
+    def _generation_mismatch(frame: KCSEntry) -> Optional[str]:
+        """A human-readable reason iff the frame's endpoints belong to a
+        different process incarnation than the one stamped at push."""
+        for role, process, stamped in (
+                ("callee", frame.callee_process, frame.callee_generation),
+                ("caller", frame.caller_process, frame.caller_generation)):
+            if process is None:
+                continue
+            current = getattr(process, "generation", stamped)
+            if current != stamped:
+                return (f"generation mismatch: {role} "
+                        f"{getattr(process, 'name', '?')} is incarnation "
+                        f"g{current}, frame stamped g{stamped}")
+        return None
+
+    # -- kill-time reclamation (§5.2.1) --------------------------------------
+
+    def unwind_dead(self, victim) -> List[KCSEntry]:
+        """Prune every frame compromised by ``victim``'s death.
+
+        Finds the base-most frame naming the victim (as caller or
+        callee), walks toward the base to the nearest frame whose caller
+        is still alive — where §5.2.1 delivers the error — and retires
+        that frame and everything above it. When no caller at or below
+        the victim frame survives, the whole stack is retired (the chain
+        dies with its thread). Returns the pruned frames, base-first;
+        an untouched stack returns ``[]``.
+        """
+        if LEGACY_UNWIND or not self._frames:
+            return []
+        base = None
+        for i, frame in enumerate(self._frames):
+            if (frame.caller_process is victim
+                    or frame.callee_process is victim):
+                base = i
+                break
+        if base is None:
+            return []
+        cut = 0
+        for i in range(base, -1, -1):
+            if self._frames[i].caller_process.alive:
+                cut = i
+                break
+        pruned = self._frames[cut:]
+        del self._frames[cut:]
+        for frame in pruned:
+            frame.unwound = True
+            frame.unwound_reason = (
+                f"pruned: process {getattr(victim, 'name', '?')} killed")
+            self.pruned_frames += 1
+        return pruned
+
+    # -- inspection ----------------------------------------------------------
 
     def peek(self) -> Optional[KCSEntry]:
         return self._frames[-1] if self._frames else None

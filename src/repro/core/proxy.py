@@ -138,21 +138,23 @@ class Proxy:
             raise RemoteFault(
                 f"callee process {self.callee_process.name} is dead",
                 origin=self.callee_process.name, unwound_frames=0)
-        caller_stack = manager.stacks.stack_for(
-            thread, getattr(thread, "current_process", thread.process))
+        caller_proc = getattr(thread, "current_process", thread.process)
+        caller_stack = manager.stacks.stack_for(thread, caller_proc)
         if not caller_stack.contains(caller_stack.sp):
             raise DipcError("invalid stack pointer at proxy entry (P2)")
 
         frame = KCSEntry(
             proxy=self,
-            caller_process=getattr(thread, "current_process",
-                                   thread.process),
+            caller_process=caller_proc,
             caller_tag=caller_tag,
             caller_privileged=caller_priv,
             return_address=self.entry_address + 8,  # proxy_ret landing pad
             saved_stack_pointer=caller_stack.sp,
             saved_stack=caller_stack,
             callee_process=self.callee_process,
+            caller_generation=getattr(caller_proc, "generation", 0),
+            callee_generation=getattr(self.callee_process,
+                                      "generation", 0),
         )
         if self.cross_process:
             # time-slice donation bookkeeping (§5.2.1): the remainder of
@@ -209,8 +211,18 @@ class Proxy:
             # ---- return into the proxy via the return capability (P3) ----
             ctx.current_tag = self.proxy_tag
             ctx.privileged = True
-            yield from self._unwind_state(thread, frame, ctx,
-                                          charge=True)
+            popped_live = yield from self._unwind_state(thread, frame,
+                                                        ctx, charge=True)
+            if not popped_live:
+                # the frame was retired while we were abroad (its process
+                # died and the kernel pruned it, or the reply raced a
+                # pool rebuild into a new incarnation): drop the reply
+                # instead of popping someone else's frame
+                if tracer.enabled:
+                    tracer.count("dipc.stale_replies_dropped")
+                raise DipcError(
+                    f"stale reply dropped: {frame.unwound_reason} "
+                    f"({frame.describe()})")
             yield thread.kwork(costs.PROXY_MIN_RET, Block.USER)
             if self.stubs_in_proxy:
                 yield from self._stub_ret_charges(thread)
@@ -253,7 +265,7 @@ class Proxy:
 
     def kcs_of(self, thread) -> KernelControlStack:
         if thread.kcs is None:
-            thread.kcs = KernelControlStack()
+            thread.kcs = KernelControlStack(owner=thread)
         return thread.kcs
 
     def _unwind_state(self, thread, frame: KCSEntry, ctx, *,
@@ -261,7 +273,15 @@ class Proxy:
         """Restore everything the KCS frame recorded (deisolate_pcall,
         track_process_ret, deprepare_ret). Used by both the normal return
         and the fault unwind; the fault path skips the fine-grained
-        charges (the kernel does the restore wholesale)."""
+        charges (the kernel does the restore wholesale).
+
+        Returns True when the frame was live and popped here, False when
+        it had already been retired (kill-time prune, outer unwind, or a
+        generation mismatch after a pool rebuild) — the reply is stale.
+        Re-entrant: a pending kill delivered mid-restore re-runs this
+        from the fault path, so each one-shot restore (the saved DCS and
+        its base) is nulled out once applied.
+        """
         costs = self.kernel.costs
         manager = self.manager
         if self.policy.dcs_confidentiality and frame.saved_dcs is not None:
@@ -270,24 +290,25 @@ class Proxy:
                                    Block.USER)
             manager.dcs_pool.release(ctx.dcs)
             ctx.dcs = frame.saved_dcs
+            frame.saved_dcs = None
         if self.policy.dcs_integrity and frame.saved_dcs_base is not None:
             if charge:
                 yield thread.kwork(costs.PROXY_DCS_ADJUST * 1 / 3,
                                    Block.USER)
             ctx.dcs.set_base(frame.saved_dcs_base)
+            frame.saved_dcs_base = None
         if self.policy.stack_confidentiality and charge:
             yield thread.kwork(costs.PROXY_STACK_SWITCH * 3 / 8, Block.USER)
         if self.cross_process:
             if charge:
                 yield thread.kwork(costs.TLS_SWITCH, Block.USER)
             yield from manager.track.track_ret(thread, frame.caller_process)
-        # pop the KCS entry and restore the caller's execution state
-        popped = self.kcs_of(thread).pop()
-        if popped is not frame:
-            raise DipcError("KCS imbalance: popped a foreign frame")
+        # retire the KCS entry and restore the caller's execution state
+        popped_live = self.kcs_of(thread).pop_frame(frame)
         frame.saved_stack.sp = frame.saved_stack_pointer
         ctx.current_tag = frame.caller_tag
         ctx.privileged = frame.caller_privileged
+        return popped_live
 
     def _stub_call_charges(self, thread):
         costs = self.kernel.costs

@@ -60,6 +60,16 @@ auditor after each; failing schedules are written as repro bundles
 (default ``.repro-check/``) and ``--shrink`` delta-debugs the first one
 to a minimal repro. ``check --replay <bundle>`` re-executes a bundle
 and exits 0 iff the recorded outcome reproduced byte-identically.
+
+``python -m repro.experiments conformance [--quick] [--seed S]
+[--jobs N] [--out DIR]`` sweeps the kill-point recovery conformance
+matrix (:mod:`repro.recovery.conformance`): every unwind phase
+(pre-call, in-proxy, mid-callee, mid-reply, during-rebuild) crossed
+with every registered IPC primitive and topology pattern, killing the
+root service at exactly the probed event and machine-checking the
+A1-A10 audit, reclamation sweep and a goodput floor. ``--quick``
+restricts the pattern axis to the chain; failing cells are written as
+``check --replay`` bundles under ``--out`` (default ``.repro-check/``).
 """
 
 from __future__ import annotations
@@ -359,8 +369,11 @@ def main(argv=None) -> int:
                         help="'run' (optional verb) followed by "
                              f"experiments: {', '.join(RUNNERS)}, or "
                              "'all'; 'bench' times the point runner; "
-                             "'trace <name>' and 'chaos' are deprecated "
-                             "aliases for --trace / the storm harness")
+                             "'check <target>' explores interleavings; "
+                             "'conformance' sweeps the kill-point "
+                             "recovery matrix; 'trace <name>' and "
+                             "'chaos' are deprecated aliases for "
+                             "--trace / the storm harness")
     parser.add_argument("--quick", action="store_true",
                         help="smaller iteration counts / windows")
     parser.add_argument("--jobs", type=int, default=0,
@@ -465,6 +478,13 @@ def main(argv=None) -> int:
             seed=args.seed, chaos=args.chaos, strategy=args.strategy,
             jobs=args.jobs, shrink=args.shrink, out_dir=out_dir,
             topo_n=args.topo_n, cache=cache)
+    if names[0] == "conformance" and len(names) == 1:
+        from repro.recovery.conformance import run_matrix
+        out_dir = args.out if args.out != "." else None
+        return run_matrix(quick=args.quick, seed=args.seed,
+                          jobs=args.jobs, out_dir=out_dir,
+                          cache=_make_cache(args) if args.jobs > 0
+                          else None)
     if names[0] == "bench" and len(names) == 1:
         return _run_bench_cli(args)
     if names[0] == "chaos" and len(names) == 1:

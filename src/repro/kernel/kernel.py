@@ -8,6 +8,7 @@ global virtual address space, per-CPU APL caches).
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, Generator, List, Optional
 
 from repro import units
@@ -48,6 +49,8 @@ class Kernel:
         self.phys = PhysicalMemory(total_frames=256 * units.MB
                                    // units.PAGE_SIZE)
         self.scheduler = Scheduler(self)
+        #: monotonic process-generation epoch (stamped into KCS frames)
+        self._generations = itertools.count(1)
         self.processes: List[Process] = []
         self.crashed_threads: List[Thread] = []
         #: callbacks run after a process is killed (IPC peer-death
@@ -75,6 +78,11 @@ class Kernel:
         return self.engine.tracer
 
     # -- process / thread management -----------------------------------------------
+
+    def next_generation(self) -> int:
+        """Next process-generation epoch (every Process takes one at
+        construction; supervisor rebuilds therefore advance it)."""
+        return next(self._generations)
 
     def spawn_process(self, name: str, *, dipc: bool = False) -> Process:
         """Create a process; ``dipc=True`` loads it into the shared page
@@ -145,12 +153,29 @@ class Kernel:
             # cannot be unwound a second time
             for thread in self.dipc.threads_visiting(process):
                 self.dipc.unwind_on_kill(thread, process)
+            # the injected unwinds above are asynchronous (delivered at
+            # each thread's next effect boundary); prune the victim's KCS
+            # frames synchronously so no audit — and no reply racing a
+            # pool rebuild — can ever observe a frame naming the corpse.
+            # Must run after the unwind_on_kill loops: threads_visiting
+            # keys off KCS contents, which this sweep erases.
+            self.dipc.unwind_dead(process)
             # revoke every grant into or out of the victim's domains so
             # a replacement process can never be reached through a stale
             # APL edge (A9: no dangling resources after death)
             self.dipc.reclaim_process(process)
         for hook in list(self._kill_hooks):
             hook(process)
+
+    def unwind_dead(self, process) -> int:
+        """Re-run the kill-time KCS sweep for an already-dead process;
+        returns the number of frames pruned. The supervisor calls this
+        immediately before its pre-rebuild reclamation audit as a
+        belt-and-braces pass (a clean system prunes nothing)."""
+        if self.dipc is None:
+            return 0
+        repaired = self.dipc.unwind_dead(process)
+        return sum(len(frames) for _thread, frames in repaired)
 
     # -- fork / exec (§6.1.3 backwards compatibility) ----------------------------------
 

@@ -30,6 +30,11 @@ class Process:
                  shared_table: bool, default_tag: Optional[int] = None):
         self.kernel = kernel
         self.pid = next(_pid_counter)
+        #: kernel-wide monotonic epoch: a supervisor-rebuilt replacement
+        #: for a dead process gets a strictly larger generation, so a
+        #: KCS frame stamped with the corpse's generation can never be
+        #: mistaken for one belonging to the new incarnation (§5.2.1)
+        self.generation = kernel.next_generation()
         self.name = name
         self.page_table = page_table
         self.space = AddressSpace(page_table)

@@ -60,7 +60,10 @@ def reclamation_violations(kernel, process) -> List[str]:
                         or frame.callee_process is process):
                     violations.append(
                         f"KCS frame on live thread {thread.name} still "
-                        f"references dead process {process.name}")
+                        f"references dead process {process.name} "
+                        f"(gen {getattr(process, 'generation', 0)}): frame "
+                        f"{frame.describe()}, chain "
+                        f"[{' | '.join(p.name for p in thread.kcs.processes_in_chain())}]")
     return violations
 
 

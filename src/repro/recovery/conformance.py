@@ -1,0 +1,365 @@
+"""Exhaustive kill-point recovery conformance (§5.2.1 P5, end to end).
+
+The random storms of ``--chaos`` found exactly one instance of the
+nested-unwind bug (fig10 seed 11); this harness replaces luck with
+enumeration. It sweeps a deterministic matrix
+
+    phase of a nested cross-domain call
+        (``precall``, ``inproxy``, ``midcallee``, ``midreply``,
+        ``rebuild``)
+    × every primitive registered in :mod:`repro.primitives`
+    × representative topology patterns (chain, fanout, mesh)
+
+and, for each cell, kills the root service process at *exactly* that
+phase, then machine-checks the full A1–A10 invariant audit, the
+supervisor's pre-rebuild reclamation audit, and a goodput floor.
+
+How a cell works:
+
+1. **Probe run** — the cell's workload (a supervised, drain-mode topo
+   load point) runs once with the :mod:`repro.topo.instantiate` phase
+   probe installed and *no* faults, recording the engine event index at
+   which each phase label first occurs. Probes are pure Python, so the
+   probe run's event order is identical to the kill run's up to the
+   kill itself.
+2. **Kill run** — the same workload runs under a schedule-0 (baseline)
+   :class:`~repro.check.session.CheckSession` via
+   :func:`repro.check.explore.explore_one`, with an explicit fault plan
+   killing ``load-server`` at the phase's event index (``at_event``
+   rules fire inline after the n-th event and never perturb order
+   before firing). The ``rebuild`` phase takes a second probe run with
+   the first kill armed to locate the supervisor's pool rebuild, then
+   kills the *rebuilt* server immediately after — the stale-reply /
+   endpoint-rebinding window.
+3. **Verdict** — findings from the workload (goodput floor, supervisor
+   reclamation audit) plus the session's A1–A10 sweep. A failing cell
+   is written as a standard ``check --replay`` repro bundle.
+
+Each cell is a cacheable :class:`~repro.runner.points.PointSpec`
+(driver ``conformance``) fanned out through the PR-3 runner, so a full
+matrix parallelizes with ``--jobs`` and re-runs are cache hits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro import primitives, units
+from repro.runner.points import PointSpec
+
+#: call phases, in request-lifetime order
+PHASES = ("precall", "inproxy", "midcallee", "midreply", "rebuild")
+
+#: conformance pattern name -> (repro.topo generate pattern, default n)
+PATTERN_SPECS: Dict[str, Tuple[str, int]] = {
+    "chain": ("chain_branch", 4),
+    "fanout": ("par_fanout", 4),
+    "mesh": ("mesh", 5),
+}
+PATTERNS = tuple(PATTERN_SPECS)
+
+#: the kill victim: the topology root keeps the load harness's
+#: well-known server name (see ``TopoTransport._proc_name``)
+VICTIM = "load-server"
+
+#: completed/offered floor for a cell: one or two kills mid-run shed
+#: requests while the breaker is open, but the rebuilt pool must still
+#: serve the bulk of the (drain-mode, bounded) workload
+GOODPUT_FLOOR = 0.25
+
+#: the probe/kill runs' kernel, exposed for the phase-probe closure
+#: (reset by :func:`run_cell_workload` before each run)
+_probe_kernels: List = []
+
+
+def pattern_default_n(pattern: str) -> int:
+    return PATTERN_SPECS[pattern][1]
+
+
+def cell_target(phase: str, primitive: str, pattern: str) -> str:
+    """The ``repro.check`` scenario name of one cell."""
+    return f"killpoint-{phase}-{primitive}-{pattern}"
+
+
+def cell_params(primitive: str, pattern: str,
+                topo_n: Optional[int] = None):
+    """The cell workload: a supervised, breaker-armed, drain-mode topo
+    load point small enough to sweep 100+ cells, deep enough to nest
+    cross-domain calls (the path the seed-11 bug lived on)."""
+    from repro.load import LoadParams
+    from repro.topo import generate
+    pattern_name, default_n = PATTERN_SPECS[pattern]
+    n = max(topo_n if topo_n is not None else default_n, 1)
+    spec = generate(pattern_name, n)
+    return LoadParams(
+        primitive=primitive, mode="open", policy="shed",
+        arrivals="poisson", offered_kops=50.0, n_clients=2, n_conns=4,
+        n_workers=2, queue_depth=8, req_size=128,
+        deadline_ns=2.0 * units.MS, num_cpus=8,
+        warmup_ns=0.2 * units.MS, window_ns=0.5 * units.MS, seed=42,
+        topo=spec.to_dict(), max_requests_per_client=6, drain=True,
+        supervise=True, breaker=True,
+        # crashes are inspected by the A8 audit (sanctioned peer-death
+        # classes allowed), not re-raised out of the workload
+        check=False)
+
+
+def run_cell_workload(primitive: str, pattern: str,
+                      topo_n: Optional[int] = None,
+                      goodput_floor: Optional[float] = GOODPUT_FLOOR,
+                      ) -> List[str]:
+    """Run one cell's workload; returns workload-level findings.
+
+    This is the ``run`` callable behind the ``killpoint-*`` scenario
+    family — the kills arrive via the CheckSession's plan overrides,
+    not from in here, so the same function serves the probe run (no
+    plan) and the kill run (explicit plan).
+
+    ``goodput_floor=None`` drops the goodput finding: a conformance
+    cell kills the root exactly once (twice for ``rebuild``) so the
+    rebuilt pool must still serve most of the drain-mode workload, but
+    an *arbitrary* chaos storm (``check topostorm --chaos``) may
+    legally fire enough kills that every request sheds — there only
+    the invariant and reclamation audits are meaningful.
+    """
+    from repro.load import run_load_point
+    del _probe_kernels[:]
+    result = run_load_point(cell_params(primitive, pattern, topo_n),
+                            keep_kernel=_probe_kernels)
+    findings: List[str] = []
+    if result.reclamation_violations:
+        findings.append(
+            f"reclamation: {result.reclamation_violations} stale "
+            f"resource(s) at supervisor pre-rebuild audit")
+    if (goodput_floor is not None
+            and result.goodput_ratio < goodput_floor):
+        findings.append(
+            f"goodput: {result.goodput_ratio:.3f} below floor "
+            f"{goodput_floor} (completed {result.completed} of "
+            f"{result.offered_seen})")
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# probe runs: locating the phases on the deterministic event axis
+# ---------------------------------------------------------------------------
+
+def _probed_run(target: str, *, seed: int,
+                plans: Optional[List[list]],
+                topo_n: Optional[int]) -> Dict[str, int]:
+    """Run the cell once with the phase probe armed; returns the engine
+    event index of each label's *first* occurrence.
+
+    Runs through :func:`~repro.check.explore.explore_one` at schedule 0
+    (the baseline strategy is byte-identical to an uncontrolled run),
+    i.e. exactly the pipeline the kill run uses — so the recorded
+    indices line up event-for-event until a kill diverges them.
+    """
+    from repro.check.explore import explore_one
+    from repro.topo import instantiate
+
+    marks: Dict[str, int] = {}
+
+    def probe(label: str) -> None:
+        if label not in marks and _probe_kernels:
+            marks[label] = _probe_kernels[0].engine.events_processed
+
+    previous = instantiate.set_probe(probe)
+    try:
+        explore_one(target, seed=seed, schedule=0, plans=plans,
+                    topo_n=topo_n)
+    finally:
+        instantiate.set_probe(previous)
+    return marks
+
+
+def _midpoint(start: int, end: int) -> int:
+    return start + max(1, (end - start) // 2)
+
+
+def kill_events_for(phase: str, marks: Dict[str, int]) -> List[int]:
+    """Map a phase to kill event indices, given a probe run's marks.
+
+    Returns ``[]`` when the probe run never reached the phase (the
+    caller reports that as a finding — a clean probe run traverses
+    every phase except ``rebuild``, which needs its own probe).
+    """
+    pre_call = marks.get("call:enter")
+    root_enter = marks.get("serve:0:enter")
+    root_exit = marks.get("serve:0:exit")
+    call_exit = marks.get("call:exit")
+    serve_enters = [value for label, value in marks.items()
+                    if label.startswith("serve:")
+                    and label.endswith(":enter")]
+    if phase == "precall":
+        return [pre_call] if pre_call is not None else []
+    if phase == "inproxy":
+        if pre_call is None or root_enter is None:
+            return []
+        return [_midpoint(pre_call, root_enter)]
+    if phase == "midcallee":
+        # the deepest service reached: its serve() starts last
+        return [max(serve_enters)] if serve_enters else []
+    if phase == "midreply":
+        if root_exit is None or call_exit is None:
+            return []
+        return [_midpoint(root_exit, call_exit)]
+    raise ValueError(f"phase {phase!r} has no single-probe kill point")
+
+
+# ---------------------------------------------------------------------------
+# one cell
+# ---------------------------------------------------------------------------
+
+def run_cell(*, phase: str, primitive: str, pattern: str,
+             seed: int = 0, topo_n: Optional[int] = None) -> dict:
+    """Probe, kill, audit one (phase, primitive, pattern) cell.
+
+    Returns a JSON-ready dict: the cell coordinates, the kill plan that
+    was armed (event indices), every finding, and the schedule-0
+    decision trace (captured so a failing cell's bundle replays through
+    ``check --replay``).
+    """
+    from repro.fault.plan import FaultRule
+    from repro.check.explore import explore_one
+
+    if phase not in PHASES:
+        raise ValueError(f"unknown phase {phase!r} "
+                         f"(choose from {', '.join(PHASES)})")
+    target = cell_target(phase, primitive, pattern)
+    notes: List[str] = []
+    marks = _probed_run(target, seed=seed, plans=None, topo_n=topo_n)
+
+    if phase == "rebuild":
+        # kill #1 mid-callee; a second probe run with it armed locates
+        # the supervisor's pool rebuild, and kill #2 takes down the
+        # *rebuilt* server the moment it exists — any reply from the
+        # first incarnation still in flight must be dropped, not
+        # delivered into the second
+        first = kill_events_for("midcallee", marks)
+        kills = list(first)
+        if first:
+            plan = [[FaultRule("kill_process", VICTIM,
+                               at_event=event).to_dict()
+                     for event in first]]
+            rebuild_marks = _probed_run(target, seed=seed, plans=plan,
+                                        topo_n=topo_n)
+            rebuild_exit = rebuild_marks.get("rebuild:exit")
+            if rebuild_exit is not None:
+                kills.append(rebuild_exit + 1)
+            else:
+                notes.append("no pool rebuild observed before drain; "
+                             "cell degenerates to midcallee")
+    else:
+        kills = kill_events_for(phase, marks)
+
+    findings: List[str] = []
+    if not kills:
+        findings.append(f"probe: phase {phase!r} never reached "
+                        f"(marks: {sorted(marks)})")
+        result = {"schedule": 0, "strategy": "baseline",
+                  "decisions": "", "findings": findings, "plans": []}
+    else:
+        plans = [[FaultRule("kill_process", VICTIM,
+                            at_event=event).to_dict()
+                  for event in kills]]
+        result = explore_one(target, seed=seed, schedule=0, plans=plans,
+                             topo_n=topo_n)
+        findings = result["findings"]
+
+    return {
+        "phase": phase, "primitive": primitive, "pattern": pattern,
+        "target": target, "seed": seed, "kill_events": kills,
+        "notes": notes, "findings": findings,
+        "decisions": result.get("decisions", ""),
+        "strategy": result.get("strategy", "baseline"),
+        "plans": result.get("plans", []),
+        "schedule": result.get("schedule", 0),
+    }
+
+
+def compute_point(**kwargs) -> dict:
+    """Pool-worker entry point (one conformance cell per point)."""
+    return run_cell(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the matrix
+# ---------------------------------------------------------------------------
+
+def matrix(*, quick: bool = False,
+           phases: Optional[Tuple[str, ...]] = None,
+           prims: Optional[Tuple[str, ...]] = None,
+           patterns: Optional[Tuple[str, ...]] = None) -> List[tuple]:
+    """The cell coordinates to sweep. ``quick`` keeps every phase and
+    every registered primitive but only the chain pattern — the shape
+    the original bug needed — for the CI smoke."""
+    phases = tuple(phases or PHASES)
+    prims = tuple(prims or sorted(primitives.names()))
+    patterns = tuple(patterns or (("chain",) if quick else PATTERNS))
+    return [(phase, primitive, pattern)
+            for pattern in patterns
+            for primitive in prims
+            for phase in phases]
+
+
+def specs_for(cells: List[tuple], *, seed: int = 0,
+              topo_n: Optional[int] = None) -> List[PointSpec]:
+    """One cacheable spec per cell (deterministic: same cell + seed →
+    same findings, so re-sweeps are cache hits)."""
+    specs = []
+    for phase, primitive, pattern in cells:
+        kwargs = {"phase": phase, "primitive": primitive,
+                  "pattern": pattern, "seed": seed}
+        if topo_n is not None:
+            kwargs["topo_n"] = topo_n
+        specs.append(PointSpec(driver="conformance", module=__name__,
+                               kwargs=kwargs, cacheable=True))
+    return specs
+
+
+def run_matrix(*, quick: bool = False, seed: int = 0, jobs: int = 1,
+               out_dir: Optional[str] = None, cache=None) -> int:
+    """CLI body of ``python -m repro.experiments conformance``.
+
+    Sweeps the matrix, prints one line per cell (schedule-order
+    deterministic, byte-identical for any ``--jobs``), writes a repro
+    bundle for every failing cell, and returns a process exit code.
+    """
+    from repro.check import bundle as bundles
+    from repro.runner.pool import run_points
+
+    cells = matrix(quick=quick)
+    specs = specs_for(cells, seed=seed)
+    results, stats = run_points(specs, jobs=max(jobs, 1), cache=cache)
+    out_dir = out_dir or bundles.default_bundle_dir()
+    failing = 0
+    for cell in results:
+        label = (f"{cell['phase']:>10s} x {cell['primitive']:<7s} x "
+                 f"{cell['pattern']:<7s}")
+        kills = ",".join(str(event) for event in cell["kill_events"])
+        print(f"{label} kill@[{kills:>13s}]: "
+              f"{len(cell['findings'])} finding(s)")
+        for note in cell["notes"]:
+            print(f"    note: {note}")
+        for finding in cell["findings"]:
+            print(f"    {finding}")
+        if not cell["findings"]:
+            continue
+        failing += 1
+        made = bundles.make_check_bundle(
+            cell["target"], seed=seed, chaos=False,
+            result={"schedule": cell["schedule"],
+                    "strategy": cell["strategy"],
+                    "decisions": cell["decisions"],
+                    "findings": cell["findings"],
+                    "plans": cell["plans"]})
+        path = bundles.write(
+            bundles.bundle_path(out_dir, cell["target"],
+                                cell["schedule"]), made)
+        print(f"    bundle: {path}")
+        print(f"    replay: python -m repro.experiments check "
+              f"--replay {path}")
+    print(f"conformance: {len(results)} cell(s), {failing} failing "
+          f"({'quick' if quick else 'full'} matrix, seed {seed})")
+    return 1 if failing else 0

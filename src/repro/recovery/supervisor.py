@@ -320,6 +320,14 @@ class Supervisor:
             # the rebuild starts from a clean corpse
             self.kernel.kill_process(process)
         if process is not None and not process.alive:
+            # second unwind sweep (the first ran inside kill_process):
+            # a frame pushed *after* the kill — a reply racing the
+            # rebuild — must be pruned before the replacement spawns.
+            # A clean system prunes nothing here.
+            repaired = self.kernel.unwind_dead(process)
+            if repaired:
+                self._log(f"unwind_dead pruned {repaired} stale KCS "
+                          f"frame(s) referencing {process.name}")
             violations = reclamation_violations(self.kernel, process)
             if violations:
                 self.audit_violations.extend(violations)

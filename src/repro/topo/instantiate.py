@@ -62,6 +62,23 @@ from repro.topo.spec import ROOT, TopoSpec
 #: pseudo node id for the load-generator process (the root's caller)
 CLIENT = -1
 
+#: optional phase probe for the kill-point conformance harness
+#: (:mod:`repro.recovery.conformance`): called with labels like
+#: ``call:enter``, ``serve:<node>:enter`` and ``rebuild:exit`` at the
+#: corresponding points of a request's life. Probes are plain Python
+#: callbacks — they never post engine events or draw randomness — so an
+#: armed probe cannot perturb the deterministic event order.
+_probe = None
+
+
+def set_probe(probe):
+    """Install the module-wide probe (``None`` clears); returns the
+    previously installed one so callers can restore it."""
+    global _probe
+    previous = _probe
+    _probe = probe
+    return previous
+
 
 class DownstreamFault(KernelError):
     """A hop deeper in the graph failed; reported up the call path."""
@@ -549,6 +566,16 @@ class TopoTransport(Transport):
 
     def serve(self, t, node_id: int, payload):
         """Burn the node's CPU, then visit its children."""
+        if _probe is not None:
+            _probe(f"serve:{node_id}:enter")
+            try:
+                yield from self._serve_body(t, node_id, payload)
+            finally:
+                _probe(f"serve:{node_id}:exit")
+            return
+        yield from self._serve_body(t, node_id, payload)
+
+    def _serve_body(self, t, node_id: int, payload):
         node = self._nodes[node_id]
         if node.work_ns:
             yield t.compute(node.work_ns)
@@ -606,7 +633,17 @@ class TopoTransport(Transport):
     # -- the transport API the load harness drives --------------------------
 
     def call(self, thread, client_id: int):
-        return self.hops[(CLIENT, ROOT)].call(thread, client_id)
+        if _probe is None:
+            return self.hops[(CLIENT, ROOT)].call(thread, client_id)
+        return self._probed_call(thread, client_id)
+
+    def _probed_call(self, thread, client_id: int):
+        _probe("call:enter")
+        try:
+            return (yield from self.hops[(CLIENT, ROOT)].call(thread,
+                                                              client_id))
+        finally:
+            _probe("call:exit")
 
     # -- recovery hooks -----------------------------------------------------
 
@@ -618,6 +655,8 @@ class TopoTransport(Transport):
         """Supervisor hook: rebuild every dead service in the graph —
         fresh process, fresh endpoints (rebinding over tombstones),
         fresh entry registrations, fresh workers."""
+        if _probe is not None:
+            _probe("rebuild:enter")
         dead = [node.id for node in self.spec.nodes
                 if not self.procs[node.id].alive]
         trusted = self._hop_spec.capabilities.trusted
@@ -645,3 +684,5 @@ class TopoTransport(Transport):
                     for index, (h, _slot) in self._worker_slots.items():
                         if h is hop:
                             self._spawn_topo_worker(index)
+        if _probe is not None:
+            _probe("rebuild:exit")

@@ -1,0 +1,62 @@
+"""The topostorm scenario: kill-during-rebuild under adversarial
+schedules, plus the shrinker converging on the pre-fix trace.
+
+``check topostorm --chaos`` storms a supervised 4-service dIPC chain
+with random kill rules while the schedule controller permutes runnable
+threads — the generalized form of the fig10 seed-11 failure. Post-fix
+every explored schedule must come back clean; with the KCS epoch
+machinery switched off (``LEGACY_UNWIND``) schedule 2 of seed 7 still
+reproduces the historical stale-frame failure, and that bundle is what
+the ddmin shrinker must replay and minimize.
+"""
+
+import pytest
+
+from repro.check import scenarios
+from repro.check.bundle import make_check_bundle, replay
+from repro.check.explore import explore_one
+from repro.check.shrink import shrink_bundle
+from repro.core import kcs
+
+#: the seed whose schedule 2 reproduces the pre-fix failure
+_SEED = 7
+_FAILING_SCHEDULE = 2
+
+
+def test_topostorm_is_a_registered_sizeable_scenario():
+    assert "topostorm" in scenarios.names()
+    scenario = scenarios.get("topostorm")
+    assert scenario.default_n == 4
+    assert scenario.min_rules >= 2  # storms, not single faults
+
+
+@pytest.mark.parametrize("schedule", range(4))
+def test_explored_kill_storms_come_back_clean(schedule):
+    result = explore_one("topostorm", seed=_SEED, schedule=schedule,
+                         chaos=True)
+    assert result["findings"] == []
+
+
+def test_the_pre_fix_trace_still_fails_under_legacy(monkeypatch):
+    monkeypatch.setattr(kcs, "LEGACY_UNWIND", True)
+    result = explore_one("topostorm", seed=_SEED,
+                         schedule=_FAILING_SCHEDULE, chaos=True)
+    assert any(finding.startswith("reclamation:")
+               for finding in result["findings"])
+
+
+def test_shrinker_converges_on_the_pre_fix_bundle(monkeypatch):
+    monkeypatch.setattr(kcs, "LEGACY_UNWIND", True)
+    result = explore_one("topostorm", seed=_SEED,
+                         schedule=_FAILING_SCHEDULE, chaos=True)
+    bundle = make_check_bundle("topostorm", seed=_SEED, chaos=True,
+                               result=result)
+    replayed, reproduced = replay(bundle)
+    assert reproduced
+    shrunk = shrink_bundle(bundle, probe_budget=60)
+    # ddmin must genuinely reduce every axis of the storm trace
+    assert shrunk.to_rules < shrunk.from_rules
+    assert shrunk.to_decisions < shrunk.from_decisions
+    assert shrunk.to_topo_n is not None
+    assert shrunk.to_topo_n < shrunk.from_topo_n
+    assert shrunk.probes <= 60

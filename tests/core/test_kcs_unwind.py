@@ -1,0 +1,218 @@
+"""Epoch-stamped KCS reclamation: unwind_dead, pop_frame, diagnostics.
+
+Pure unit tests against :class:`repro.core.kcs.KernelControlStack`
+with stub processes — the end-to-end behaviour (supervisor rebuilds,
+stale replies over real transports) lives in tests/recovery/.
+"""
+
+import pytest
+
+from repro.core import kcs
+from repro.core.kcs import KCSEntry, KernelControlStack
+from repro.errors import DipcError
+
+
+class _Proc:
+    def __init__(self, name, generation=1, alive=True):
+        self.name = name
+        self.generation = generation
+        self.alive = alive
+
+
+class _Thread:
+    def __init__(self, name):
+        self.name = name
+
+
+def _frame(caller, callee=None, caller_gen=None, callee_gen=None):
+    return KCSEntry(
+        proxy=None, caller_process=caller, caller_tag=None,
+        caller_privileged=False, return_address=0,
+        saved_stack_pointer=0, callee_process=callee,
+        caller_generation=(caller.generation if caller_gen is None
+                           else caller_gen),
+        callee_generation=(0 if callee is None else
+                           callee.generation if callee_gen is None
+                           else callee_gen))
+
+
+def _stack(*frames, owner=None):
+    stack = KernelControlStack(owner=owner)
+    for frame in frames:
+        stack.push(frame)
+    return stack
+
+
+# -- oldest_live_frame_index ------------------------------------------------
+
+def test_oldest_live_frame_index_with_every_caller_dead():
+    a, b, c = _Proc("a", alive=False), _Proc("b", alive=False), _Proc("c")
+    stack = _stack(_frame(a, b), _frame(b, c))
+    assert stack.oldest_live_frame_index() is None
+
+
+def test_oldest_live_frame_index_skips_dead_inner_callers():
+    a, b, c = _Proc("a"), _Proc("b", alive=False), _Proc("c")
+    stack = _stack(_frame(a, b), _frame(b, c))
+    assert stack.oldest_live_frame_index() == 0
+
+
+# -- unwind_dead ------------------------------------------------------------
+
+def test_unwind_dead_on_an_empty_stack_is_a_noop():
+    stack = KernelControlStack()
+    assert stack.unwind_dead(_Proc("victim", alive=False)) == []
+    assert stack.pruned_frames == 0
+
+
+def test_unwind_dead_ignores_uninvolved_chains():
+    a, b = _Proc("a"), _Proc("b")
+    stack = _stack(_frame(a, b))
+    assert stack.unwind_dead(_Proc("other", alive=False)) == []
+    assert stack.depth == 1
+
+
+def test_unwind_dead_prunes_only_above_the_nearest_live_caller():
+    # a -> b -> c, kill c: the b->c frame goes, a->b survives (the
+    # §5.2.1 delivery point is b, the nearest live caller)
+    a, b, c = _Proc("a"), _Proc("b"), _Proc("c", alive=False)
+    inner = _frame(b, c)
+    stack = _stack(_frame(a, b), inner)
+    pruned = stack.unwind_dead(c)
+    assert pruned == [inner]
+    assert stack.depth == 1
+    assert inner.unwound
+    assert "c killed" in inner.unwound_reason
+    assert stack.pruned_frames == 1
+
+
+def test_unwind_dead_takes_the_whole_chain_through_the_victim():
+    # a -> b -> c, kill b: both frames name b (callee of the first,
+    # caller of the second) — everything from the base-most frame up
+    # to the top is retired, delivery lands at a
+    a, b, c = _Proc("a"), _Proc("b", alive=False), _Proc("c")
+    first, second = _frame(a, b), _frame(b, c)
+    stack = _stack(first, second)
+    pruned = stack.unwind_dead(b)
+    assert pruned == [first, second]
+    assert stack.depth == 0
+    assert stack.pruned_frames == 2
+
+
+def test_unwind_dead_retires_everything_when_no_caller_survives():
+    a, b = _Proc("a", alive=False), _Proc("b", alive=False)
+    stack = _stack(_frame(a, b))
+    assert len(stack.unwind_dead(b)) == 1
+    assert stack.depth == 0
+
+
+def test_unwind_dead_interleaved_chains_spare_the_unrelated_base():
+    # x -> y below the victim's chain: pruning a -> victim must not
+    # touch the x -> y frame under it
+    x, y, a, v = _Proc("x"), _Proc("y"), _Proc("a"), _Proc("v",
+                                                           alive=False)
+    base = _frame(x, y)
+    stack = _stack(base, _frame(a, v))
+    pruned = stack.unwind_dead(v)
+    assert len(pruned) == 1
+    assert stack.frames() == [base]
+
+
+# -- pop_frame --------------------------------------------------------------
+
+def test_pop_frame_pops_a_live_frame():
+    a, b = _Proc("a"), _Proc("b")
+    frame = _frame(a, b)
+    stack = _stack(frame)
+    assert stack.pop_frame(frame) is True
+    assert stack.depth == 0
+    assert frame.unwound and frame.unwound_reason == "popped"
+
+
+def test_pop_frame_drops_a_reply_to_a_pruned_frame():
+    # the A8-underflow shape: the kernel already pruned the frame at
+    # kill time, then the proxy's return path comes back for it — the
+    # reply must be dropped, not pop someone else's frame
+    a, v = _Proc("a"), _Proc("v", alive=False)
+    frame = _frame(a, v)
+    stack = _stack(frame)
+    stack.unwind_dead(v)
+    assert stack.pop_frame(frame) is False
+    assert stack.depth == 0
+
+
+def test_pop_frame_drops_a_reply_racing_a_rebuild():
+    # the callee was killed and respawned between push and return: the
+    # generation stamp no longer matches the incarnation
+    a, b = _Proc("a"), _Proc("b", generation=2)
+    frame = _frame(a, b)
+    stack = _stack(frame)
+    b.generation = 5  # supervisor rebuilt the pool
+    assert stack.pop_frame(frame) is False
+    assert "generation mismatch" in frame.unwound_reason
+    assert "g5" in frame.unwound_reason
+    assert "g2" in frame.unwound_reason
+    assert stack.pruned_frames == 1
+
+
+def test_pop_frame_prunes_frames_abandoned_above_it():
+    a, b, c = _Proc("a"), _Proc("b"), _Proc("c")
+    outer, inner = _frame(a, b), _frame(b, c)
+    stack = _stack(outer, inner)
+    assert stack.pop_frame(outer) is True
+    assert stack.depth == 0
+    assert inner.unwound
+    assert "abandoned" in inner.unwound_reason
+
+
+def test_pop_frame_raises_on_a_frame_it_has_never_seen():
+    a, b = _Proc("a"), _Proc("b")
+    stack = _stack(_frame(a, b), owner=_Thread("t0"))
+    with pytest.raises(DipcError) as err:
+        stack.pop_frame(_frame(a, b))
+    assert "t0" in str(err.value)
+    assert "a(g1)->b(g1)" in str(err.value)
+
+
+# -- diagnostics ------------------------------------------------------------
+
+def test_underflow_names_the_thread_and_the_pruned_frames():
+    v = _Proc("v", alive=False)
+    stack = _stack(_frame(_Proc("a", alive=False), v),
+                   owner=_Thread("load-server/w3"))
+    stack.unwind_dead(v)
+    with pytest.raises(IndexError) as err:
+        stack.pop()
+    message = str(err.value)
+    assert message.startswith("KCS underflow")
+    assert "load-server/w3" in message
+    assert "1 frame(s) pruned" in message
+
+
+def test_describe_marks_the_dead_and_their_generations():
+    a, b = _Proc("a", generation=3), _Proc("b", generation=7,
+                                           alive=False)
+    frame = _frame(a, b)
+    assert frame.describe() == "a(g3)->b†(g7)"
+    local = _frame(a)
+    assert local.describe() == "a(g3)->local"
+    stack = _stack(frame)
+    assert stack.describe_chain() == "a(g3)->b†(g7)"
+    assert KernelControlStack().describe_chain() == "<empty>"
+
+
+# -- the legacy switch ------------------------------------------------------
+
+def test_legacy_mode_restores_the_pre_epoch_behaviour(monkeypatch):
+    monkeypatch.setattr(kcs, "LEGACY_UNWIND", True)
+    a, v = _Proc("a"), _Proc("v", alive=False)
+    frame = _frame(a, v)
+    stack = _stack(frame)
+    # no kill-time pruning ...
+    assert stack.unwind_dead(v) == []
+    assert stack.depth == 1
+    # ... and a raw LIFO pop with the foreign-frame trap
+    assert stack.pop_frame(frame) is True
+    stack2 = _stack(_frame(a, v), _frame(a, v))
+    with pytest.raises(DipcError):
+        stack2.pop_frame(stack2.frames()[0])

@@ -1,0 +1,146 @@
+"""The kill-point conformance harness (repro.recovery.conformance).
+
+Covers the matrix/spec plumbing, the probe -> kill-event derivation,
+the dynamic ``killpoint-*`` scenario family, and — the point of the
+whole harness — that every phase x primitive cell on the chain pattern
+comes back clean, with the ``rebuild`` phase genuinely double-killing
+(first incarnation, then the rebuilt pool).
+"""
+
+import pytest
+
+from repro import primitives
+from repro.recovery import conformance
+
+
+# -- matrix / spec plumbing -------------------------------------------------
+
+def test_quick_matrix_covers_every_phase_and_primitive():
+    cells = conformance.matrix(quick=True)
+    assert len(cells) == len(conformance.PHASES) * len(primitives.names())
+    assert len(set(cells)) == len(cells)
+    assert {pattern for _, _, pattern in cells} == {"chain"}
+    assert {phase for phase, _, _ in cells} == set(conformance.PHASES)
+    assert {prim for _, prim, _ in cells} == set(primitives.names())
+
+
+def test_full_matrix_adds_the_fanout_and_mesh_patterns():
+    cells = conformance.matrix()
+    assert len(cells) == (len(conformance.PHASES)
+                          * len(primitives.names())
+                          * len(conformance.PATTERNS))
+    assert {pattern for _, _, pattern in cells} == set(conformance.PATTERNS)
+
+
+def test_specs_are_cacheable_conformance_points():
+    specs = conformance.specs_for(conformance.matrix(quick=True), seed=3)
+    assert len(specs) == len(conformance.matrix(quick=True))
+    for spec in specs:
+        assert spec.driver == "conformance"
+        assert spec.cacheable
+        assert spec.kwargs["seed"] == 3
+
+
+# -- probe marks -> kill events ---------------------------------------------
+
+_MARKS = {"call:enter": 10, "serve:0:enter": 20, "serve:1:enter": 26,
+          "serve:2:enter": 30, "serve:0:exit": 40, "call:exit": 50}
+
+
+def test_kill_events_land_in_phase_order():
+    events = {phase: conformance.kill_events_for(phase, _MARKS)
+              for phase in ("precall", "inproxy", "midcallee", "midreply")}
+    assert events["precall"] == [10]
+    assert events["inproxy"] == [15]       # midway caller -> root serve
+    assert events["midcallee"] == [30]     # the deepest serve() entered
+    assert events["midreply"] == [45]      # midway root exit -> call exit
+    assert (events["precall"] < events["inproxy"] < events["midcallee"]
+            < events["midreply"])
+
+
+def test_missing_marks_mean_no_kill_not_a_crash():
+    assert conformance.kill_events_for("precall", {}) == []
+    assert conformance.kill_events_for("inproxy", {"call:enter": 5}) == []
+    assert conformance.kill_events_for(
+        "midreply", {"serve:0:exit": 5}) == []
+
+
+def test_rebuild_phase_needs_its_own_probe():
+    with pytest.raises(ValueError):
+        conformance.kill_events_for("rebuild", _MARKS)
+
+
+# -- the killpoint-* scenario family ----------------------------------------
+
+def test_killpoint_scenarios_resolve_by_name():
+    from repro.check import scenarios
+    target = conformance.cell_target("midcallee", "dipc", "chain")
+    assert target == "killpoint-midcallee-dipc-chain"
+    assert scenarios.is_scenario(target)
+    scenario = scenarios.get(target)
+    assert scenario.name == target
+    assert scenario.default_n == conformance.pattern_default_n("chain")
+
+
+def test_killpoint_rejects_unknown_coordinates():
+    from repro.check import scenarios
+    for bogus in ("killpoint-nophase-dipc-chain",
+                  "killpoint-midcallee-noprim-chain",
+                  "killpoint-midcallee-dipc-nopattern",
+                  "killpoint-midcallee-dipc"):
+        assert not scenarios.is_scenario(bogus)
+        with pytest.raises(KeyError):
+            scenarios.get(bogus)
+    # the family is dynamic — it never pollutes the static listing
+    assert not any(name.startswith("killpoint-")
+                   for name in scenarios.names())
+
+
+# -- cells ------------------------------------------------------------------
+
+def test_midcallee_cell_is_clean_and_deterministic():
+    first = conformance.run_cell(phase="midcallee", primitive="dipc",
+                                 pattern="chain")
+    again = conformance.run_cell(phase="midcallee", primitive="dipc",
+                                 pattern="chain")
+    assert first["findings"] == []
+    assert first["kill_events"]
+    assert first == again
+
+
+@pytest.mark.parametrize("primitive", sorted(primitives.names()))
+def test_rebuild_cell_drops_the_stale_reply_per_primitive(primitive):
+    """Kill the root mid-callee, then kill the *rebuilt* root the moment
+    the supervisor finishes the pool rebuild: any first-incarnation
+    reply still in flight must be dropped by the generation stamp, for
+    every registered primitive."""
+    cell = conformance.run_cell(phase="rebuild", primitive=primitive,
+                                pattern="chain")
+    assert cell["findings"] == []
+    assert len(cell["kill_events"]) == 2, \
+        f"{primitive}: expected double kill, got {cell['kill_events']}"
+    assert cell["notes"] == []
+
+
+@pytest.mark.parametrize("phase", conformance.PHASES)
+def test_every_phase_is_clean_on_the_chain(phase):
+    cell = conformance.run_cell(phase=phase, primitive="dipc",
+                                pattern="chain")
+    assert cell["findings"] == []
+    assert cell["kill_events"]
+
+
+@pytest.mark.parametrize("pattern", conformance.PATTERNS)
+def test_midcallee_is_clean_on_every_pattern(pattern):
+    cell = conformance.run_cell(phase="midcallee", primitive="dipc",
+                                pattern=pattern)
+    assert cell["findings"] == []
+    assert cell["kill_events"]
+
+
+def test_goodput_floor_is_optional_for_storm_workloads():
+    # the topostorm scenario runs this workload under arbitrary storms,
+    # where zero goodput is legal; the floor only applies to cells
+    findings = conformance.run_cell_workload("dipc", "chain",
+                                             goodput_floor=None)
+    assert findings == []

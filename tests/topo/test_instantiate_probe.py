@@ -1,0 +1,70 @@
+"""The phase probe hooks in repro.topo.instantiate.
+
+The conformance harness (repro.recovery.conformance) locates its kill
+points by recording at which engine event each label first fires; the
+contract here is that the labels fire, in request-lifetime order, and
+that an armed probe is pure observation — it must not change the
+workload's event order (probe run == plain run, event for event).
+"""
+
+from repro.recovery import conformance
+from repro.topo import instantiate
+
+
+def _collect(primitive="dipc", pattern="chain"):
+    labels = []
+    previous = instantiate.set_probe(labels.append)
+    try:
+        findings = conformance.run_cell_workload(primitive, pattern)
+    finally:
+        instantiate.set_probe(previous)
+    return labels, findings
+
+
+def test_probe_labels_fire_in_request_lifetime_order():
+    labels, findings = _collect()
+    assert findings == []
+    first = {label: i for i, label in reversed(list(enumerate(labels)))}
+    assert (first["call:enter"] < first["serve:0:enter"]
+            < first["serve:0:exit"] < first["call:exit"])
+    # the chain nests: a deeper service starts after the root
+    deeper = [label for label in first
+              if label.startswith("serve:") and label.endswith(":enter")
+              and label != "serve:0:enter"]
+    assert deeper, "chain topology never nested a call"
+    assert all(first[label] > first["serve:0:enter"] for label in deeper)
+
+
+def test_set_probe_returns_the_previous_probe():
+    sentinel = object()
+    assert instantiate.set_probe(sentinel) is None
+    assert instantiate.set_probe(None) is sentinel
+    assert instantiate._probe is None
+
+
+def test_disarmed_probe_never_fires():
+    labels, _ = _collect()
+    assert labels
+    # run again with no probe installed: nothing is recorded anywhere
+    recorded = []
+    previous = instantiate.set_probe(recorded.append)
+    instantiate.set_probe(previous)
+    conformance.run_cell_workload("dipc", "chain")
+    assert recorded == []
+
+
+def test_probe_runs_match_plain_runs_event_for_event():
+    # the conformance contract: probing is free. A cell's probe run and
+    # kill run share event indices up to the kill, which only holds if
+    # the probe itself posts no events — compare total event counts.
+    def events_processed(with_probe):
+        if with_probe:
+            previous = instantiate.set_probe(lambda label: None)
+        try:
+            conformance.run_cell_workload("dipc", "chain")
+        finally:
+            if with_probe:
+                instantiate.set_probe(previous)
+        return conformance._probe_kernels[0].engine.events_processed
+
+    assert events_processed(True) == events_processed(False)
